@@ -1,0 +1,81 @@
+// Command htapbench regenerates the paper's Figure 2 (Section II-B): the
+// four-panel experiment sweeping storage model, threading policy and
+// compute platform over the TPC-C-style customer/item workload.
+//
+// Times are produced by the calibrated platform model (the documented
+// substitution for the paper's i7-6700HQ + CUDA testbed; see DESIGN.md
+// Section 2). Pass -verify to additionally execute every configuration
+// for real at a reduced scale and cross-check all answers against the
+// workload's closed forms.
+//
+// Usage:
+//
+//	htapbench [-panel 0-4] [-csv] [-verify] [-verify-rows N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridstore/internal/figures"
+)
+
+func main() {
+	panel := flag.Int("panel", 0, "panel to regenerate (1-4), 0 = all")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	verify := flag.Bool("verify", false, "also execute every configuration for real and cross-check answers")
+	verifyRows := flag.Uint64("verify-rows", 100_000, "row count for -verify")
+	real := flag.Bool("real", false, "also measure the single-threaded host series with real wall-clock execution")
+	realRows := flag.Uint64("real-rows", 2_000_000, "largest row count for -real (sweep is 1/4, 1/2, 1x)")
+	flag.Parse()
+
+	cfg := figures.Default()
+	panels, err := cfg.Panels(*panel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for i, p := range panels {
+		if i > 0 {
+			fmt.Println()
+		}
+		if *csv {
+			fmt.Printf("# panel %d: %s\n%s", p.Number, p.Title, p.CSV())
+		} else {
+			fmt.Print(p.Render())
+		}
+	}
+
+	f := cfg.Evaluate()
+	fmt.Println()
+	fmt.Println("paper findings (Section II-B):")
+	fmt.Printf("  (i)   tiny inputs favour single-threaded execution: %v\n", f.TinyInputsFavourSingle)
+	fmt.Printf("  (ii)  record-centric operations favour NSM:         %v\n", f.RecordCentricFavoursNSM)
+	fmt.Printf("  (iii) attribute-centric operations favour DSM:      %v\n", f.AttrCentricFavoursDSM)
+	fmt.Printf("  (iv)  device wins once the column is resident:      %v\n", f.DeviceWinsWhenResident)
+
+	if *real {
+		fmt.Println()
+		sizes := []uint64{*realRows / 4, *realRows / 2, *realRows}
+		p, err := figures.RealScanPanel(sizes, 3)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "real measurement failed:", err)
+			os.Exit(1)
+		}
+		fmt.Print(p.Render())
+	}
+
+	if *verify {
+		fmt.Println()
+		report, err := figures.Verify(*verifyRows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verification failed:", err)
+			os.Exit(1)
+		}
+		fmt.Print(report)
+		if !report.AllOK() {
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Command linearize renders the paper's Figure 3: the terminology of
+// relations, layouts, fragments, tuplets and linearizations, demonstrated
+// byte-for-byte on the example relation R(A,B,C,D,E) with four tuples.
+// It builds the two layouts of the figure — a weak flexible one (vertical
+// sub-relations {A,B,C} and {D,E}) and a strong flexible one ({A,B,C}
+// fat, {D} and {E} thin) — and prints how each fragment's tuplets land in
+// one-dimensional memory under NSM-fixed, DSM-fixed, direct, and the
+// emulated variants.
+//
+// Usage:
+//
+//	linearize
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"hybridstore/internal/layout"
+	"hybridstore/internal/mem"
+	"hybridstore/internal/schema"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	s, err := schema.New(
+		schema.Int64Attr("A"), schema.Int64Attr("B"), schema.Int64Attr("C"),
+		schema.Int64Attr("D"), schema.Int64Attr("E"),
+	)
+	if err != nil {
+		return err
+	}
+	host := mem.NewAllocator(mem.Host, 0)
+	names := []string{"a", "b", "c", "d", "e"}
+
+	fmt.Println("Figure 3: relation R(A,B,C,D,E) with tuples r1..r4")
+	fmt.Println()
+
+	// The full-relation fixed linearizations.
+	for _, lin := range []layout.Linearization{layout.NSM, layout.DSM} {
+		f, err := layout.NewFragment(host, s, layout.AllCols(s), layout.RowRange{Begin: 0, End: 4}, lin)
+		if err != nil {
+			return err
+		}
+		if err := fill(f, nil); err != nil {
+			return err
+		}
+		fmt.Printf("%s-fixed      > %s\n", lin, dump(f, names))
+		f.Free()
+	}
+
+	// Layout 1 (weak flexible): sub-relations {A,B,C} and {D,E}.
+	fmt.Println()
+	fmt.Println("Layout 1 for R (weak flexible): sub-relations {A,B,C} NSM, {D,E} DSM")
+	l1 := layout.NewLayout("layout1", s)
+	abc, err := layout.NewFragment(host, s, []int{0, 1, 2}, layout.RowRange{Begin: 0, End: 4}, layout.NSM)
+	if err != nil {
+		return err
+	}
+	de, err := layout.NewFragment(host, s, []int{3, 4}, layout.RowRange{Begin: 0, End: 4}, layout.DSM)
+	if err != nil {
+		return err
+	}
+	l1.Add(abc)
+	l1.Add(de)
+	for _, f := range l1.Fragments() {
+		if err := fill(f, nil); err != nil {
+			return err
+		}
+		fmt.Printf("  fragment %v %s > %s\n", f.Cols(), pad(f), dump(f, names))
+	}
+	fmt.Printf("  vertical-only: %v, covers R: %v\n", l1.VerticalOnly(), l1.Covers(4))
+
+	// Layout 2 (strong flexible in the figure): {A,B,C} fat NSM, {D}, {E}
+	// thin direct — DSM-emulated for D and E.
+	fmt.Println()
+	fmt.Println("Layout 2 for R: fat {A,B,C} NSM-fixed; thin {D}, {E} direct (DSM-emulated)")
+	l2 := layout.NewLayout("layout2", s)
+	fat, err := layout.NewFragment(host, s, []int{0, 1, 2}, layout.RowRange{Begin: 0, End: 4}, layout.NSM)
+	if err != nil {
+		return err
+	}
+	l2.Add(fat)
+	for _, c := range []int{3, 4} {
+		thin, err := layout.NewFragment(host, s, []int{c}, layout.RowRange{Begin: 0, End: 4}, layout.Direct)
+		if err != nil {
+			return err
+		}
+		l2.Add(thin)
+	}
+	for _, f := range l2.Fragments() {
+		if err := fill(f, nil); err != nil {
+			return err
+		}
+		kind := "thin, direct"
+		if f.IsFat() {
+			kind = "fat, " + f.Lin().String()
+		}
+		fmt.Printf("  fragment %v (%s) %s> %s\n", f.Cols(), kind, pad(f), dump(f, names))
+	}
+	fmt.Println()
+
+	// Record materialization stitches tuplets across fragments.
+	rec, err := l2.Record(2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Record(r3) via layout 2: %v  (tuplets stitched across 3 fragments)\n", rec)
+	return nil
+}
+
+// fill appends tuplets r1..r4: attribute X of tuple i encodes as
+// 10*(i+1) + attribute index.
+func fill(f *layout.Fragment, _ []string) error {
+	for i := int64(0); i < 4; i++ {
+		vals := make([]schema.Value, 0, f.Arity())
+		for _, c := range f.Cols() {
+			vals = append(vals, schema.IntValue(10*(i+1)+int64(c)))
+		}
+		if err := f.AppendTuplet(vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dump renders the fragment's raw memory as the figure's symbol stream
+// (a1 b1 c1 ...), decoding each 8-byte slot back to its (attr, tuple)
+// identity.
+func dump(f *layout.Fragment, names []string) string {
+	raw := f.Raw()
+	out := ""
+	slots := f.Len() * f.Arity()
+	for i := 0; i < slots; i++ {
+		v := int64(binary.LittleEndian.Uint64(raw[i*8:]))
+		attr := v % 10
+		tuple := v / 10
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s%d", names[attr], tuple)
+	}
+	return out
+}
+
+// pad aligns the arrows for multi-width fragments.
+func pad(f *layout.Fragment) string {
+	if f.Arity() > 1 {
+		return ""
+	}
+	return "    "
+}

@@ -1,0 +1,164 @@
+package hybridstore
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hybridstore/internal/workload"
+)
+
+// TestConcurrentHTAPStress drives the reference engine with concurrent
+// transactional writers, point readers, analytic scanners, inserters and
+// a background adaptor/merger — the paper's HTAP picture, all at once.
+// Run under -race this validates the engine's concurrency contract; the
+// final state must equal a sequential model.
+func TestConcurrentHTAPStress(t *testing.T) {
+	db := Open(Options{ChunkRows: 256, HotChunks: 2})
+	tbl, err := db.CreateTable("item", ItemSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Free()
+	const base = 2000
+	for i := uint64(0); i < base; i++ {
+		if _, err := tbl.Insert(Item(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	model := map[uint64]float64{}
+	for i := uint64(0); i < base; i++ {
+		model[i] = workload.ItemPrice(i)
+	}
+	inserted := uint64(base)
+
+	// Writers: single-op update transactions against the base region.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				row := uint64(r.Int63n(base))
+				val := math.Floor(r.Float64() * 100)
+				if err := tbl.Update(row, ItemPriceColumn, FloatValue(val)); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				model[row] = val
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	// Readers: point reads and Q1 lookups must always see a coherent
+	// record (generated shape, whatever the price currently is).
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 300; i++ {
+				row := uint64(r.Int63n(base))
+				rec, err := tbl.Get(row)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if rec[0].I != int64(row) {
+					t.Errorf("row %d materialized id %d", row, rec[0].I)
+					return
+				}
+				if _, err := tbl.GetByPK(int64(row)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Scanners: aggregates run throughout (answers vary while writers
+	// run; they only must not error, race or crash).
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if _, err := tbl.SumFloat64(ItemPriceColumn); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := tbl.GroupSumFloat64(1, ItemPriceColumn); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	// An inserter extends the relation (rows ≥ base, untouched by
+	// writers).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < 500; i++ {
+			row := base + i
+			if _, err := tbl.Insert(Item(row)); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			model[row] = workload.ItemPrice(row)
+			inserted++
+			mu.Unlock()
+		}
+	}()
+
+	// A background maintainer adapts and merges.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := tbl.Adapt(); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := tbl.Merge(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiesced: the table equals the model.
+	if tbl.Rows() != inserted {
+		t.Fatalf("rows = %d, want %d", tbl.Rows(), inserted)
+	}
+	var want float64
+	for _, v := range model {
+		want += v
+	}
+	got, err := tbl.SumFloat64(ItemPriceColumn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("final sum = %v, want %v", got, want)
+	}
+	for probe := uint64(0); probe < inserted; probe += 97 {
+		rec, err := tbl.Get(probe)
+		if err != nil || rec[ItemPriceColumn].F != model[probe] {
+			t.Fatalf("Get(%d) = %v, %v; want price %v", probe, rec, err, model[probe])
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package hybridstore_test
+
+import (
+	"fmt"
+
+	"hybridstore"
+)
+
+// Example shows the end-to-end HTAP flow: transactional point operations
+// and snapshot-isolated analytics over one adaptively-organized table.
+func Example() {
+	db := hybridstore.Open(hybridstore.Options{})
+	sch, _ := hybridstore.NewSchema(
+		hybridstore.Int64Attr("id"),
+		hybridstore.Float64Attr("balance"),
+	)
+	accounts, _ := db.CreateTable("accounts", sch)
+	defer accounts.Free()
+
+	for i := int64(0); i < 4; i++ {
+		accounts.Insert(hybridstore.Record{
+			hybridstore.IntValue(i), hybridstore.FloatValue(float64(100 * i)),
+		})
+	}
+
+	// A snapshot-isolated transfer.
+	txn := accounts.Begin()
+	from, _ := txn.ReadByPK(3)
+	to, _ := txn.ReadByPK(0)
+	txn.Update(3, 1, hybridstore.FloatValue(from[1].F-50))
+	txn.Update(0, 1, hybridstore.FloatValue(to[1].F+50))
+	if err := txn.Commit(); err != nil {
+		fmt.Println("conflict:", err)
+		return
+	}
+
+	total, _ := accounts.SumFloat64(1)
+	rec, _ := accounts.GetByPK(3)
+	fmt.Printf("total=%v account3=%v\n", total, rec[1].F)
+	// Output: total=600 account3=250
+}

@@ -1,0 +1,260 @@
+// Package hybridstore is the public face of this repository: a storage
+// engine library for hybrid transactional/analytical processing (HTAP)
+// on cooperating CPUs and GPUs, reproducing and operationalizing
+//
+//	Pinnecke, Broneske, Campero Durand, Saake. "Are Databases Fit for
+//	Hybrid Workloads on GPUs? A Storage Engine's Perspective." ICDE 2017.
+//
+// The package exposes the paper's proposed reference engine design
+// (internal/core) behind a small API: open a DB, create tables, run
+// transactional point operations and analytic scans, let the engine
+// adapt its physical layouts — column grouping, NSM/DSM linearization,
+// and host/device placement — to the observed workload.
+//
+// The ten surveyed engines, the taxonomy and classifier, the software
+// GPU, and the Figure-2 experiment harness live in internal packages and
+// are exercised by the cmd/ tools, the examples/ programs and the
+// benchmark suite.
+package hybridstore
+
+import (
+	"fmt"
+
+	"hybridstore/internal/core"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/exec"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/taxonomy"
+	"hybridstore/internal/workload"
+)
+
+// Re-exported schema vocabulary, so downstream users never import
+// internal packages directly.
+type (
+	// Schema describes a relation's attributes.
+	Schema = schema.Schema
+	// Attribute describes one column.
+	Attribute = schema.Attribute
+	// Value is a dynamically-typed field value.
+	Value = schema.Value
+	// Record is one tuple's values.
+	Record = schema.Record
+	// Classification is a storage-engine survey row under the paper's
+	// taxonomy.
+	Classification = taxonomy.Classification
+)
+
+// Schema and value constructors, re-exported.
+var (
+	// NewSchema validates attributes and builds a schema.
+	NewSchema = schema.New
+	// Int32Attr, Int64Attr, Float64Attr and CharAttr build attributes.
+	Int32Attr   = schema.Int32Attr
+	Int64Attr   = schema.Int64Attr
+	Float64Attr = schema.Float64Attr
+	CharAttr    = schema.CharAttr
+	// IntValue, Int32Value, FloatValue and CharValue build values.
+	IntValue   = schema.IntValue
+	Int32Value = schema.Int32Value
+	FloatValue = schema.FloatValue
+	CharValue  = schema.CharValue
+)
+
+// Options tunes a DB.
+type Options struct {
+	// ChunkRows is the horizontal chunk capacity (default 1024).
+	ChunkRows uint64
+	// HotChunks is the number of newest chunks kept in the OLTP region
+	// (default 2).
+	HotChunks int
+	// Affinity is the co-access threshold for column grouping, in (0,1]
+	// (default 0.5).
+	Affinity float64
+	// DevicePlacement enables moving scan-hot columns to the simulated
+	// GPU.
+	DevicePlacement bool
+}
+
+// DB is an open hybridstore instance: one simulated platform (host
+// memory, device memory, calibrated clock) plus the reference engine.
+type DB struct {
+	env *engine.Env
+	eng *core.Engine
+}
+
+// Open creates a DB.
+func Open(opts Options) *DB {
+	env := engine.NewEnv()
+	return &DB{
+		env: env,
+		eng: core.New(env, core.Options{
+			ChunkRows:       opts.ChunkRows,
+			HotChunks:       opts.HotChunks,
+			Affinity:        opts.Affinity,
+			DevicePlacement: opts.DevicePlacement,
+		}),
+	}
+}
+
+// SimulatedSeconds returns the simulated platform time consumed so far
+// (the calibrated model's pricing of all executed work).
+func (db *DB) SimulatedSeconds() float64 {
+	return db.env.Clock.ElapsedNs() / 1e9
+}
+
+// DeviceFreeMemory returns the simulated GPU's free global memory.
+func (db *DB) DeviceFreeMemory() int64 { return db.env.GPU.FreeMemory() }
+
+// Table is one hybridstore relation.
+type Table struct {
+	db  *DB
+	t   *core.Table
+	e   *core.Engine
+	nam string
+}
+
+// CreateTable makes an empty table.
+func (db *DB) CreateTable(name string, s *Schema) (*Table, error) {
+	t, err := db.eng.Create(name, s)
+	if err != nil {
+		return nil, fmt.Errorf("hybridstore: creating table %q: %w", name, err)
+	}
+	return &Table{db: db, t: t.(*core.Table), e: db.eng, nam: name}, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.nam }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.t.Schema() }
+
+// Rows returns the row count.
+func (t *Table) Rows() uint64 { return t.t.Rows() }
+
+// Insert appends a record and returns its position.
+func (t *Table) Insert(rec Record) (uint64, error) { return t.t.Insert(rec) }
+
+// Get materializes the record at the given position.
+func (t *Table) Get(row uint64) (Record, error) { return t.t.Get(row) }
+
+// Update overwrites one field through a single-operation transaction.
+func (t *Table) Update(row uint64, col int, v Value) error { return t.t.Update(row, col, v) }
+
+// SumFloat64 aggregates a float64 attribute over an MVCC snapshot.
+func (t *Table) SumFloat64(col int) (float64, error) { return t.t.SumFloat64(col) }
+
+// Materialize resolves a sorted position list to full records.
+func (t *Table) Materialize(positions []uint64) ([]Record, error) {
+	return t.t.Materialize(positions)
+}
+
+// GroupResult is one group of a grouped aggregation.
+type GroupResult = exec.GroupResult
+
+// GroupSumFloat64 computes SELECT keyCol, SUM(valCol), COUNT(*) GROUP BY
+// keyCol over an MVCC snapshot. keyCol must be an integer attribute,
+// valCol a float64 one; results come back sorted by key.
+func (t *Table) GroupSumFloat64(keyCol, valCol int) ([]GroupResult, error) {
+	return t.t.GroupSumFloat64(keyCol, valCol)
+}
+
+// GetByPK answers the paper's query Q1 — SELECT * FROM R WHERE pk = c —
+// through the primary-key hash index over attribute 0 (which must be an
+// int64; primary keys are immutable once indexed).
+func (t *Table) GetByPK(pk int64) (Record, error) { return t.t.GetByPK(pk) }
+
+// LookupPK resolves a primary key to its row position.
+func (t *Table) LookupPK(pk int64) (uint64, bool) { return t.t.LookupPK(pk) }
+
+// Begin opens a snapshot-isolated multi-operation transaction.
+func (t *Table) Begin() *Txn { return &Txn{x: t.t.Begin()} }
+
+// Adapt runs the layout advisor once; most applications call it
+// periodically or after workload shifts.
+func (t *Table) Adapt() (bool, error) { return t.t.Adapt() }
+
+// Merge folds settled MVCC versions back into the base fragments.
+func (t *Table) Merge() error { return t.t.Merge() }
+
+// PlaceColumn moves a column's cold fragments to the device explicitly
+// (Adapt does this automatically when DevicePlacement is on).
+func (t *Table) PlaceColumn(col int) error { return t.t.PlaceColumn(col) }
+
+// EvictColumn moves a column's device fragments back to the host.
+func (t *Table) EvictColumn(col int) error { return t.t.EvictColumn(col) }
+
+// DeviceColumns lists the device-resident columns.
+func (t *Table) DeviceColumns() []int { return t.t.DeviceColumns() }
+
+// Stats summarizes the table's physical state.
+type Stats struct {
+	// Rows is the row count.
+	Rows uint64
+	// HotChunks and ColdChunks count the OLTP and OLAP regions.
+	HotChunks, ColdChunks int
+	// Freezes and Adapts count hot→cold moves and advisor runs.
+	Freezes, Adapts int
+	// PendingVersions counts unmerged MVCC versions.
+	PendingVersions int
+	// DeviceColumns lists device-resident columns.
+	DeviceColumns []int
+}
+
+// Stats returns the table's physical state.
+func (t *Table) Stats() Stats {
+	return Stats{
+		Rows:            t.t.Rows(),
+		HotChunks:       t.t.HotChunks(),
+		ColdChunks:      t.t.ColdChunks(),
+		Freezes:         t.t.Freezes(),
+		Adapts:          t.t.Adapts(),
+		PendingVersions: t.t.PendingVersions(),
+		DeviceColumns:   t.t.DeviceColumns(),
+	}
+}
+
+// Classify derives the table's survey row under the paper's taxonomy
+// from its live physical structure.
+func (t *Table) Classify() (Classification, error) {
+	return engine.Classify(t.e, t.t)
+}
+
+// Free releases the table's storage.
+func (t *Table) Free() { t.t.Free() }
+
+// Txn is a snapshot-isolated transaction.
+type Txn struct {
+	x *core.Txn
+}
+
+// Read returns the record at row under the transaction's snapshot.
+func (x *Txn) Read(row uint64) (Record, error) { return x.x.Read(row) }
+
+// Update buffers a field update.
+func (x *Txn) Update(row uint64, col int, v Value) error { return x.x.Update(row, col, v) }
+
+// ReadByPK is the transaction-scoped Q1: a snapshot read identified by
+// primary key.
+func (x *Txn) ReadByPK(pk int64) (Record, error) { return x.x.ReadByPK(pk) }
+
+// Commit installs the buffered writes; it fails with a conflict error if
+// another transaction committed first (first committer wins).
+func (x *Txn) Commit() error { return x.x.Commit() }
+
+// Abort discards the transaction.
+func (x *Txn) Abort() { x.x.Abort() }
+
+// TPC-C-style demo workload, re-exported for examples and quickstarts.
+var (
+	// ItemSchema and CustomerSchema are the paper's experiment tables.
+	ItemSchema = workload.ItemSchema
+	// CustomerSchema is the 21-field, 96-byte customer relation.
+	CustomerSchema = workload.CustomerSchema
+	// Item and Customer generate deterministic records.
+	Item = workload.Item
+	// Customer generates deterministic customer records.
+	Customer = workload.Customer
+)
+
+// ItemPriceColumn is the price attribute index of ItemSchema.
+const ItemPriceColumn = workload.ItemPriceCol

@@ -1,0 +1,430 @@
+// Package compress implements the lightweight column-compression schemes
+// main-memory column stores rely on (the paper cites improved compression
+// rates as a core DSM benefit in Section II-A, and L-Store's base pages
+// are "read-only (and compressed)", Section IV-B.4):
+//
+//   - run-length encoding (RLE) for repetitive columns,
+//   - dictionary encoding for low-cardinality columns,
+//   - frame-of-reference (FOR) for integer columns with a narrow range,
+//   - raw storage as the universal fallback.
+//
+// Compress tries every applicable scheme and keeps the smallest. Encoded
+// columns support random access (At), full decompression, and fast-path
+// aggregation without materializing.
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Encoding enumerates the schemes.
+type Encoding uint8
+
+// The encodings.
+const (
+	// Raw stores elements unencoded.
+	Raw Encoding = iota
+	// RLE stores (count, value) runs.
+	RLE
+	// Dict stores one byte per element indexing a value dictionary of up
+	// to 256 distinct values.
+	Dict
+	// FOR stores int64 elements as fixed-width unsigned deltas from the
+	// column minimum.
+	FOR
+)
+
+// String names the encoding.
+func (e Encoding) String() string {
+	switch e {
+	case Raw:
+		return "raw"
+	case RLE:
+		return "rle"
+	case Dict:
+		return "dict"
+	case FOR:
+		return "for"
+	default:
+		return fmt.Sprintf("Encoding(%d)", uint8(e))
+	}
+}
+
+// Compression errors.
+var (
+	// ErrBadInput is returned for inconsistent length/size arguments.
+	ErrBadInput = errors.New("compress: bad input")
+	// ErrNotApplicable is returned when a requested scheme cannot encode
+	// the column (e.g. dictionary over 256 distinct values).
+	ErrNotApplicable = errors.New("compress: encoding not applicable")
+	// ErrOutOfRange is returned for element indexes out of range.
+	ErrOutOfRange = errors.New("compress: index out of range")
+)
+
+// Column is one encoded column region: n fixed-width elements.
+type Column struct {
+	enc  Encoding
+	n    int
+	size int
+	// raw/dict/rle/for payloads; only the active encoding's fields are set.
+	raw     []byte
+	runVals []byte   // RLE: run values, size bytes each
+	runEnds []uint32 // RLE: cumulative element counts (exclusive end)
+	dict    []byte   // Dict: value table, size bytes each
+	codes   []byte   // Dict: one code per element
+	base    int64    // FOR: frame base
+	width   int      // FOR: delta bytes (1, 2, 4)
+	deltas  []byte   // FOR: packed deltas
+}
+
+// Encoding returns the scheme in use.
+func (c *Column) Encoding() Encoding { return c.enc }
+
+// Len returns the element count.
+func (c *Column) Len() int { return c.n }
+
+// ElementSize returns the element width in bytes.
+func (c *Column) ElementSize() int { return c.size }
+
+// CompressedBytes returns the encoded payload size.
+func (c *Column) CompressedBytes() int {
+	switch c.enc {
+	case Raw:
+		return len(c.raw)
+	case RLE:
+		return len(c.runVals) + 4*len(c.runEnds)
+	case Dict:
+		return len(c.dict) + len(c.codes)
+	case FOR:
+		return 8 + len(c.deltas)
+	default:
+		return 0
+	}
+}
+
+// Ratio returns uncompressed/compressed size (higher is better).
+func (c *Column) Ratio() float64 {
+	cb := c.CompressedBytes()
+	if cb == 0 {
+		return 1
+	}
+	return float64(c.n*c.size) / float64(cb)
+}
+
+// Compress encodes n elements of size bytes each from data, choosing the
+// smallest applicable scheme.
+func Compress(data []byte, n, size int) (*Column, error) {
+	if size <= 0 || n < 0 || len(data) < n*size {
+		return nil, fmt.Errorf("%w: %d elements of %d bytes in %d-byte buffer", ErrBadInput, n, size, len(data))
+	}
+	best, err := CompressAs(Raw, data, n, size)
+	if err != nil {
+		return nil, err
+	}
+	for _, enc := range []Encoding{RLE, Dict, FOR} {
+		c, err := CompressAs(enc, data, n, size)
+		if errors.Is(err, ErrNotApplicable) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if c.CompressedBytes() < best.CompressedBytes() {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// CompressAs encodes with a specific scheme.
+func CompressAs(enc Encoding, data []byte, n, size int) (*Column, error) {
+	if size <= 0 || n < 0 || len(data) < n*size {
+		return nil, fmt.Errorf("%w: %d elements of %d bytes in %d-byte buffer", ErrBadInput, n, size, len(data))
+	}
+	c := &Column{enc: enc, n: n, size: size}
+	switch enc {
+	case Raw:
+		c.raw = append([]byte(nil), data[:n*size]...)
+		return c, nil
+	case RLE:
+		return c, c.encodeRLE(data)
+	case Dict:
+		return c, c.encodeDict(data)
+	case FOR:
+		return c, c.encodeFOR(data)
+	default:
+		return nil, fmt.Errorf("%w: unknown encoding %d", ErrNotApplicable, enc)
+	}
+}
+
+// encodeRLE builds (value, cumulative-end) runs.
+func (c *Column) encodeRLE(data []byte) error {
+	for i := 0; i < c.n; i++ {
+		el := data[i*c.size : (i+1)*c.size]
+		last := len(c.runEnds) - 1
+		if last >= 0 && bytes.Equal(el, c.runVals[last*c.size:(last+1)*c.size]) {
+			c.runEnds[last]++
+			continue
+		}
+		c.runVals = append(c.runVals, el...)
+		// Ends are cumulative-exclusive element indexes; extending a run
+		// above increments the last end, so they stay strictly increasing.
+		c.runEnds = append(c.runEnds, uint32(i+1))
+	}
+	return nil
+}
+
+// encodeDict builds a ≤256-entry dictionary.
+func (c *Column) encodeDict(data []byte) error {
+	index := make(map[string]int)
+	c.codes = make([]byte, c.n)
+	for i := 0; i < c.n; i++ {
+		el := string(data[i*c.size : (i+1)*c.size])
+		code, ok := index[el]
+		if !ok {
+			if len(index) == 256 {
+				return fmt.Errorf("%w: more than 256 distinct values", ErrNotApplicable)
+			}
+			code = len(index)
+			index[el] = code
+			c.dict = append(c.dict, el...)
+		}
+		c.codes[i] = byte(code)
+	}
+	return nil
+}
+
+// encodeFOR frames 8-byte little-endian integers.
+func (c *Column) encodeFOR(data []byte) error {
+	if c.size != 8 {
+		return fmt.Errorf("%w: FOR requires 8-byte integers", ErrNotApplicable)
+	}
+	if c.n == 0 {
+		return nil
+	}
+	min, max := int64(math.MaxInt64), int64(math.MinInt64)
+	for i := 0; i < c.n; i++ {
+		v := int64(binary.LittleEndian.Uint64(data[i*8:]))
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	span := uint64(max - min)
+	switch {
+	case span < 1<<8:
+		c.width = 1
+	case span < 1<<16:
+		c.width = 2
+	case span < 1<<32:
+		c.width = 4
+	default:
+		return fmt.Errorf("%w: value span %d exceeds 32-bit frame", ErrNotApplicable, span)
+	}
+	c.base = min
+	c.deltas = make([]byte, c.n*c.width)
+	for i := 0; i < c.n; i++ {
+		v := int64(binary.LittleEndian.Uint64(data[i*8:]))
+		d := uint64(v - min)
+		switch c.width {
+		case 1:
+			c.deltas[i] = byte(d)
+		case 2:
+			binary.LittleEndian.PutUint16(c.deltas[i*2:], uint16(d))
+		case 4:
+			binary.LittleEndian.PutUint32(c.deltas[i*4:], uint32(d))
+		}
+	}
+	return nil
+}
+
+// At decodes element i into dst (which must be at least ElementSize
+// bytes) and returns dst[:size].
+func (c *Column) At(i int, dst []byte) ([]byte, error) {
+	if i < 0 || i >= c.n {
+		return nil, fmt.Errorf("%w: element %d of %d", ErrOutOfRange, i, c.n)
+	}
+	if len(dst) < c.size {
+		return nil, fmt.Errorf("%w: %d-byte buffer for %d-byte element", ErrBadInput, len(dst), c.size)
+	}
+	switch c.enc {
+	case Raw:
+		copy(dst, c.raw[i*c.size:(i+1)*c.size])
+	case RLE:
+		k := c.findRun(uint32(i))
+		copy(dst, c.runVals[k*c.size:(k+1)*c.size])
+	case Dict:
+		code := int(c.codes[i])
+		copy(dst, c.dict[code*c.size:(code+1)*c.size])
+	case FOR:
+		var d uint64
+		switch c.width {
+		case 1:
+			d = uint64(c.deltas[i])
+		case 2:
+			d = uint64(binary.LittleEndian.Uint16(c.deltas[i*2:]))
+		case 4:
+			d = uint64(binary.LittleEndian.Uint32(c.deltas[i*4:]))
+		}
+		binary.LittleEndian.PutUint64(dst, uint64(c.base+int64(d)))
+	}
+	return dst[:c.size], nil
+}
+
+// findRun binary-searches the run containing element i.
+func (c *Column) findRun(i uint32) int {
+	lo, hi := 0, len(c.runEnds)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.runEnds[mid] <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Decompress materializes the full column.
+func (c *Column) Decompress() []byte {
+	out := make([]byte, c.n*c.size)
+	tmp := make([]byte, c.size)
+	for i := 0; i < c.n; i++ {
+		v, _ := c.At(i, tmp)
+		copy(out[i*c.size:], v)
+	}
+	return out
+}
+
+// ForEach streams every element in order without allocating per element.
+func (c *Column) ForEach(fn func(i int, el []byte)) {
+	tmp := make([]byte, c.size)
+	switch c.enc {
+	case RLE:
+		// Stream run-wise: decode each run value once.
+		start := uint32(0)
+		for k, end := range c.runEnds {
+			val := c.runVals[k*c.size : (k+1)*c.size]
+			for i := start; i < end; i++ {
+				fn(int(i), val)
+			}
+			start = end
+		}
+	default:
+		for i := 0; i < c.n; i++ {
+			v, _ := c.At(i, tmp)
+			fn(i, v)
+		}
+	}
+}
+
+// SumFloat64 aggregates an 8-byte IEEE-754 column without materializing;
+// RLE multiplies run values by their lengths.
+func (c *Column) SumFloat64() (float64, error) {
+	if c.size != 8 {
+		return 0, fmt.Errorf("%w: float64 sum over %d-byte elements", ErrBadInput, c.size)
+	}
+	switch c.enc {
+	case RLE:
+		var sum float64
+		start := uint32(0)
+		for k, end := range c.runEnds {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(c.runVals[k*8:]))
+			sum += v * float64(end-start)
+			start = end
+		}
+		return sum, nil
+	case Raw:
+		var sum float64
+		for i := 0; i < c.n; i++ {
+			sum += math.Float64frombits(binary.LittleEndian.Uint64(c.raw[i*8:]))
+		}
+		return sum, nil
+	case Dict:
+		// Sum per dictionary code, then weight by code frequency.
+		counts := make([]int, len(c.dict)/8)
+		for _, code := range c.codes {
+			counts[code]++
+		}
+		var sum float64
+		for code, n := range counts {
+			sum += math.Float64frombits(binary.LittleEndian.Uint64(c.dict[code*8:])) * float64(n)
+		}
+		return sum, nil
+	default:
+		var sum float64
+		tmp := make([]byte, 8)
+		for i := 0; i < c.n; i++ {
+			v, _ := c.At(i, tmp)
+			sum += math.Float64frombits(binary.LittleEndian.Uint64(v))
+		}
+		return sum, nil
+	}
+}
+
+// SumInt64 aggregates an 8-byte integer column; FOR sums deltas against
+// the frame base without decoding each element to full width.
+func (c *Column) SumInt64() (int64, error) {
+	if c.size != 8 {
+		return 0, fmt.Errorf("%w: int64 sum over %d-byte elements", ErrBadInput, c.size)
+	}
+	switch c.enc {
+	case FOR:
+		var ds uint64
+		for i := 0; i < c.n; i++ {
+			switch c.width {
+			case 1:
+				ds += uint64(c.deltas[i])
+			case 2:
+				ds += uint64(binary.LittleEndian.Uint16(c.deltas[i*2:]))
+			case 4:
+				ds += uint64(binary.LittleEndian.Uint32(c.deltas[i*4:]))
+			}
+		}
+		return c.base*int64(c.n) + int64(ds), nil
+	case RLE:
+		var sum int64
+		start := uint32(0)
+		for k, end := range c.runEnds {
+			v := int64(binary.LittleEndian.Uint64(c.runVals[k*8:]))
+			sum += v * int64(end-start)
+			start = end
+		}
+		return sum, nil
+	case Raw:
+		var sum int64
+		for i := 0; i < c.n; i++ {
+			sum += int64(binary.LittleEndian.Uint64(c.raw[i*8:]))
+		}
+		return sum, nil
+	case Dict:
+		counts := make([]int, len(c.dict)/8)
+		for _, code := range c.codes {
+			counts[code]++
+		}
+		var sum int64
+		for code, n := range counts {
+			sum += int64(binary.LittleEndian.Uint64(c.dict[code*8:])) * int64(n)
+		}
+		return sum, nil
+	default:
+		var sum int64
+		tmp := make([]byte, 8)
+		for i := 0; i < c.n; i++ {
+			v, _ := c.At(i, tmp)
+			sum += int64(binary.LittleEndian.Uint64(v))
+		}
+		return sum, nil
+	}
+}
+
+// String summarizes the column.
+func (c *Column) String() string {
+	return fmt.Sprintf("compressed{%s, %d×%dB, %.2fx}", c.enc, c.n, c.size, c.Ratio())
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hybridstore/internal/exec"
+	"hybridstore/internal/layout"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/tx"
+	"hybridstore/internal/workload"
+)
+
+// GroupSumFloat64 computes SELECT keyCol, SUM(valCol), COUNT(*) GROUP BY
+// keyCol over an MVCC snapshot: the base fragments are aggregated in bulk,
+// then the snapshot's visible delta versions are patched into the group
+// table (moving a row between groups when its key changed). keyCol must
+// be an integer attribute, valCol a float64 one. Device-resident value
+// fragments are read through the bus (charged on the simulated clock);
+// grouped scans are a host-side operation in this engine.
+func (t *Table) GroupSumFloat64(keyCol, valCol int) ([]exec.GroupResult, error) {
+	if keyCol < 0 || keyCol >= t.s.Arity() || valCol < 0 || valCol >= t.s.Arity() {
+		return nil, fmt.Errorf("%w: cols %d,%d", layout.ErrOutOfRange, keyCol, valCol)
+	}
+	kk := t.s.Attr(keyCol).Kind
+	if kk != schema.Int64 && kk != schema.Int32 {
+		return nil, fmt.Errorf("%w: group key %s is %s", exec.ErrBadColumn, t.s.Attr(keyCol).Name, kk)
+	}
+	if t.s.Attr(valCol).Kind != schema.Float64 {
+		return nil, fmt.Errorf("%w: aggregate %s is %s", exec.ErrBadColumn, t.s.Attr(valCol).Name, t.s.Attr(valCol).Kind)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	reader := t.txm.Begin()
+	defer reader.Abort()
+	t.mon.Observe(workload.Op{Kind: workload.ColumnScan, Cols: []int{keyCol, valCol}})
+
+	rows := t.rel.Rows()
+	var keys, vals []exec.Piece
+	for _, c := range t.chunks {
+		if c.rows.Begin >= rows {
+			break
+		}
+		kp, devBytes, err := t.pieceFor(c, keyCol)
+		if err != nil {
+			return nil, err
+		}
+		vp, devBytes2, err := t.pieceFor(c, valCol)
+		if err != nil {
+			return nil, err
+		}
+		if t.env.Clock != nil && devBytes+devBytes2 > 0 {
+			t.env.Clock.Advance(t.env.GPU.Profile().TransferNs(devBytes + devBytes2))
+		}
+		keys = append(keys, kp)
+		vals = append(vals, vp)
+	}
+	groups, err := exec.GroupSumFloat64(t.cfg, keys, vals)
+	if err != nil {
+		return nil, err
+	}
+	table := make(map[int64]*exec.GroupResult, len(groups))
+	for i := range groups {
+		g := groups[i]
+		table[g.Key] = &g
+	}
+
+	// Patch the snapshot's visible versions: move rows between groups.
+	for row := uint64(0); row < rows; row++ {
+		if t.deltas.LatestTS(row) == 0 {
+			continue
+		}
+		rec, err := reader.Read(t.deltas, row)
+		if err != nil {
+			if errors.Is(err, tx.ErrNotFound) {
+				continue
+			}
+			return nil, err
+		}
+		baseKeyV, err := t.baseValue(row, keyCol)
+		if err != nil {
+			return nil, err
+		}
+		baseValV, err := t.baseValue(row, valCol)
+		if err != nil {
+			return nil, err
+		}
+		if g := table[baseKeyV.I]; g != nil {
+			g.Sum -= baseValV.F
+			g.Count--
+		}
+		cur := table[rec[keyCol].I]
+		if cur == nil {
+			cur = &exec.GroupResult{Key: rec[keyCol].I}
+			table[rec[keyCol].I] = cur
+		}
+		cur.Sum += rec[valCol].F
+		cur.Count++
+	}
+	out := make([]exec.GroupResult, 0, len(table))
+	for _, g := range table {
+		if g.Count > 0 {
+			out = append(out, *g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// pieceFor builds one column piece for a chunk, reporting device-resident
+// bytes (which the caller charges to the bus).
+func (t *Table) pieceFor(c *chunk, col int) (exec.Piece, int64, error) {
+	frag, err := t.fragmentForCol(c, col)
+	if err != nil {
+		return exec.Piece{}, 0, err
+	}
+	v, err := frag.ColVector(col)
+	if err != nil {
+		return exec.Piece{}, 0, err
+	}
+	var devBytes int64
+	if frag.Space() == t.env.GPU.Allocator().Space() {
+		devBytes = int64(v.Len * v.Size)
+	}
+	return exec.Piece{
+		Rows: layout.RowRange{Begin: c.rows.Begin, End: c.rows.Begin + uint64(v.Len)},
+		Vec:  v,
+	}, devBytes, nil
+}

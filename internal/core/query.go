@@ -1,0 +1,287 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hybridstore/internal/device"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/exec"
+	"hybridstore/internal/layout"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/tx"
+	"hybridstore/internal/workload"
+)
+
+// Get materializes the current record at row: the newest committed delta
+// version if one exists, else the base fragments.
+func (t *Table) Get(row uint64) (schema.Record, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if row >= t.rel.Rows() {
+		return nil, fmt.Errorf("%w: row %d of %d", engine.ErrNoSuchRow, row, t.rel.Rows())
+	}
+	t.mon.Observe(workload.Op{Kind: workload.PointRead, Cols: layout.AllCols(t.s)})
+	reader := t.txm.Begin()
+	defer reader.Abort()
+	return t.recordAt(reader, row)
+}
+
+// recordAt resolves row under the given transaction's snapshot.
+func (t *Table) recordAt(x *tx.Tx, row uint64) (schema.Record, error) {
+	if rec, err := x.Read(t.deltas, row); err == nil {
+		return rec, nil
+	} else if !errors.Is(err, tx.ErrNotFound) {
+		return nil, err
+	}
+	return t.baseRecord(row)
+}
+
+// Update installs a new version of one field through a single-operation
+// transaction; base fragments are never written (so pinned analytic
+// snapshots stay stable).
+func (t *Table) Update(row uint64, col int, v schema.Value) error {
+	if col < 0 || col >= t.s.Arity() {
+		return fmt.Errorf("%w: col %d", layout.ErrOutOfRange, col)
+	}
+	if err := t.guardPKUpdate(col); err != nil {
+		return err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if row >= t.rel.Rows() {
+		return fmt.Errorf("%w: row %d of %d", engine.ErrNoSuchRow, row, t.rel.Rows())
+	}
+	x := t.txm.Begin()
+	rec, err := t.recordAt(x, row)
+	if err != nil {
+		x.Abort()
+		return err
+	}
+	rec[col] = v
+	if err := x.Write(t.deltas, row, rec); err != nil {
+		x.Abort()
+		return err
+	}
+	if err := x.Commit(); err != nil {
+		return err
+	}
+	t.mon.Observe(workload.Op{Kind: workload.PointUpdate, Row: row, Cols: []int{col}})
+	return nil
+}
+
+// Materialize resolves a sorted position list against the current state.
+func (t *Table) Materialize(positions []uint64) ([]schema.Record, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	reader := t.txm.Begin()
+	defer reader.Abort()
+	out := make([]schema.Record, len(positions))
+	for i, p := range positions {
+		if p >= t.rel.Rows() {
+			return nil, fmt.Errorf("%w: position %d of %d", engine.ErrNoSuchRow, p, t.rel.Rows())
+		}
+		rec, err := t.recordAt(reader, p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rec
+		t.mon.Observe(workload.Op{Kind: workload.PointRead, Cols: layout.AllCols(t.s)})
+	}
+	return out, nil
+}
+
+// SumFloat64 aggregates col over a pinned MVCC snapshot: base fragments
+// are scanned in bulk (device-resident fragments through the reduction
+// kernel, host fragments through the bulk operator), then the snapshot's
+// visible delta versions are patched over the base values.
+func (t *Table) SumFloat64(col int) (float64, error) {
+	if col < 0 || col >= t.s.Arity() {
+		return 0, fmt.Errorf("%w: col %d", layout.ErrOutOfRange, col)
+	}
+	if t.s.Attr(col).Kind != schema.Float64 {
+		return 0, fmt.Errorf("%w: attribute %s is %s", exec.ErrBadColumn, t.s.Attr(col).Name, t.s.Attr(col).Kind)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	reader := t.txm.Begin()
+	defer reader.Abort()
+	t.mon.Observe(workload.Op{Kind: workload.ColumnScan, Cols: []int{col}})
+
+	rows := t.rel.Rows()
+	var sum float64
+	var hostPieces []exec.Piece
+	for _, c := range t.chunks {
+		if c.rows.Begin >= rows {
+			break
+		}
+		frag, err := t.fragmentForCol(c, col)
+		if err != nil {
+			return 0, err
+		}
+		v, err := frag.ColVector(col)
+		if err != nil {
+			return 0, err
+		}
+		if frag.Space() == t.env.GPU.Allocator().Space() {
+			dv := device.Vec{Data: v.Data, Base: v.Base, Stride: v.Stride, Size: v.Size, Len: v.Len}
+			cfg := device.DefaultReduceConfig()
+			if v.Len < cfg.Blocks*2 {
+				cfg = device.LaunchConfig{Blocks: 8, ThreadsPerBlock: 64}
+			}
+			part, err := t.env.GPU.ReduceSumFloat64(dv, cfg)
+			if err != nil {
+				return 0, err
+			}
+			sum += part
+			continue
+		}
+		hostPieces = append(hostPieces, exec.Piece{
+			Rows: layout.RowRange{Begin: c.rows.Begin, End: c.rows.Begin + uint64(v.Len)},
+			Vec:  v,
+		})
+	}
+	hostSum, err := exec.SumFloat64(t.cfg, hostPieces)
+	if err != nil {
+		return 0, err
+	}
+	sum += hostSum
+
+	// Patch the snapshot's visible versions over the base values.
+	for row := uint64(0); row < rows; row++ {
+		if t.deltas.LatestTS(row) == 0 {
+			continue
+		}
+		rec, err := reader.Read(t.deltas, row)
+		if err != nil {
+			if errors.Is(err, tx.ErrNotFound) {
+				continue
+			}
+			return 0, err
+		}
+		base, err := t.baseValue(row, col)
+		if err != nil {
+			return 0, err
+		}
+		sum += rec[col].F - base.F
+	}
+	return sum, nil
+}
+
+// fragmentForCol returns the base fragment storing (chunk, col).
+func (t *Table) fragmentForCol(c *chunk, col int) (*layout.Fragment, error) {
+	if c.state == hot {
+		return c.nsm, nil
+	}
+	for gi, f := range c.frags {
+		for _, gc := range c.groups[gi] {
+			if gc == col {
+				return f, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: chunk %v col %d", layout.ErrNotCovered, c.rows, col)
+}
+
+// baseValue reads one field from the base fragments.
+func (t *Table) baseValue(row uint64, col int) (schema.Value, error) {
+	c, err := t.chunkFor(row)
+	if err != nil {
+		return schema.Value{}, err
+	}
+	f, err := t.fragmentForCol(c, col)
+	if err != nil {
+		return schema.Value{}, err
+	}
+	return f.Get(int(row-c.rows.Begin), col)
+}
+
+// Txn is an interactive multi-operation transaction over the table with
+// snapshot isolation (reads see the snapshot plus own writes; commit is
+// first-committer-wins).
+type Txn struct {
+	t *Table
+	x *tx.Tx
+}
+
+// Begin opens a transaction.
+func (t *Table) Begin() *Txn { return &Txn{t: t, x: t.txm.Begin()} }
+
+// Read returns the record at row under the transaction's snapshot.
+func (x *Txn) Read(row uint64) (schema.Record, error) {
+	x.t.mu.RLock()
+	defer x.t.mu.RUnlock()
+	if row >= x.t.rel.Rows() {
+		return nil, fmt.Errorf("%w: row %d of %d", engine.ErrNoSuchRow, row, x.t.rel.Rows())
+	}
+	return x.t.recordAt(x.x, row)
+}
+
+// Update buffers a field update.
+func (x *Txn) Update(row uint64, col int, v schema.Value) error {
+	if err := x.t.guardPKUpdate(col); err != nil {
+		return err
+	}
+	rec, err := x.Read(row)
+	if err != nil {
+		return err
+	}
+	rec[col] = v
+	return x.x.Write(x.t.deltas, row, rec)
+}
+
+// Commit installs the buffered writes (ErrConflict on lost races).
+func (x *Txn) Commit() error { return x.x.Commit() }
+
+// Abort discards the transaction.
+func (x *Txn) Abort() { x.x.Abort() }
+
+// Merge folds delta versions no active snapshot needs back into the base
+// fragments and prunes the version store — the background pass that keeps
+// scan patching cheap. Cold fragments are rewritten in place (they are
+// only immutable with respect to *transactions*).
+func (t *Table) Merge() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	minTS := t.txm.MinActiveTS()
+	rows := t.rel.Rows()
+	reader := t.txm.Begin()
+	defer reader.Abort()
+	for row := uint64(0); row < rows; row++ {
+		if t.deltas.LatestTS(row) == 0 || t.deltas.LatestTS(row) > minTS {
+			continue
+		}
+		rec, err := reader.Read(t.deltas, row)
+		if err != nil {
+			if errors.Is(err, tx.ErrNotFound) {
+				continue
+			}
+			return err
+		}
+		c, err := t.chunkFor(row)
+		if err != nil {
+			return err
+		}
+		i := int(row - c.rows.Begin)
+		if c.state == hot {
+			for col := 0; col < t.s.Arity(); col++ {
+				if err := c.nsm.Set(i, col, rec[col]); err != nil {
+					return err
+				}
+			}
+		} else {
+			for gi, f := range c.frags {
+				for _, col := range c.groups[gi] {
+					if err := f.Set(i, col, rec[col]); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		// The base now carries the settled value; the chain is redundant
+		// for every snapshot at or after minTS.
+		t.deltas.Forget(row)
+	}
+	t.deltas.Prune(minTS)
+	return nil
+}

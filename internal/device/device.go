@@ -1,0 +1,412 @@
+// Package device implements the software GPU this reproduction substitutes
+// for the paper's CUDA card (DESIGN.md Section 2). It is a real executor —
+// kernels actually compute over device-resident buffers, with per-block
+// concurrency and a faithful Harris-style tree reduction — wrapped in the
+// calibrated timing model of internal/perfmodel, so both the answers and
+// the Figure-2 cost shapes (transfer wall, launch overhead, coalescing)
+// are reproduced.
+//
+// The device owns a capacity-limited global-memory allocator (4044 MB in
+// the default profile, matching the paper's footnote 4); engines that
+// place fragments on the device must handle mem.ErrOutOfMemory, which is
+// exactly the condition CoGaDB's "all or nothing" placement reacts to.
+package device
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"hybridstore/internal/mem"
+	"hybridstore/internal/perfmodel"
+)
+
+// Device errors.
+var (
+	// ErrBadLaunch is returned for invalid kernel launch geometry.
+	ErrBadLaunch = errors.New("device: bad launch configuration")
+	// ErrBufferFreed is returned when using a freed buffer.
+	ErrBufferFreed = errors.New("device: buffer already freed")
+	// ErrShortBuffer is returned when a copy or kernel would run past the
+	// end of a buffer.
+	ErrShortBuffer = errors.New("device: access beyond buffer size")
+)
+
+// GPU is one simulated graphics card.
+type GPU struct {
+	prof  perfmodel.DeviceProfile
+	alloc *mem.Allocator
+
+	mu      sync.Mutex
+	clock   *perfmodel.Clock
+	h2d     int64 // bytes host→device
+	d2h     int64 // bytes device→host
+	h2dOps  int64
+	d2hOps  int64
+	kernels int64
+}
+
+// New creates a GPU with the given profile, charging simulated time to
+// clock. A nil clock disables time accounting (pure functional use).
+func New(prof perfmodel.DeviceProfile, clock *perfmodel.Clock) *GPU {
+	return &GPU{
+		prof:  prof,
+		alloc: mem.NewAllocator(mem.Device, prof.GlobalMemory),
+		clock: clock,
+	}
+}
+
+// Profile returns the device profile.
+func (g *GPU) Profile() perfmodel.DeviceProfile { return g.prof }
+
+// Allocator exposes the device global-memory allocator so storage engines
+// can place fragments in device memory.
+func (g *GPU) Allocator() *mem.Allocator { return g.alloc }
+
+// FreeMemory returns the unallocated global-memory bytes.
+func (g *GPU) FreeMemory() int64 { return g.alloc.Available() }
+
+// charge advances the simulated clock under the device lock.
+func (g *GPU) charge(ns float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.clock != nil {
+		g.clock.Advance(ns)
+	}
+}
+
+// TransferStats summarizes bus traffic and kernel launches.
+type TransferStats struct {
+	HostToDeviceBytes, DeviceToHostBytes int64
+	HostToDeviceOps, DeviceToHostOps     int64
+	KernelLaunches                       int64
+}
+
+// Stats returns a snapshot of the device counters.
+func (g *GPU) Stats() TransferStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return TransferStats{
+		HostToDeviceBytes: g.h2d, DeviceToHostBytes: g.d2h,
+		HostToDeviceOps: g.h2dOps, DeviceToHostOps: g.d2hOps,
+		KernelLaunches: g.kernels,
+	}
+}
+
+// Buffer is a device-global-memory allocation.
+type Buffer struct {
+	gpu   *GPU
+	block *mem.Block
+	freed bool
+}
+
+// Alloc reserves n bytes of device global memory.
+func (g *GPU) Alloc(n int) (*Buffer, error) {
+	b, err := g.alloc.Alloc(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Buffer{gpu: g, block: b}, nil
+}
+
+// Len returns the buffer size in bytes.
+func (b *Buffer) Len() int {
+	if b.freed {
+		return 0
+	}
+	return b.block.Len()
+}
+
+// Free releases the buffer's device memory. Idempotent.
+func (b *Buffer) Free() {
+	if !b.freed {
+		b.block.Free()
+		b.freed = true
+	}
+}
+
+// bytes returns the backing store or an error if freed.
+func (b *Buffer) bytes() ([]byte, error) {
+	if b.freed {
+		return nil, ErrBufferFreed
+	}
+	return b.block.Bytes(), nil
+}
+
+// CopyToDevice copies src into the buffer at offset off, charging bus time.
+func (g *GPU) CopyToDevice(dst *Buffer, off int, src []byte) error {
+	buf, err := dst.bytes()
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+len(src) > len(buf) {
+		return fmt.Errorf("%w: copy [%d,%d) into %d-byte buffer", ErrShortBuffer, off, off+len(src), len(buf))
+	}
+	copy(buf[off:], src)
+	g.charge(g.prof.TransferNs(int64(len(src))))
+	g.mu.Lock()
+	g.h2d += int64(len(src))
+	g.h2dOps++
+	g.mu.Unlock()
+	return nil
+}
+
+// CopyToHost copies the buffer region [off, off+len(dst)) back to the host.
+func (g *GPU) CopyToHost(dst []byte, src *Buffer, off int) error {
+	buf, err := src.bytes()
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+len(dst) > len(buf) {
+		return fmt.Errorf("%w: copy [%d,%d) from %d-byte buffer", ErrShortBuffer, off, off+len(dst), len(buf))
+	}
+	copy(dst, buf[off:])
+	g.charge(g.prof.TransferNs(int64(len(dst))))
+	g.mu.Lock()
+	g.d2h += int64(len(dst))
+	g.d2hOps++
+	g.mu.Unlock()
+	return nil
+}
+
+// LaunchConfig is the kernel grid geometry: Blocks thread blocks of
+// ThreadsPerBlock threads each, mirroring the paper's configuration of
+// "at least 1024 blocks (each having 512 threads)".
+type LaunchConfig struct {
+	Blocks, ThreadsPerBlock int
+}
+
+// DefaultReduceConfig is the launch geometry the paper used for its
+// parallel reduction kernel.
+func DefaultReduceConfig() LaunchConfig { return LaunchConfig{Blocks: 1024, ThreadsPerBlock: 512} }
+
+// validate checks the launch geometry against device limits; tree
+// reductions additionally require a power-of-two block size.
+func (g *GPU) validate(cfg LaunchConfig, powerOfTwo bool) error {
+	if cfg.Blocks < 1 || cfg.ThreadsPerBlock < 1 {
+		return fmt.Errorf("%w: %d blocks × %d threads", ErrBadLaunch, cfg.Blocks, cfg.ThreadsPerBlock)
+	}
+	if cfg.ThreadsPerBlock > g.prof.MaxThreadsPerBlock {
+		return fmt.Errorf("%w: %d threads/block exceeds device limit %d",
+			ErrBadLaunch, cfg.ThreadsPerBlock, g.prof.MaxThreadsPerBlock)
+	}
+	if powerOfTwo && cfg.ThreadsPerBlock&(cfg.ThreadsPerBlock-1) != 0 {
+		return fmt.Errorf("%w: tree reduction requires power-of-two block size, got %d",
+			ErrBadLaunch, cfg.ThreadsPerBlock)
+	}
+	return nil
+}
+
+// Vec describes a strided element vector in device global memory, the
+// device-side counterpart of layout.ColVector: element i lives at
+// Base + i*Stride and is Size bytes. The backing store is either a device
+// Buffer (Buf) or, for fragments whose blocks were allocated from the
+// device allocator, the raw block bytes (Data); exactly one must be set.
+type Vec struct {
+	Buf    *Buffer
+	Data   []byte
+	Base   int
+	Stride int
+	Size   int
+	Len    int
+}
+
+// check validates the vector against its backing store.
+func (v Vec) check() ([]byte, error) {
+	buf := v.Data
+	if v.Buf != nil {
+		var err error
+		if buf, err = v.Buf.bytes(); err != nil {
+			return nil, err
+		}
+	} else if buf == nil {
+		return nil, fmt.Errorf("%w: vec has no backing store", ErrShortBuffer)
+	}
+	if v.Len < 0 || v.Size <= 0 || v.Stride < v.Size || v.Base < 0 {
+		return nil, fmt.Errorf("%w: vec base=%d stride=%d size=%d len=%d", ErrShortBuffer, v.Base, v.Stride, v.Size, v.Len)
+	}
+	if v.Len > 0 {
+		last := v.Base + (v.Len-1)*v.Stride + v.Size
+		if last > len(buf) {
+			return nil, fmt.Errorf("%w: vec ends at %d, buffer is %d bytes", ErrShortBuffer, last, len(buf))
+		}
+	}
+	return buf, nil
+}
+
+// ReduceSumFloat64 runs a parallel tree reduction summing v's float64
+// elements with the given launch geometry: each block reduces its grid-
+// stride slice in shared memory (tree-style, halving the active threads
+// per step), then a final single-block pass reduces the per-block
+// partials — the structure of the Harris reduction kernel the paper used.
+// Blocks execute concurrently.
+func (g *GPU) ReduceSumFloat64(v Vec, cfg LaunchConfig) (float64, error) {
+	if err := g.validate(cfg, true); err != nil {
+		return 0, err
+	}
+	buf, err := v.check()
+	if err != nil {
+		return 0, err
+	}
+	if v.Size != 8 {
+		return 0, fmt.Errorf("%w: float64 reduction over %d-byte elements", ErrBadLaunch, v.Size)
+	}
+	load := func(i int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[v.Base+i*v.Stride:]))
+	}
+	partials := g.blockReduce(v.Len, cfg, load)
+	// Final pass: one block reduces the per-block partials.
+	total := treeReduce(partials)
+	g.mu.Lock()
+	g.kernels += 2
+	g.mu.Unlock()
+	g.charge(g.prof.ReduceKernelNs(int64(v.Len), v.Size, v.Stride, cfg.Blocks, cfg.ThreadsPerBlock))
+	return total, nil
+}
+
+// ReduceSumInt64 is ReduceSumFloat64 for int64 elements.
+func (g *GPU) ReduceSumInt64(v Vec, cfg LaunchConfig) (int64, error) {
+	if err := g.validate(cfg, true); err != nil {
+		return 0, err
+	}
+	buf, err := v.check()
+	if err != nil {
+		return 0, err
+	}
+	if v.Size != 8 {
+		return 0, fmt.Errorf("%w: int64 reduction over %d-byte elements", ErrBadLaunch, v.Size)
+	}
+	load := func(i int) float64 {
+		return float64(int64(binary.LittleEndian.Uint64(buf[v.Base+i*v.Stride:])))
+	}
+	// Int64 sums in the engines stay well inside float64's exact-integer
+	// range; the shared block reducer keeps one code path.
+	partials := g.blockReduce(v.Len, cfg, load)
+	total := treeReduce(partials)
+	g.mu.Lock()
+	g.kernels += 2
+	g.mu.Unlock()
+	g.charge(g.prof.ReduceKernelNs(int64(v.Len), v.Size, v.Stride, cfg.Blocks, cfg.ThreadsPerBlock))
+	return int64(total), nil
+}
+
+// blockReduce computes per-block partial sums concurrently. Each block b
+// owns the grid-stride element range and reduces it tree-style over a
+// shared-memory image of ThreadsPerBlock slots.
+func (g *GPU) blockReduce(n int, cfg LaunchConfig, load func(int) float64) []float64 {
+	partials := make([]float64, cfg.Blocks)
+	// Cap real concurrency at the SM count: the hardware runs SMs in
+	// parallel and time-slices blocks over them.
+	sem := make(chan struct{}, g.prof.SMs)
+	var wg sync.WaitGroup
+	perBlock := (n + cfg.Blocks - 1) / cfg.Blocks
+	for b := 0; b < cfg.Blocks; b++ {
+		begin := b * perBlock
+		if begin >= n {
+			break
+		}
+		end := begin + perBlock
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(b, begin, end int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			// Shared-memory image: each thread t accumulates elements
+			// begin+t, begin+t+T, ... then the tree reduction folds the
+			// T slots.
+			shared := make([]float64, cfg.ThreadsPerBlock)
+			for t := 0; t < cfg.ThreadsPerBlock; t++ {
+				var acc float64
+				for i := begin + t; i < end; i += cfg.ThreadsPerBlock {
+					acc += load(i)
+				}
+				shared[t] = acc
+			}
+			for s := cfg.ThreadsPerBlock / 2; s > 0; s >>= 1 {
+				for t := 0; t < s; t++ {
+					shared[t] += shared[t+s]
+				}
+			}
+			partials[b] = shared[0]
+		}(b, begin, end)
+	}
+	wg.Wait()
+	return partials
+}
+
+// treeReduce folds a slice pairwise, mirroring the final one-block pass.
+func treeReduce(xs []float64) float64 {
+	buf := append([]float64(nil), xs...)
+	for len(buf) > 1 {
+		half := (len(buf) + 1) / 2
+		for i := 0; i+half < len(buf); i++ {
+			buf[i] += buf[i+half]
+		}
+		buf = buf[:half]
+	}
+	if len(buf) == 0 {
+		return 0
+	}
+	return buf[0]
+}
+
+// Gather copies the records at the given positions (each recordWidth
+// bytes, record i at i*recordWidth) from the buffer into a host slice,
+// charging gather-kernel plus result-transfer time. It is the device-side
+// materialization primitive.
+func (g *GPU) Gather(src *Buffer, recordWidth int, positions []int) ([]byte, error) {
+	buf, err := src.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if recordWidth <= 0 {
+		return nil, fmt.Errorf("%w: record width %d", ErrBadLaunch, recordWidth)
+	}
+	out := make([]byte, len(positions)*recordWidth)
+	for i, p := range positions {
+		off := p * recordWidth
+		if p < 0 || off+recordWidth > len(buf) {
+			return nil, fmt.Errorf("%w: record %d at %d", ErrShortBuffer, p, off)
+		}
+		copy(out[i*recordWidth:], buf[off:off+recordWidth])
+	}
+	g.mu.Lock()
+	g.kernels++
+	g.d2h += int64(len(out))
+	g.d2hOps++
+	g.mu.Unlock()
+	n := int64(src.Len() / recordWidth)
+	g.charge(g.prof.GatherKernelNs(int64(len(positions)), n, recordWidth))
+	g.charge(g.prof.TransferNs(int64(len(out))))
+	return out, nil
+}
+
+// Scatter writes vals[i] (elemSize bytes each, concatenated) to element
+// positions[i] of the strided vector v. It is the device-side bulk-update
+// primitive GPUTx's transaction batches compile into.
+func (g *GPU) Scatter(v Vec, positions []int, vals []byte) error {
+	buf, err := v.check()
+	if err != nil {
+		return err
+	}
+	if len(vals) != len(positions)*v.Size {
+		return fmt.Errorf("%w: %d values bytes for %d positions of size %d",
+			ErrShortBuffer, len(vals), len(positions), v.Size)
+	}
+	for i, p := range positions {
+		if p < 0 || p >= v.Len {
+			return fmt.Errorf("%w: scatter position %d of %d", ErrShortBuffer, p, v.Len)
+		}
+		copy(buf[v.Base+p*v.Stride:v.Base+p*v.Stride+v.Size], vals[i*v.Size:(i+1)*v.Size])
+	}
+	g.mu.Lock()
+	g.kernels++
+	g.mu.Unlock()
+	g.charge(g.prof.KernelLaunchNs + float64(len(positions))*4)
+	return nil
+}

@@ -1,0 +1,133 @@
+// Package engine defines the common contract every surveyed storage
+// engine in internal/engines (and the reference engine in internal/core)
+// implements, plus the shared environment (memory spaces, the simulated
+// device, the simulated clock) engines are constructed against.
+//
+// The contract deliberately mirrors the two access patterns of the
+// paper's experiment: Materialize is the record-centric query Q1
+// generalized to a position list, SumFloat64 is the attribute-centric
+// query Q2. Snapshot exposes the live layout structure so that
+// taxonomy.Classify can derive each engine's Table-1 row from what the
+// engine actually built rather than from hand-written claims.
+package engine
+
+import (
+	"errors"
+
+	"hybridstore/internal/device"
+	"hybridstore/internal/layout"
+	"hybridstore/internal/mem"
+	"hybridstore/internal/perfmodel"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/taxonomy"
+	"hybridstore/internal/workload"
+)
+
+// Shared engine errors. Individual engines may add their own.
+var (
+	// ErrNoSuchRow is returned for reads/updates of rows that do not exist.
+	ErrNoSuchRow = errors.New("engine: no such row")
+	// ErrReadOnly is returned by engines (or engine regions) that reject
+	// writes, e.g. compressed base pages.
+	ErrReadOnly = errors.New("engine: read-only")
+	// ErrUnsupported is returned for operations outside an engine's
+	// designed workload (e.g. updates on the OLAP-only CoGaDB port).
+	ErrUnsupported = errors.New("engine: operation unsupported by this engine")
+)
+
+// Env is the platform an engine runs on: allocators for each memory
+// space, the simulated device, the host profile, and the simulated clock
+// shared by all cost accounting.
+type Env struct {
+	// Host allocates main memory (unlimited).
+	Host *mem.Allocator
+	// Disk allocates secondary storage (unlimited).
+	Disk *mem.Allocator
+	// GPU is the simulated device; engines without device support ignore it.
+	GPU *device.GPU
+	// HostProfile prices host-side work.
+	HostProfile perfmodel.HostProfile
+	// Clock accumulates simulated time across the platform. May be nil.
+	Clock *perfmodel.Clock
+}
+
+// NewEnv builds a default environment: unlimited host and disk, a device
+// with the paper's profile, one shared clock.
+func NewEnv() *Env {
+	clk := &perfmodel.Clock{}
+	return &Env{
+		Host:        mem.NewAllocator(mem.Host, 0),
+		Disk:        mem.NewAllocator(mem.Secondary, 0),
+		GPU:         device.New(perfmodel.DefaultDevice(), clk),
+		HostProfile: perfmodel.DefaultHost(),
+		Clock:       clk,
+	}
+}
+
+// Table is one relation managed by a storage engine.
+type Table interface {
+	// Schema returns the relation schema.
+	Schema() *schema.Schema
+	// Rows returns the visible row count.
+	Rows() uint64
+	// Insert appends a record and returns its position.
+	Insert(rec schema.Record) (uint64, error)
+	// Get materializes the full record at the given position.
+	Get(row uint64) (schema.Record, error)
+	// Update overwrites one field of one record.
+	Update(row uint64, col int, v schema.Value) error
+	// SumFloat64 aggregates a float64 attribute over all records (the
+	// paper's attribute-centric query Q2).
+	SumFloat64(col int) (float64, error)
+	// Materialize resolves a sorted position list to full records (the
+	// paper's record-centric access pattern).
+	Materialize(positions []uint64) ([]schema.Record, error)
+	// Snapshot digests the live physical structure for classification.
+	Snapshot() layout.Snapshot
+	// Free releases all storage held by the table.
+	Free()
+}
+
+// Engine creates tables and declares its behavioural capabilities.
+type Engine interface {
+	// Name is the engine name as printed in the survey table.
+	Name() string
+	// Capabilities declares the behavioural facts the classifier cannot
+	// derive structurally.
+	Capabilities() taxonomy.Capabilities
+	// Create makes a new empty table.
+	Create(name string, s *schema.Schema) (Table, error)
+}
+
+// Adaptive is implemented by tables whose layouts respond to workload
+// changes (the paper's "responsive" adaptability).
+type Adaptive interface {
+	// Observe feeds one workload operation into the table's monitor.
+	Observe(op workload.Op)
+	// Adapt re-organizes the table's layout if the observed pattern asks
+	// for it, returning whether anything changed.
+	Adapt() (bool, error)
+}
+
+// Historian is implemented by tables with historic querying (L-Store).
+type Historian interface {
+	// GetVersion materializes the record at the given position as of
+	// `back` updates ago (0 = current).
+	GetVersion(row uint64, back int) (schema.Record, error)
+}
+
+// Classify derives the engine's survey row from a representative table.
+func Classify(e Engine, t Table) (taxonomy.Classification, error) {
+	return taxonomy.Classify(e.Name(), t.Snapshot(), e.Capabilities())
+}
+
+// Audit classifies the table and validates the result against the
+// taxonomy's consistency rules, returning the classification and any
+// violations.
+func Audit(e Engine, t Table) (taxonomy.Classification, []taxonomy.Violation, error) {
+	c, err := Classify(e, t)
+	if err != nil {
+		return taxonomy.Classification{}, nil, err
+	}
+	return c, taxonomy.Validate(c, t.Snapshot(), e.Capabilities()), nil
+}

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"testing"
+
+	"hybridstore/internal/layout"
+	"hybridstore/internal/mem"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/taxonomy"
+)
+
+func TestNewEnvWiresPlatform(t *testing.T) {
+	env := NewEnv()
+	if env.Host.Space() != mem.Host || env.Host.Capacity() != 0 {
+		t.Error("host allocator misconfigured")
+	}
+	if env.Disk.Space() != mem.Secondary {
+		t.Error("disk allocator misconfigured")
+	}
+	if env.GPU == nil || env.GPU.FreeMemory() <= 0 {
+		t.Error("GPU missing")
+	}
+	if env.Clock == nil {
+		t.Error("clock missing")
+	}
+	if env.HostProfile.Threads != 8 {
+		t.Error("host profile not the paper's")
+	}
+	// The GPU charges the shared clock.
+	buf, err := env.GPU.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer buf.Free()
+	if err := env.GPU.CopyToDevice(buf, 0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if env.Clock.ElapsedNs() <= 0 {
+		t.Error("GPU does not charge the shared clock")
+	}
+}
+
+// fakeEngine is a minimal Engine for Classify/Audit tests.
+type fakeEngine struct{ caps taxonomy.Capabilities }
+
+func (f *fakeEngine) Name() string                        { return "Fake" }
+func (f *fakeEngine) Capabilities() taxonomy.Capabilities { return f.caps }
+func (f *fakeEngine) Create(name string, s *schema.Schema) (Table, error) {
+	return nil, ErrUnsupported
+}
+
+// fakeTable wraps a relation for snapshots.
+type fakeTable struct{ rel *layout.Relation }
+
+func (f *fakeTable) Schema() *schema.Schema { return f.rel.Schema() }
+func (f *fakeTable) Rows() uint64           { return f.rel.Rows() }
+func (f *fakeTable) Insert(schema.Record) (uint64, error) {
+	return 0, ErrUnsupported
+}
+func (f *fakeTable) Get(uint64) (schema.Record, error)             { return nil, ErrNoSuchRow }
+func (f *fakeTable) Update(uint64, int, schema.Value) error        { return ErrReadOnly }
+func (f *fakeTable) SumFloat64(int) (float64, error)               { return 0, ErrUnsupported }
+func (f *fakeTable) Materialize([]uint64) ([]schema.Record, error) { return nil, ErrUnsupported }
+func (f *fakeTable) Snapshot() layout.Snapshot                     { return f.rel.Digest() }
+func (f *fakeTable) Free()                                         {}
+
+func TestClassifyAndAudit(t *testing.T) {
+	s := schema.MustNew(schema.Int64Attr("a"), schema.Int64Attr("b"))
+	rel := layout.NewRelation("r", s)
+	l, err := layout.Horizontal(mem.NewAllocator(mem.Host, 0), "h", s, 10, 5, layout.NSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel.AddLayout(l)
+	e := &fakeEngine{caps: taxonomy.Capabilities{Workloads: taxonomy.HTAP}}
+	tbl := &fakeTable{rel: rel}
+
+	c, err := Classify(e, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "Fake" || c.Flexibility != taxonomy.WeakFlexible {
+		t.Fatalf("classification = %+v", c)
+	}
+
+	_, violations, err := Audit(e, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("violations = %v", violations)
+	}
+}
+
+func TestAuditPropagatesClassifyError(t *testing.T) {
+	s := schema.MustNew(schema.Int64Attr("a"))
+	rel := layout.NewRelation("empty", s)
+	e := &fakeEngine{}
+	if _, _, err := Audit(e, &fakeTable{rel: rel}); err == nil {
+		t.Fatal("empty snapshot classified")
+	}
+}

@@ -1,0 +1,244 @@
+package es2
+
+import (
+	"math"
+	"testing"
+
+	"hybridstore/internal/engine"
+	"hybridstore/internal/layout"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/taxonomy"
+	"hybridstore/internal/workload"
+)
+
+func load(t *testing.T, nodes int, partRows uint64, n uint64) *Table {
+	t.Helper()
+	e := New(engine.NewEnv(), nodes, partRows)
+	tbl, err := e.Create("item", workload.ItemSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	et := tbl.(*Table)
+	if err := workload.Generate(n, workload.Item, func(i uint64, rec schema.Record) error {
+		_, err := et.Insert(rec)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return et
+}
+
+func TestTwoStepFragmentation(t *testing.T) {
+	tbl := load(t, 4, 128, 500)
+	defer tbl.Free()
+	// Step 1 default: all-singleton groups; step 2: 4 stripes of 128.
+	if got := tbl.Partitions(); got != 5*4 {
+		t.Fatalf("partitions = %d, want 20", got)
+	}
+	snap := tbl.Snapshot()
+	if !snap.Layouts[0].Combined {
+		t.Fatal("two-step fragmentation must classify as combined")
+	}
+	// Everything on secondary (DFS) storage.
+	for _, l := range snap.Layouts {
+		for _, f := range l.Fragments {
+			if f.Space != 2 { // mem.Secondary
+				t.Fatalf("fragment space = %v", f.Space)
+			}
+			if f.Lin != layout.DSM {
+				t.Fatalf("fragment lin = %v, want PAX-formatted DSM", f.Lin)
+			}
+		}
+	}
+}
+
+func TestDataBalancedAcrossNodes(t *testing.T) {
+	tbl := load(t, 4, 64, 1024)
+	defer tbl.Free()
+	bytes := tbl.NodeBytes()
+	if len(bytes) != 4 {
+		t.Fatalf("nodes = %d", len(bytes))
+	}
+	var min, max int64 = bytes[0], bytes[0]
+	for _, b := range bytes {
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	if min == 0 {
+		t.Fatalf("a node stores nothing: %v", bytes)
+	}
+	if float64(max) > 2.0*float64(min) {
+		t.Fatalf("placement skewed: %v", bytes)
+	}
+}
+
+func TestDistributedSecondaryIndex(t *testing.T) {
+	tbl := load(t, 3, 128, 400)
+	defer tbl.Free()
+	row, ok := tbl.LookupPK(250)
+	if !ok || row != 250 {
+		t.Fatalf("LookupPK = %d, %v", row, ok)
+	}
+	if _, ok := tbl.LookupPK(9999); ok {
+		t.Fatal("missing key found")
+	}
+	rec, err := tbl.Get(row)
+	if err != nil || !rec.Equal(workload.Item(250)) {
+		t.Fatalf("Get = %v, %v", rec, err)
+	}
+}
+
+func TestFailoverToReplicas(t *testing.T) {
+	tbl := load(t, 3, 64, 600)
+	defer tbl.Free()
+	want := workload.ExpectedItemPriceSum(600)
+	if err := tbl.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	// All rows remain readable and aggregable.
+	sum, err := tbl.SumFloat64(workload.ItemPriceCol)
+	if err != nil || math.Abs(sum-want) > 1e-6 {
+		t.Fatalf("post-failure sum = %v, %v", sum, err)
+	}
+	for _, row := range []uint64{0, 100, 599} {
+		rec, err := tbl.Get(row)
+		if err != nil || !rec.Equal(workload.Item(row)) {
+			t.Fatalf("post-failure Get(%d) = %v, %v", row, rec, err)
+		}
+	}
+	// Writes continue; new partitions avoid the failed node.
+	if _, err := tbl.Insert(workload.Item(600)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.FailNode(9); err == nil {
+		t.Fatal("bad node id accepted")
+	}
+}
+
+func TestAdaptRefragments(t *testing.T) {
+	tbl := load(t, 2, 64, 300)
+	defer tbl.Free()
+	for i := 0; i < 100; i++ {
+		tbl.Observe(workload.Op{Kind: workload.PointRead, Cols: []int{0, 1, 2}})
+	}
+	changed, err := tbl.Adapt()
+	if err != nil || !changed {
+		t.Fatalf("Adapt = %v, %v", changed, err)
+	}
+	if len(tbl.Groups()[0]) != 3 {
+		t.Fatalf("groups = %v", tbl.Groups())
+	}
+	if tbl.Adapts() != 1 {
+		t.Fatalf("Adapts = %d", tbl.Adapts())
+	}
+	// Data intact and a fat DSM (PAX) partition now exists.
+	sum, err := tbl.SumFloat64(workload.ItemPriceCol)
+	if err != nil || math.Abs(sum-workload.ExpectedItemPriceSum(300)) > 1e-6 {
+		t.Fatalf("sum = %v, %v", sum, err)
+	}
+	var fat bool
+	for _, f := range tbl.Snapshot().Layouts[0].Fragments {
+		if f.Fat && f.Lin == layout.DSM {
+			fat = true
+		}
+	}
+	if !fat {
+		t.Fatal("no PAX-formatted fat partition after regrouping")
+	}
+	// Stable afterwards.
+	changed, err = tbl.Adapt()
+	if err != nil || changed {
+		t.Fatalf("second Adapt = %v, %v", changed, err)
+	}
+}
+
+func TestClusterDistributedLocality(t *testing.T) {
+	tbl := load(t, 2, 64, 100)
+	defer tbl.Free()
+	e := New(engine.NewEnv(), 2, 64)
+	c, err := engine.Classify(e, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Locality != taxonomy.Distributed {
+		t.Fatalf("locality = %v", c.Locality)
+	}
+}
+
+func TestMinimumNodes(t *testing.T) {
+	e := New(engine.NewEnv(), 0, 0)
+	if e.nodes != 2 || e.partRows != DefaultPartitionRows {
+		t.Fatalf("defaults = %d nodes, %d rows", e.nodes, e.partRows)
+	}
+}
+
+func TestElasticityAddNodeAndRebalance(t *testing.T) {
+	tbl := load(t, 2, 64, 1024)
+	defer tbl.Free()
+	want := workload.ExpectedItemPriceSum(1024)
+
+	id := tbl.AddNode()
+	if id != 2 || tbl.Nodes() != 3 {
+		t.Fatalf("AddNode = %d, nodes = %d", id, tbl.Nodes())
+	}
+	before := tbl.NodeBytes()
+	if before[2] != 0 {
+		t.Fatal("fresh node should be empty")
+	}
+	moved, err := tbl.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("rebalance moved nothing")
+	}
+	after := tbl.NodeBytes()
+	if after[2] == 0 {
+		t.Fatalf("new node still empty after rebalance: %v", after)
+	}
+	var min, max int64 = after[0], after[0]
+	for _, b := range after {
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	if float64(max) > 2.5*float64(min+1) {
+		t.Fatalf("rebalance left skew: %v", after)
+	}
+	// Primary and replica never co-locate.
+	for _, p := range tbl.parts {
+		if p.primary != p.replica && p.primaryNode == p.replicaNode {
+			t.Fatalf("partition co-located on node %d", p.primaryNode)
+		}
+	}
+	// Data intact.
+	sum, err := tbl.SumFloat64(workload.ItemPriceCol)
+	if err != nil || math.Abs(sum-want) > 1e-6 {
+		t.Fatalf("post-rebalance sum = %v, %v", sum, err)
+	}
+	rec, err := tbl.Get(777)
+	if err != nil || !rec.Equal(workload.Item(777)) {
+		t.Fatalf("post-rebalance Get = %v, %v", rec, err)
+	}
+	// New inserts use the grown cluster.
+	for i := uint64(1024); i < 1600; i++ {
+		if _, err := tbl.Insert(workload.Item(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Failover still works after elasticity.
+	if err := tbl.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	sum, err = tbl.SumFloat64(workload.ItemPriceCol)
+	if err != nil || math.Abs(sum-workload.ExpectedItemPriceSum(1600)) > 1e-6 {
+		t.Fatalf("post-failure sum = %v, %v", sum, err)
+	}
+}

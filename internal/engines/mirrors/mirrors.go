@@ -1,0 +1,141 @@
+// Package mirrors implements Fractured Mirrors (Ramamurthy, DeWitt, Su,
+// 2002; paper Section IV-A.2): a replication-based, inflexible,
+// multi-layout engine holding two logical copies of each relation — one
+// NSM-linearized, one DSM-linearized — rather than two identical physical
+// copies. Writes go to both mirrors; reads route by access pattern (the
+// common table base picks the NSM mirror for record-centric access and
+// the DSM mirror for attribute-centric scans via its cost model). Pages
+// of both mirrors are striped round-robin over the simulated disks so
+// each disk carries a full copy of the relation for fault tolerance —
+// the scheme's eponymous "fractured" mirroring.
+package mirrors
+
+import (
+	"fmt"
+
+	"hybridstore/internal/engine"
+	"hybridstore/internal/engines/common"
+	"hybridstore/internal/layout"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/taxonomy"
+)
+
+// Engine is the Fractured Mirrors storage engine.
+type Engine struct {
+	env   *engine.Env
+	disks int
+}
+
+// New creates the engine with the given simulated disk count (minimum 2).
+func New(env *engine.Env, disks int) *Engine {
+	if disks < 2 {
+		disks = 2
+	}
+	return &Engine{env: env, disks: disks}
+}
+
+// Name returns the survey name.
+func (e *Engine) Name() string { return "Fractured Mirrors" }
+
+// Capabilities declares the paper's Table-1 row.
+func (e *Engine) Capabilities() taxonomy.Capabilities {
+	return taxonomy.Capabilities{
+		BuiltInMultiLayout: true,
+		FixedFragmentation: true, // one full-relation fragment per mirror
+		Scheme:             taxonomy.SchemeReplication,
+		Processors:         taxonomy.CPUOnly,
+		Workloads:          taxonomy.HTAP,
+		PrimaryDeclared:    taxonomy.LocSecondary,
+		HasPrimaryDeclared: true,
+		Year:               2002,
+	}
+}
+
+// Table is a fractured-mirrors relation.
+type Table struct {
+	*common.Table
+	nsm, dsm *layout.Fragment
+	disks    int
+	// stripes[d] counts the pages assigned to disk d (both mirrors are
+	// spread over all disks, skew-balanced).
+	stripes  []int
+	pageRows uint64
+}
+
+// Create makes an empty mirrored relation.
+func (e *Engine) Create(name string, s *schema.Schema) (engine.Table, error) {
+	rel := layout.NewRelation(name, s)
+	const initialCap = 64
+	nsmLayout := layout.NewLayout("nsm-mirror", s)
+	dsmLayout := layout.NewLayout("dsm-mirror", s)
+	nsm, err := layout.NewFragment(e.env.Host, s, layout.AllCols(s), layout.RowRange{Begin: 0, End: initialCap}, layout.NSM)
+	if err != nil {
+		return nil, fmt.Errorf("mirrors: %w", err)
+	}
+	dsm, err := layout.NewFragment(e.env.Host, s, layout.AllCols(s), layout.RowRange{Begin: 0, End: initialCap}, layout.DSM)
+	if err != nil {
+		nsm.Free()
+		return nil, fmt.Errorf("mirrors: %w", err)
+	}
+	nsmLayout.Add(nsm)
+	dsmLayout.Add(dsm)
+	rel.AddLayout(nsmLayout)
+	rel.AddLayout(dsmLayout)
+	t := &Table{
+		Table:    common.NewTable(e.env, rel),
+		nsm:      nsm,
+		dsm:      dsm,
+		disks:    e.disks,
+		stripes:  make([]int, e.disks),
+		pageRows: 256,
+	}
+	t.Append = t.appendRecord
+	return t, nil
+}
+
+// appendRecord writes the record into both mirrors, growing them as
+// needed, and assigns newly started pages to disks round-robin.
+func (t *Table) appendRecord(row uint64, rec schema.Record) error {
+	var err error
+	if t.nsm.Len() == t.nsm.Cap() {
+		grown, gerr := t.nsm.Grow(t.Env.Host, t.nsm.Cap()*2)
+		if gerr != nil {
+			return fmt.Errorf("mirrors: growing NSM mirror: %w", gerr)
+		}
+		if err = t.Rel.Layouts()[0].Replace(t.nsm, grown); err != nil {
+			return err
+		}
+		t.nsm = grown
+	}
+	if t.dsm.Len() == t.dsm.Cap() {
+		grown, gerr := t.dsm.Grow(t.Env.Host, t.dsm.Cap()*2)
+		if gerr != nil {
+			return fmt.Errorf("mirrors: growing DSM mirror: %w", gerr)
+		}
+		if err = t.Rel.Layouts()[1].Replace(t.dsm, grown); err != nil {
+			return err
+		}
+		t.dsm = grown
+	}
+	if err := common.AppendToFragments(rec, t.nsm, t.dsm); err != nil {
+		return err
+	}
+	// Page-level striping: every pageRows records start a new page of
+	// each mirror on the next disk.
+	if row%t.pageRows == 0 {
+		t.stripes[int(row/t.pageRows)%t.disks] += 2 // one page per mirror
+	}
+	return nil
+}
+
+// DiskStripes returns the per-disk page counts; balanced striping keeps
+// them within one page of each other.
+func (t *Table) DiskStripes() []int {
+	return append([]int(nil), t.stripes...)
+}
+
+// MirrorLinearizations reports the two mirrors' linearizations, for
+// classification tests.
+func (t *Table) MirrorLinearizations() (layout.Linearization, layout.Linearization) {
+	return t.nsm.Lin(), t.dsm.Lin()
+}

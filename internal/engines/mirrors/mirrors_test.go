@@ -1,0 +1,130 @@
+package mirrors
+
+import (
+	"math"
+	"testing"
+
+	"hybridstore/internal/engine"
+	"hybridstore/internal/layout"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/workload"
+)
+
+func load(t *testing.T, disks int, n uint64) *Table {
+	t.Helper()
+	e := New(engine.NewEnv(), disks)
+	tbl, err := e.Create("item", workload.ItemSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := tbl.(*Table)
+	if err := workload.Generate(n, workload.Item, func(i uint64, rec schema.Record) error {
+		_, err := mt.Insert(rec)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return mt
+}
+
+func TestTwoMirrorsWithOppositeLinearization(t *testing.T) {
+	tbl := load(t, 4, 500)
+	defer tbl.Free()
+	nsm, dsm := tbl.MirrorLinearizations()
+	if nsm != layout.NSM || dsm != layout.DSM {
+		t.Fatalf("mirrors = %v/%v", nsm, dsm)
+	}
+	snap := tbl.Snapshot()
+	if len(snap.Layouts) != 2 {
+		t.Fatalf("layouts = %d", len(snap.Layouts))
+	}
+	for _, l := range snap.Layouts {
+		if len(l.Fragments) != 1 {
+			t.Fatalf("mirror %q has %d fragments (inflexible = 1)", l.Name, len(l.Fragments))
+		}
+	}
+}
+
+func TestMirrorsStayCoherentUnderWrites(t *testing.T) {
+	tbl := load(t, 2, 300)
+	defer tbl.Free()
+	if err := tbl.Update(7, workload.ItemPriceCol, schema.FloatValue(123)); err != nil {
+		t.Fatal(err)
+	}
+	// Both mirrors must hold the new value.
+	for i, l := range tbl.Rel.Layouts() {
+		f := l.Fragments()[0]
+		v, err := f.Get(7, workload.ItemPriceCol)
+		if err != nil || v.F != 123 {
+			t.Fatalf("mirror %d value = %v, %v", i, v, err)
+		}
+	}
+}
+
+func TestQueryRoutingByAccessPattern(t *testing.T) {
+	tbl := load(t, 2, 500)
+	defer tbl.Free()
+	// Attribute-centric scans route to the DSM mirror.
+	scan := tbl.LayoutForScan(workload.ItemPriceCol)
+	if scan.Name() != "dsm-mirror" {
+		t.Fatalf("scan routed to %q", scan.Name())
+	}
+	// Record-centric materialization routes to the NSM mirror.
+	mat := tbl.LayoutForMaterialize()
+	if mat.Name() != "nsm-mirror" {
+		t.Fatalf("materialize routed to %q", mat.Name())
+	}
+	// Both give the right answers.
+	sum, err := tbl.SumFloat64(workload.ItemPriceCol)
+	if err != nil || math.Abs(sum-workload.ExpectedItemPriceSum(500)) > 1e-6 {
+		t.Fatalf("sum = %v, %v", sum, err)
+	}
+	rec, err := tbl.Get(123)
+	if err != nil || !rec.Equal(workload.Item(123)) {
+		t.Fatalf("Get = %v, %v", rec, err)
+	}
+}
+
+func TestDiskStripingBalanced(t *testing.T) {
+	tbl := load(t, 4, 3000) // pageRows=256 → 12 page starts
+	defer tbl.Free()
+	stripes := tbl.DiskStripes()
+	if len(stripes) != 4 {
+		t.Fatalf("disks = %d", len(stripes))
+	}
+	min, max := stripes[0], stripes[0]
+	total := 0
+	for _, s := range stripes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+		total += s
+	}
+	if total == 0 {
+		t.Fatal("no pages striped")
+	}
+	if max-min > 2 {
+		t.Fatalf("striping skewed: %v", stripes)
+	}
+}
+
+func TestMinimumDisks(t *testing.T) {
+	e := New(engine.NewEnv(), 0)
+	if e.disks != 2 {
+		t.Fatalf("disks = %d, want clamped to 2", e.disks)
+	}
+}
+
+func TestGrowthPreservesBothMirrors(t *testing.T) {
+	tbl := load(t, 2, 1000) // forces several growth cycles from cap 64
+	defer tbl.Free()
+	for _, row := range []uint64{0, 63, 64, 999} {
+		rec, err := tbl.Get(row)
+		if err != nil || !rec.Equal(workload.Item(row)) {
+			t.Fatalf("Get(%d) = %v, %v", row, rec, err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package pax
+
+import (
+	"math"
+	"testing"
+
+	"hybridstore/internal/engine"
+	"hybridstore/internal/layout"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/workload"
+)
+
+func load(t *testing.T, pageBytes int, n uint64) *Table {
+	t.Helper()
+	e := New(engine.NewEnv(), pageBytes)
+	tbl, err := e.Create("item", workload.ItemSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := tbl.(*Table)
+	if err := workload.Generate(n, workload.Item, func(i uint64, rec schema.Record) error {
+		_, err := pt.Insert(rec)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return pt
+}
+
+func TestPageGeometry(t *testing.T) {
+	tbl := load(t, 8<<10, 1000)
+	defer tbl.Free()
+	// 8192 / 28 = 292 records per page.
+	if got := tbl.RowsPerPage(); got != 292 {
+		t.Fatalf("RowsPerPage = %d, want 292", got)
+	}
+	// ceil(1000/292) = 4 pages.
+	if got := tbl.Pages(); got != 4 {
+		t.Fatalf("Pages = %d, want 4", got)
+	}
+}
+
+func TestPagesAreDSMFixedFat(t *testing.T) {
+	tbl := load(t, 4<<10, 300)
+	defer tbl.Free()
+	snap := tbl.Snapshot()
+	if len(snap.Layouts) != 1 {
+		t.Fatalf("layouts = %d", len(snap.Layouts))
+	}
+	for _, f := range snap.Layouts[0].Fragments {
+		if !f.Fat || f.Lin != layout.DSM {
+			t.Fatalf("page fragment = %+v, want fat DSM", f)
+		}
+		if len(f.Cols) != 5 {
+			t.Fatalf("page covers %d cols", len(f.Cols))
+		}
+	}
+	if !snap.Layouts[0].HorizontalOnly {
+		t.Fatal("PAX layout should be purely horizontal")
+	}
+}
+
+func TestMinipageContiguity(t *testing.T) {
+	// Within one page, a column's fields are contiguous (the minipage);
+	// across pages they are not — the defining PAX property.
+	tbl := load(t, 4<<10, 300)
+	defer tbl.Free()
+	l, err := tbl.Rel.Primary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := l.Fragments()[0]
+	v, err := f.ColVector(workload.ItemPriceCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Contiguous() {
+		t.Fatal("minipage not contiguous")
+	}
+}
+
+func TestRejectsTinyPages(t *testing.T) {
+	e := New(engine.NewEnv(), 32) // 32 bytes < 2 records
+	if _, err := e.Create("item", workload.ItemSchema()); err == nil {
+		t.Fatal("tiny page accepted")
+	}
+}
+
+func TestDefaultPageSize(t *testing.T) {
+	e := New(engine.NewEnv(), 0)
+	if e.pageBytes != DefaultPageBytes {
+		t.Fatalf("pageBytes = %d", e.pageBytes)
+	}
+}
+
+func TestSumAcrossPages(t *testing.T) {
+	tbl := load(t, 4<<10, 777)
+	defer tbl.Free()
+	sum, err := tbl.SumFloat64(workload.ItemPriceCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum-workload.ExpectedItemPriceSum(777)) > 1e-6 {
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	tbl := load(t, 4<<10, 300)
+	defer tbl.Free()
+	if err := tbl.Update(299, workload.ItemPriceCol, schema.FloatValue(5)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tbl.Get(299)
+	if err != nil || rec[workload.ItemPriceCol].F != 5 {
+		t.Fatalf("Get = %v, %v", rec, err)
+	}
+}

@@ -1,0 +1,271 @@
+// Package exec implements the bulk-style operators of the paper's
+// experiment (Section II-B): attribute-centric aggregation (query Q2),
+// record-centric materialization by position list (query Q1 generalized),
+// and selection producing sorted position lists, under the two host
+// threading policies the paper compares — single-threaded sequential
+// execution with no thread management at all, and multi-threaded
+// execution with blockwise partitioning of the input positions.
+//
+// Operators do real work over fragment bytes in any linearization (via
+// layout.ColVector) and, when configured with a simulated clock, also
+// charge the calibrated platform cost from internal/perfmodel so harness
+// runs report Figure-2-shaped timings regardless of this container's
+// single CPU. A Volcano-style row iterator is included for the
+// tuple-at-a-time comparison discussed in Section II-A.
+package exec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"hybridstore/internal/layout"
+	"hybridstore/internal/perfmodel"
+)
+
+// Policy is the host threading policy.
+type Policy uint8
+
+// Threading policies.
+const (
+	// SingleThreaded runs sequentially on the calling goroutine with no
+	// thread management involved at all.
+	SingleThreaded Policy = iota
+	// MultiThreaded partitions the input blockwise over Config.Threads
+	// workers: each worker operates on one exclusive, subsequent range of
+	// input positions.
+	MultiThreaded
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case SingleThreaded:
+		return "single-threaded"
+	case MultiThreaded:
+		return "multi-threaded"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// Config selects the execution policy and, optionally, simulated-time
+// accounting: when Clock is non-nil each operator charges the calibrated
+// cost of its work on the Host profile.
+type Config struct {
+	// Policy is the threading policy.
+	Policy Policy
+	// Threads is the worker count for MultiThreaded (the paper fixes 8).
+	Threads int
+	// Host is the platform profile used for simulated-time charging.
+	Host perfmodel.HostProfile
+	// Clock, when non-nil, accumulates simulated time.
+	Clock *perfmodel.Clock
+}
+
+// Single returns a sequential configuration with no time accounting.
+func Single() Config { return Config{Policy: SingleThreaded} }
+
+// Multi returns a blockwise multi-threaded configuration with the paper's
+// eight workers and no time accounting.
+func Multi() Config { return Config{Policy: MultiThreaded, Threads: 8} }
+
+// threads returns the effective worker count.
+func (c Config) threads() int {
+	if c.Policy != MultiThreaded || c.Threads < 1 {
+		return 1
+	}
+	return c.Threads
+}
+
+// Exec errors.
+var (
+	// ErrBadColumn is returned when an operator is asked for an attribute
+	// the fragments do not cover, or of the wrong kind.
+	ErrBadColumn = errors.New("exec: bad column")
+	// ErrGap is returned when a column view has uncovered rows.
+	ErrGap = errors.New("exec: rows not covered by layout")
+)
+
+// Piece is one contiguous run of a column: the rows it covers and the raw
+// strided vector holding them.
+type Piece struct {
+	// Rows is the covered row range.
+	Rows layout.RowRange
+	// Vec is the raw strided access to the fields.
+	Vec layout.ColVector
+}
+
+// ColumnView assembles the pieces covering attribute col for rows
+// [0, rows) from a layout, choosing the first covering fragment for each
+// run (engines with overlapping layouts route reads the same way). It
+// fails with ErrGap when a row is uncovered.
+func ColumnView(l *layout.Layout, col int, rows uint64) ([]Piece, error) {
+	var out []Piece
+	for row := uint64(0); row < rows; {
+		f, err := l.FragmentAt(row, col)
+		if err != nil {
+			return nil, fmt.Errorf("%w: row %d col %d", ErrGap, row, col)
+		}
+		v, err := f.ColVector(col)
+		if err != nil {
+			return nil, err
+		}
+		begin := row
+		end := f.Rows().End
+		if end > rows {
+			end = rows
+		}
+		// Clip the vector to [begin,end) within the fragment.
+		skip := int(begin - f.Rows().Begin)
+		v.Base += skip * v.Stride
+		v.Len = int(end - begin)
+		stored := f.Len() - skip
+		if v.Len > stored {
+			v.Len = stored
+		}
+		if v.Len < 0 {
+			v.Len = 0
+		}
+		out = append(out, Piece{Rows: layout.RowRange{Begin: begin, End: begin + uint64(v.Len)}, Vec: v})
+		if uint64(v.Len) < end-begin {
+			return nil, fmt.Errorf("%w: rows [%d,%d) allocated but not filled",
+				ErrGap, begin+uint64(v.Len), end)
+		}
+		row = end
+	}
+	return out, nil
+}
+
+// totalLen sums piece lengths.
+func totalLen(pieces []Piece) int {
+	n := 0
+	for _, p := range pieces {
+		n += p.Vec.Len
+	}
+	return n
+}
+
+// chargeScan prices an attribute-centric scan on the configured profile.
+func (c Config) chargeScan(pieces []Piece) {
+	if c.Clock == nil {
+		return
+	}
+	var ns float64
+	for _, p := range pieces {
+		ns += scanPieceNs(c.Host, p, 1) // bandwidth/ALU term once per piece
+	}
+	// Thread management is paid once per operator invocation, and the
+	// streaming term divides across workers.
+	if th := c.threads(); th > 1 {
+		ns = ns/float64(th) + c.Host.ThreadMgmtNs(th)
+	}
+	c.Clock.Advance(ns)
+}
+
+// scanPieceNs prices one piece single-threaded.
+func scanPieceNs(h perfmodel.HostProfile, p Piece, threads int) float64 {
+	return h.ScanSumNs(int64(p.Vec.Len), p.Vec.Size, p.Vec.Stride, threads)
+}
+
+// SumFloat64 sums a float64 column given as pieces. Under MultiThreaded
+// the element positions are partitioned blockwise across workers.
+func SumFloat64(cfg Config, pieces []Piece) (float64, error) {
+	for _, p := range pieces {
+		if p.Vec.Size != 8 {
+			return 0, fmt.Errorf("%w: float64 sum over %d-byte fields", ErrBadColumn, p.Vec.Size)
+		}
+	}
+	sum := parallelSum(cfg, pieces, func(v layout.ColVector, from, to int) float64 {
+		var acc float64
+		off := v.Base + from*v.Stride
+		for i := from; i < to; i++ {
+			acc += math.Float64frombits(binary.LittleEndian.Uint64(v.Data[off:]))
+			off += v.Stride
+		}
+		return acc
+	})
+	cfg.chargeScan(pieces)
+	return sum, nil
+}
+
+// SumInt64 sums an int64 column given as pieces.
+func SumInt64(cfg Config, pieces []Piece) (int64, error) {
+	for _, p := range pieces {
+		if p.Vec.Size != 8 {
+			return 0, fmt.Errorf("%w: int64 sum over %d-byte fields", ErrBadColumn, p.Vec.Size)
+		}
+	}
+	sum := parallelSum(cfg, pieces, func(v layout.ColVector, from, to int) float64 {
+		var acc int64
+		off := v.Base + from*v.Stride
+		for i := from; i < to; i++ {
+			acc += int64(binary.LittleEndian.Uint64(v.Data[off:]))
+			off += v.Stride
+		}
+		return float64(acc)
+	})
+	cfg.chargeScan(pieces)
+	return int64(sum), nil
+}
+
+// parallelSum folds pieces with the configured policy. The partial kernel
+// receives a vector and a [from,to) element range and returns its partial
+// sum as float64 (exact for the int64 magnitudes the engines produce).
+func parallelSum(cfg Config, pieces []Piece, kernel func(v layout.ColVector, from, to int) float64) float64 {
+	th := cfg.threads()
+	if th == 1 {
+		var acc float64
+		for _, p := range pieces {
+			acc += kernel(p.Vec, 0, p.Vec.Len)
+		}
+		return acc
+	}
+	// Blockwise partitioning of the global position space.
+	total := totalLen(pieces)
+	per := (total + th - 1) / th
+	partials := make([]float64, th)
+	var wg sync.WaitGroup
+	for w := 0; w < th; w++ {
+		gFrom := w * per
+		if gFrom >= total {
+			break
+		}
+		gTo := gFrom + per
+		if gTo > total {
+			gTo = total
+		}
+		wg.Add(1)
+		go func(w, gFrom, gTo int) {
+			defer wg.Done()
+			var acc float64
+			base := 0
+			for _, p := range pieces {
+				pFrom, pTo := gFrom-base, gTo-base
+				base += p.Vec.Len
+				if pTo <= 0 {
+					break
+				}
+				if pFrom < 0 {
+					pFrom = 0
+				}
+				if pFrom >= p.Vec.Len {
+					continue
+				}
+				if pTo > p.Vec.Len {
+					pTo = p.Vec.Len
+				}
+				acc += kernel(p.Vec, pFrom, pTo)
+			}
+			partials[w] = acc
+		}(w, gFrom, gTo)
+	}
+	wg.Wait()
+	var acc float64
+	for _, x := range partials {
+		acc += x
+	}
+	return acc
+}

@@ -1,0 +1,135 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// SelectFloat64 scans a float64 column view and returns the sorted global
+// positions whose value satisfies pred. Selections feed the position
+// lists that record-centric operators consume (the paper measures
+// materialization "right after the output — sorted position lists — of
+// the last preceding join operator is available"; selection is the
+// equivalent producer in this library).
+func SelectFloat64(cfg Config, pieces []Piece, pred func(float64) bool) ([]uint64, error) {
+	for _, p := range pieces {
+		if p.Vec.Size != 8 {
+			return nil, fmt.Errorf("%w: float64 selection over %d-byte fields", ErrBadColumn, p.Vec.Size)
+		}
+	}
+	th := cfg.threads()
+	var out []uint64
+	if th == 1 {
+		for _, p := range pieces {
+			v := p.Vec
+			off := v.Base
+			for i := 0; i < v.Len; i++ {
+				if pred(math.Float64frombits(binary.LittleEndian.Uint64(v.Data[off:]))) {
+					out = append(out, p.Rows.Begin+uint64(i))
+				}
+				off += v.Stride
+			}
+		}
+	} else {
+		parts := make([][]uint64, len(pieces))
+		var wg sync.WaitGroup
+		for pi := range pieces {
+			wg.Add(1)
+			go func(pi int) {
+				defer wg.Done()
+				p := pieces[pi]
+				v := p.Vec
+				off := v.Base
+				for i := 0; i < v.Len; i++ {
+					if pred(math.Float64frombits(binary.LittleEndian.Uint64(v.Data[off:]))) {
+						parts[pi] = append(parts[pi], p.Rows.Begin+uint64(i))
+					}
+					off += v.Stride
+				}
+			}(pi)
+		}
+		wg.Wait()
+		for _, part := range parts {
+			out = append(out, part...)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	cfg.chargeScan(pieces)
+	return out, nil
+}
+
+// SelectInt64 is SelectFloat64 for int64 columns.
+func SelectInt64(cfg Config, pieces []Piece, pred func(int64) bool) ([]uint64, error) {
+	for _, p := range pieces {
+		if p.Vec.Size != 8 {
+			return nil, fmt.Errorf("%w: int64 selection over %d-byte fields", ErrBadColumn, p.Vec.Size)
+		}
+	}
+	var out []uint64
+	for _, p := range pieces {
+		v := p.Vec
+		off := v.Base
+		for i := 0; i < v.Len; i++ {
+			if pred(int64(binary.LittleEndian.Uint64(v.Data[off:]))) {
+				out = append(out, p.Rows.Begin+uint64(i))
+			}
+			off += v.Stride
+		}
+	}
+	cfg.chargeScan(pieces)
+	return out, nil
+}
+
+// CountFloat64 counts the elements satisfying pred without building a
+// position list.
+func CountFloat64(cfg Config, pieces []Piece, pred func(float64) bool) (int64, error) {
+	for _, p := range pieces {
+		if p.Vec.Size != 8 {
+			return 0, fmt.Errorf("%w: float64 count over %d-byte fields", ErrBadColumn, p.Vec.Size)
+		}
+	}
+	var n int64
+	for _, p := range pieces {
+		v := p.Vec
+		off := v.Base
+		for i := 0; i < v.Len; i++ {
+			if pred(math.Float64frombits(binary.LittleEndian.Uint64(v.Data[off:]))) {
+				n++
+			}
+			off += v.Stride
+		}
+	}
+	cfg.chargeScan(pieces)
+	return n, nil
+}
+
+// MinMaxFloat64 returns the minimum and maximum of a float64 column view.
+// It returns ok=false for an empty view.
+func MinMaxFloat64(cfg Config, pieces []Piece) (min, max float64, ok bool, err error) {
+	for _, p := range pieces {
+		if p.Vec.Size != 8 {
+			return 0, 0, false, fmt.Errorf("%w: float64 minmax over %d-byte fields", ErrBadColumn, p.Vec.Size)
+		}
+	}
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, p := range pieces {
+		v := p.Vec
+		off := v.Base
+		for i := 0; i < v.Len; i++ {
+			x := math.Float64frombits(binary.LittleEndian.Uint64(v.Data[off:]))
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+			ok = true
+			off += v.Stride
+		}
+	}
+	cfg.chargeScan(pieces)
+	return min, max, ok, nil
+}

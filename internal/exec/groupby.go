@@ -1,0 +1,144 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// GroupResult is one group of a grouped aggregation.
+type GroupResult struct {
+	// Key is the grouping value (int64-widened).
+	Key int64
+	// Sum is the aggregated float64 total.
+	Sum float64
+	// Count is the group cardinality.
+	Count int64
+}
+
+// GroupSumFloat64 computes SELECT key, SUM(val), COUNT(*) GROUP BY key
+// over two parallel column views ("mostly aggregations and groupings are
+// executed on read-only data" is the paper's characterization of the
+// OLAP side, Section II-A). keys must be an int64 or int32 column view,
+// vals a float64 one; both must cover the same positions. Results come
+// back sorted by key. Under MultiThreaded, workers build partial tables
+// over blockwise partitions which are then merged.
+func GroupSumFloat64(cfg Config, keys, vals []Piece) ([]GroupResult, error) {
+	if err := checkAligned(keys, vals); err != nil {
+		return nil, err
+	}
+	for _, p := range vals {
+		if p.Vec.Size != 8 {
+			return nil, fmt.Errorf("%w: float64 aggregate over %d-byte fields", ErrBadColumn, p.Vec.Size)
+		}
+	}
+	for _, p := range keys {
+		if p.Vec.Size != 8 && p.Vec.Size != 4 {
+			return nil, fmt.Errorf("%w: group key of %d bytes", ErrBadColumn, p.Vec.Size)
+		}
+	}
+
+	th := cfg.threads()
+	tables := make([]map[int64]*GroupResult, th)
+	if th == 1 {
+		tables[0] = groupPartial(keys, vals, 0, totalLen(keys))
+	} else {
+		total := totalLen(keys)
+		per := (total + th - 1) / th
+		var wg sync.WaitGroup
+		for w := 0; w < th; w++ {
+			from := w * per
+			if from >= total {
+				break
+			}
+			to := from + per
+			if to > total {
+				to = total
+			}
+			wg.Add(1)
+			go func(w, from, to int) {
+				defer wg.Done()
+				tables[w] = groupPartial(keys, vals, from, to)
+			}(w, from, to)
+		}
+		wg.Wait()
+	}
+
+	merged := make(map[int64]*GroupResult)
+	for _, t := range tables {
+		for k, g := range t {
+			if m, ok := merged[k]; ok {
+				m.Sum += g.Sum
+				m.Count += g.Count
+			} else {
+				merged[k] = g
+			}
+		}
+	}
+	out := make([]GroupResult, 0, len(merged))
+	for _, g := range merged {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	cfg.chargeScan(keys)
+	cfg.chargeScan(vals)
+	return out, nil
+}
+
+// groupPartial builds a hash aggregate over global positions [from, to).
+func groupPartial(keys, vals []Piece, from, to int) map[int64]*GroupResult {
+	table := make(map[int64]*GroupResult)
+	base := 0
+	for pi := range keys {
+		kp, vp := keys[pi].Vec, vals[pi].Vec
+		pFrom, pTo := from-base, to-base
+		base += kp.Len
+		if pTo <= 0 {
+			break
+		}
+		if pFrom < 0 {
+			pFrom = 0
+		}
+		if pFrom >= kp.Len {
+			continue
+		}
+		if pTo > kp.Len {
+			pTo = kp.Len
+		}
+		kOff := kp.Base + pFrom*kp.Stride
+		vOff := vp.Base + pFrom*vp.Stride
+		for i := pFrom; i < pTo; i++ {
+			var key int64
+			if kp.Size == 8 {
+				key = int64(binary.LittleEndian.Uint64(kp.Data[kOff:]))
+			} else {
+				key = int64(int32(binary.LittleEndian.Uint32(kp.Data[kOff:])))
+			}
+			val := math.Float64frombits(binary.LittleEndian.Uint64(vp.Data[vOff:]))
+			if g, ok := table[key]; ok {
+				g.Sum += val
+				g.Count++
+			} else {
+				table[key] = &GroupResult{Key: key, Sum: val, Count: 1}
+			}
+			kOff += kp.Stride
+			vOff += vp.Stride
+		}
+	}
+	return table
+}
+
+// checkAligned verifies both views cover identical position runs.
+func checkAligned(keys, vals []Piece) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("%w: %d key pieces vs %d value pieces", ErrBadColumn, len(keys), len(vals))
+	}
+	for i := range keys {
+		if keys[i].Rows != vals[i].Rows || keys[i].Vec.Len != vals[i].Vec.Len {
+			return fmt.Errorf("%w: piece %d misaligned (%v vs %v)", ErrBadColumn, i, keys[i].Rows, vals[i].Rows)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// JoinPair is one match of an equi-join: the global positions of the
+// joined rows on each side.
+type JoinPair struct {
+	// Build and Probe are row positions in the build-side and probe-side
+	// relations.
+	Build, Probe uint64
+}
+
+// HashJoin computes the equi-join of two integer key columns with the
+// classic two-phase hash join: the build side is hashed, the probe side
+// streamed. The output is the sorted (by probe, then build) position-pair
+// list — exactly the "sorted position lists" the paper's experiment
+// consumes from "the last directly preceding join operator" before
+// materializing or aggregating (Section II-B). Both views must be int64
+// or int32 columns; duplicate keys join pairwise.
+func HashJoin(cfg Config, build, probe []Piece) ([]JoinPair, error) {
+	for _, side := range [][]Piece{build, probe} {
+		for _, p := range side {
+			if p.Vec.Size != 8 && p.Vec.Size != 4 {
+				return nil, fmt.Errorf("%w: join key of %d bytes", ErrBadColumn, p.Vec.Size)
+			}
+		}
+	}
+	// Build phase: key → build positions.
+	table := make(map[int64][]uint64)
+	for _, p := range build {
+		v := p.Vec
+		off := v.Base
+		for i := 0; i < v.Len; i++ {
+			k := readKey(v.Data[off:], v.Size)
+			table[k] = append(table[k], p.Rows.Begin+uint64(i))
+			off += v.Stride
+		}
+	}
+	// Probe phase.
+	var out []JoinPair
+	for _, p := range probe {
+		v := p.Vec
+		off := v.Base
+		for i := 0; i < v.Len; i++ {
+			k := readKey(v.Data[off:], v.Size)
+			for _, b := range table[k] {
+				out = append(out, JoinPair{Build: b, Probe: p.Rows.Begin + uint64(i)})
+			}
+			off += v.Stride
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Probe != out[j].Probe {
+			return out[i].Probe < out[j].Probe
+		}
+		return out[i].Build < out[j].Build
+	})
+	cfg.chargeScan(build)
+	cfg.chargeScan(probe)
+	return out, nil
+}
+
+// readKey widens a 4- or 8-byte little-endian integer.
+func readKey(b []byte, size int) int64 {
+	if size == 8 {
+		return int64(binary.LittleEndian.Uint64(b))
+	}
+	return int64(int32(binary.LittleEndian.Uint32(b)))
+}
+
+// BuildPositions extracts the sorted, deduplicated build-side position
+// list of a join result — the input shape the materialization operator
+// expects.
+func BuildPositions(pairs []JoinPair) []uint64 {
+	seen := make(map[uint64]bool, len(pairs))
+	out := make([]uint64, 0, len(pairs))
+	for _, p := range pairs {
+		if !seen[p.Build] {
+			seen[p.Build] = true
+			out = append(out, p.Build)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

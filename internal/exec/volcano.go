@@ -1,0 +1,59 @@
+package exec
+
+import (
+	"errors"
+	"io"
+
+	"hybridstore/internal/layout"
+	"hybridstore/internal/schema"
+)
+
+// RowIterator is a Volcano-style tuple-at-a-time iterator over a layout
+// (Section II-A: "NSM combined with the Volcano-style processing model
+// suits well for [the record-centric] access pattern in case the costs
+// for function calls can be hidden by data access costs"). It exists for
+// the bulk-vs-tuple-at-a-time ablation; the bulk operators above are the
+// primary execution path.
+type RowIterator struct {
+	l    *layout.Layout
+	rows uint64
+	next uint64
+}
+
+// NewRowIterator opens an iterator over rows [0, rows) of the layout.
+func NewRowIterator(l *layout.Layout, rows uint64) *RowIterator {
+	return &RowIterator{l: l, rows: rows}
+}
+
+// Next returns the next record, or io.EOF after the last one.
+func (it *RowIterator) Next() (schema.Record, error) {
+	if it.next >= it.rows {
+		return nil, io.EOF
+	}
+	rec, err := it.l.Record(it.next)
+	if err != nil {
+		return nil, err
+	}
+	it.next++
+	return rec, nil
+}
+
+// Reset rewinds the iterator.
+func (it *RowIterator) Reset() { it.next = 0 }
+
+// SumFloat64Volcano folds a float64 attribute tuple-at-a-time through the
+// iterator — the slow path the bulk model replaces for attribute-centric
+// queries.
+func SumFloat64Volcano(it *RowIterator, col int) (float64, error) {
+	var acc float64
+	for {
+		rec, err := it.Next()
+		if errors.Is(err, io.EOF) {
+			return acc, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		acc += rec[col].F
+	}
+}

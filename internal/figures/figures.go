@@ -1,0 +1,366 @@
+// Package figures regenerates the paper's experimental figure (Section
+// II-B, Figure 2) as data series. Each of the four panels sweeps table
+// sizes and reports one value per configuration:
+//
+//	Panel 1 — "materialize 150 customers": record-centric materialization
+//	          of 150 customers by sorted position list, milliseconds,
+//	          over row-store/column-store × single-/multi-threaded.
+//	Panel 2 — "sum prices of 150 items": tiny attribute-centric aggregate
+//	          over a 150-position list, microseconds, same four series.
+//	Panel 3 — "sum all prices in items table": full-column aggregate
+//	          throughput in million rows/second, host row/column ×
+//	          single/multi plus the device with bus transfer included.
+//	Panel 4 — the same with transfer costs to the device excluded
+//	          (column resident in device memory).
+//
+// Times come from the calibrated analytical platform model
+// (internal/perfmodel), the documented substitution for the paper's
+// i7-6700HQ + CUDA testbed (DESIGN.md Section 2); Verify executes the
+// same queries for real on engine-built tables at reduced scale and
+// cross-checks every answer against the workload's closed forms.
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridstore/internal/perfmodel"
+)
+
+// The paper's experimental constants.
+const (
+	// K is the position-list size ("150 customers", "150 items").
+	K = 150
+	// CustomerWidth and CustomerArity pin the customer record geometry.
+	CustomerWidth, CustomerArity = 96, 21
+	// ItemWidth and PriceSize pin the item record geometry.
+	ItemWidth, PriceSize = 28, 8
+)
+
+// Series is one line of a panel: a label and one value per swept size.
+type Series struct {
+	// Label names the configuration as in the figure legend.
+	Label string
+	// Values holds one y-value per x point.
+	Values []float64
+}
+
+// Panel is one sub-plot of Figure 2.
+type Panel struct {
+	// Number is the panel index (1-4, left to right in the figure).
+	Number int
+	// Title is the paper's caption for the sub-plot.
+	Title string
+	// XLabel and YLabel describe the axes.
+	XLabel, YLabel string
+	// Sizes are the x-axis points (#records).
+	Sizes []uint64
+	// Series are the plotted lines.
+	Series []Series
+}
+
+// Legend labels, mirroring the figure.
+const (
+	RowSingle      = "row-store / host & single-threaded"
+	RowMulti       = "row-store / host & multi-threaded"
+	ColSingle      = "column-store / host & single-threaded"
+	ColMulti       = "column-store / host & multi-threaded"
+	ColDevice      = "column-store / device"
+	ColDeviceNoBus = "column-store / device (transfer excluded)"
+)
+
+// DefaultSizes returns the paper's sweep for each panel.
+func DefaultSizes(panel int) []uint64 {
+	switch panel {
+	case 1:
+		return []uint64{5e6, 25e6, 45e6, 65e6, 85e6}
+	case 2:
+		return []uint64{10e6, 20e6, 30e6, 40e6, 50e6, 60e6}
+	default:
+		return []uint64{5e6, 15e6, 25e6, 35e6, 45e6, 55e6, 65e6}
+	}
+}
+
+// Config carries the platform profiles the panels are priced on.
+type Config struct {
+	Host   perfmodel.HostProfile
+	Device perfmodel.DeviceProfile
+}
+
+// Default returns the paper-calibrated configuration.
+func Default() Config {
+	return Config{Host: perfmodel.DefaultHost(), Device: perfmodel.DefaultDevice()}
+}
+
+// Panel1 prices the record-centric materialization of K customers.
+func (c Config) Panel1(sizes []uint64) Panel {
+	p := Panel{
+		Number: 1,
+		Title:  "materialize 150 customers",
+		XLabel: "#records in customer table",
+		YLabel: "simulated ms",
+		Sizes:  sizes,
+	}
+	configs := []struct {
+		label   string
+		spread  int
+		threads int
+	}{
+		{RowSingle, 1, 1},
+		{RowMulti, 1, c.Host.Threads},
+		{ColSingle, CustomerArity, 1},
+		{ColMulti, CustomerArity, c.Host.Threads},
+	}
+	for _, cfg := range configs {
+		s := Series{Label: cfg.label}
+		for _, n := range sizes {
+			ns := c.Host.MaterializeNs(K, int64(n), CustomerWidth, cfg.spread, cfg.threads)
+			s.Values = append(s.Values, ns/1e6)
+		}
+		p.Series = append(p.Series, s)
+	}
+	return p
+}
+
+// Panel2 prices the tiny attribute-centric aggregate over K item
+// positions.
+func (c Config) Panel2(sizes []uint64) Panel {
+	p := Panel{
+		Number: 2,
+		Title:  "sum prices of 150 items",
+		XLabel: "#records in item table",
+		YLabel: "simulated µs",
+		Sizes:  sizes,
+	}
+	configs := []struct {
+		label   string
+		width   int
+		spread  int
+		threads int
+	}{
+		{RowSingle, ItemWidth, 1, 1},
+		{RowMulti, ItemWidth, 1, c.Host.Threads},
+		{ColSingle, PriceSize, 1, 1},
+		{ColMulti, PriceSize, 1, c.Host.Threads},
+	}
+	for _, cfg := range configs {
+		s := Series{Label: cfg.label}
+		for _, n := range sizes {
+			// K point accesses to the price field; the record width sets
+			// the working set and per-access decode cost.
+			ns := c.Host.MaterializeNs(K, int64(n), cfg.width, cfg.spread, cfg.threads)
+			s.Values = append(s.Values, ns/1e3)
+		}
+		p.Series = append(p.Series, s)
+	}
+	return p
+}
+
+// Panel3 prices the full-column aggregate with the device series paying
+// the bus transfer.
+func (c Config) Panel3(sizes []uint64) Panel {
+	p := c.fullScanPanel(3, "sum all prices in items table", sizes, true)
+	return p
+}
+
+// Panel4 prices the full-column aggregate with the price column resident
+// in device memory (transfer costs excluded).
+func (c Config) Panel4(sizes []uint64) Panel {
+	p := c.fullScanPanel(4, "sum all prices in items table (transfer costs to device excluded)", sizes, false)
+	return p
+}
+
+// fullScanPanel builds panels 3 and 4.
+func (c Config) fullScanPanel(number int, title string, sizes []uint64, withTransfer bool) Panel {
+	p := Panel{
+		Number: number,
+		Title:  title,
+		XLabel: "#records in item table",
+		YLabel: "throughput (M rows/s)",
+		Sizes:  sizes,
+	}
+	host := []struct {
+		label   string
+		stride  int
+		threads int
+	}{
+		{RowSingle, ItemWidth, 1},
+		{RowMulti, ItemWidth, c.Host.Threads},
+		{ColSingle, PriceSize, 1},
+		{ColMulti, PriceSize, c.Host.Threads},
+	}
+	for _, cfg := range host {
+		s := Series{Label: cfg.label}
+		for _, n := range sizes {
+			ns := c.Host.ScanSumNs(int64(n), PriceSize, cfg.stride, cfg.threads)
+			s.Values = append(s.Values, throughput(n, ns))
+		}
+		p.Series = append(p.Series, s)
+	}
+	label := ColDeviceNoBus
+	if withTransfer {
+		label = ColDevice
+	}
+	dev := Series{Label: label}
+	for _, n := range sizes {
+		ns := c.Device.ReduceKernelNs(int64(n), PriceSize, PriceSize, 1024, 512)
+		if withTransfer {
+			ns += c.Device.TransferNs(int64(n) * PriceSize)
+		}
+		dev.Values = append(dev.Values, throughput(n, ns))
+	}
+	p.Series = append(p.Series, dev)
+	return p
+}
+
+// throughput converts n records in ns nanoseconds to M rows/s.
+func throughput(n uint64, ns float64) float64 {
+	if ns <= 0 {
+		return 0
+	}
+	return float64(n) / ns * 1e9 / 1e6
+}
+
+// Panels builds the requested panel (1-4), or all four for 0.
+func (c Config) Panels(panel int) ([]Panel, error) {
+	switch panel {
+	case 0:
+		return []Panel{
+			c.Panel1(DefaultSizes(1)),
+			c.Panel2(DefaultSizes(2)),
+			c.Panel3(DefaultSizes(3)),
+			c.Panel4(DefaultSizes(4)),
+		}, nil
+	case 1:
+		return []Panel{c.Panel1(DefaultSizes(1))}, nil
+	case 2:
+		return []Panel{c.Panel2(DefaultSizes(2))}, nil
+	case 3:
+		return []Panel{c.Panel3(DefaultSizes(3))}, nil
+	case 4:
+		return []Panel{c.Panel4(DefaultSizes(4))}, nil
+	default:
+		return nil, fmt.Errorf("figures: no panel %d (want 0-4)", panel)
+	}
+}
+
+// Render formats the panel as a fixed-width table: one row per size, one
+// column per series.
+func (p Panel) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 / panel %d: %s\n", p.Number, p.Title)
+	fmt.Fprintf(&b, "y = %s\n", p.YLabel)
+	header := []string{p.XLabel}
+	for _, s := range p.Series {
+		header = append(header, s.Label)
+	}
+	rows := [][]string{header}
+	for i, n := range p.Sizes {
+		row := []string{formatRows(n)}
+		for _, s := range p.Series {
+			row = append(row, fmt.Sprintf("%.2f", s.Values[i]))
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for r, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+		if r == 0 {
+			total := 0
+			for i, w := range widths {
+				if i > 0 {
+					total += 2
+				}
+				total += w
+			}
+			b.WriteString(strings.Repeat("-", total))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// formatRows renders a row count compactly (250K, 65M).
+func formatRows(n uint64) string {
+	if n >= 1e6 {
+		return fmt.Sprintf("%dM", n/1e6)
+	}
+	return fmt.Sprintf("%dK", n/1e3)
+}
+
+// CSV renders the panel as comma-separated values.
+func (p Panel) CSV() string {
+	var b strings.Builder
+	b.WriteString("records")
+	for _, s := range p.Series {
+		b.WriteByte(',')
+		b.WriteString(strings.ReplaceAll(s.Label, ",", ";"))
+	}
+	b.WriteByte('\n')
+	for i, n := range p.Sizes {
+		fmt.Fprintf(&b, "%d", n)
+		for _, s := range p.Series {
+			fmt.Fprintf(&b, ",%g", s.Values[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// find returns the series with the given label, or nil.
+func (p Panel) find(label string) *Series {
+	for i := range p.Series {
+		if p.Series[i].Label == label {
+			return &p.Series[i]
+		}
+	}
+	return nil
+}
+
+// Findings summarizes whether the panel set reproduces the paper's four
+// qualitative findings (Section II-B (i)-(iv)).
+type Findings struct {
+	// TinyInputsFavourSingle: finding (i) — on small position lists the
+	// single-threaded policy beats the multi-threaded one.
+	TinyInputsFavourSingle bool
+	// RecordCentricFavoursNSM: finding (ii) — materialization is faster
+	// on the row store.
+	RecordCentricFavoursNSM bool
+	// AttrCentricFavoursDSM: finding (iii) — full scans are faster on the
+	// column store.
+	AttrCentricFavoursDSM bool
+	// DeviceWinsWhenResident: finding (iv) — the device dominates once
+	// the column is device-resident.
+	DeviceWinsWhenResident bool
+}
+
+// Evaluate checks the findings over freshly priced default panels.
+func (c Config) Evaluate() Findings {
+	p1 := c.Panel1(DefaultSizes(1))
+	p3 := c.Panel3(DefaultSizes(3))
+	p4 := c.Panel4(DefaultSizes(4))
+	var f Findings
+
+	last := len(p1.Sizes) - 1
+	f.TinyInputsFavourSingle = p1.find(RowSingle).Values[last] < p1.find(RowMulti).Values[last]
+	f.RecordCentricFavoursNSM = p1.find(RowSingle).Values[last] < p1.find(ColSingle).Values[last]
+
+	last3 := len(p3.Sizes) - 1
+	f.AttrCentricFavoursDSM = p3.find(ColMulti).Values[last3] > p3.find(RowMulti).Values[last3]
+	f.DeviceWinsWhenResident = p4.find(ColDeviceNoBus).Values[last3] > p3.find(ColMulti).Values[last3]
+	return f
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package figures
+
+// raceEnabled reports whether the race detector instruments this build;
+// wall-clock assertions are skipped under instrumentation because it
+// distorts relative memory-access costs.
+const raceEnabled = false

@@ -1,0 +1,43 @@
+package layout
+
+import (
+	"fmt"
+
+	"hybridstore/internal/mem"
+)
+
+// Grow returns a fragment with the same columns and linearization whose
+// row range is extended to [Rows().Begin, Rows().Begin+newCap), preserving
+// all stored tuplets. The receiver is freed on success and must not be
+// used afterwards. Growing is how single-fragment engines (Fractured
+// Mirrors' full-relation mirrors, CoGaDB's resident columns) absorb
+// appends; chunked engines allocate new fragments instead.
+func (f *Fragment) Grow(alloc *mem.Allocator, newCap int) (*Fragment, error) {
+	if newCap < f.n {
+		return nil, fmt.Errorf("%w: grow to %d below stored %d tuplets", ErrOutOfRange, newCap, f.n)
+	}
+	if newCap == f.Cap() {
+		return f, nil
+	}
+	rows := RowRange{Begin: f.rows.Begin, End: f.rows.Begin + uint64(newCap)}
+	nf, err := NewFragment(alloc, f.rel, f.cols, rows, f.lin)
+	if err != nil {
+		return nil, err
+	}
+	switch f.lin {
+	case NSM, Direct:
+		// Tuplets are a contiguous prefix; one copy moves everything.
+		copy(nf.block.Bytes(), f.block.Bytes()[:f.n*f.width])
+	case DSM:
+		// Column regions are strided by capacity: copy each column's
+		// filled prefix into its new region.
+		for p, c := range f.cols {
+			size := f.rel.Attr(c).Size
+			src := f.block.Bytes()[f.colOff[p] : f.colOff[p]+f.n*size]
+			copy(nf.block.Bytes()[nf.colOff[p]:], src)
+		}
+	}
+	nf.n = f.n
+	f.Free()
+	return nf, nil
+}

@@ -1,0 +1,137 @@
+package layout
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"hybridstore/internal/schema"
+)
+
+func TestGrowPreservesDataAllLinearizations(t *testing.T) {
+	s := schema.MustNew(schema.Int64Attr("a"), schema.Int64Attr("b"))
+	for _, lin := range []Linearization{NSM, DSM} {
+		a := hostAlloc()
+		f, err := NewFragment(a, s, []int{0, 1}, RowRange{0, 3}, lin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendRows(t, f, [][]int64{{1, 10}, {2, 20}, {3, 30}})
+		g, err := f.Grow(a, 10)
+		if err != nil {
+			t.Fatalf("%v Grow: %v", lin, err)
+		}
+		if g.Cap() != 10 || g.Len() != 3 {
+			t.Fatalf("%v: cap=%d len=%d", lin, g.Cap(), g.Len())
+		}
+		for i, want := range []int64{10, 20, 30} {
+			v, err := g.Get(i, 1)
+			if err != nil || v.I != want {
+				t.Fatalf("%v Get(%d,1) = %v, %v; want %d", lin, i, v, err, want)
+			}
+		}
+		// New capacity is usable.
+		if err := g.AppendTuplet([]schema.Value{schema.IntValue(4), schema.IntValue(40)}); err != nil {
+			t.Fatalf("%v append after grow: %v", lin, err)
+		}
+		// Old block returned to the allocator.
+		if a.Used() != int64(g.SizeBytes()) {
+			t.Errorf("%v: allocator used %d, want %d", lin, a.Used(), g.SizeBytes())
+		}
+	}
+}
+
+func TestGrowDirect(t *testing.T) {
+	s := schema.MustNew(schema.Int64Attr("a"), schema.Int64Attr("b"))
+	a := hostAlloc()
+	f, _ := NewFragment(a, s, []int{1}, RowRange{0, 2}, Direct)
+	appendRows(t, f, [][]int64{{7}, {8}})
+	g, err := f.Grow(a, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := g.Get(1, 1)
+	if v.I != 8 {
+		t.Fatalf("direct grow lost data: %v", v)
+	}
+}
+
+func TestGrowRejectsShrinkBelowStored(t *testing.T) {
+	s := schema.MustNew(schema.Int64Attr("a"))
+	a := hostAlloc()
+	f, _ := NewFragment(a, s, []int{0}, RowRange{0, 4}, Direct)
+	appendRows(t, f, [][]int64{{1}, {2}, {3}})
+	if _, err := f.Grow(a, 2); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	if f.Len() != 3 {
+		t.Error("failed Grow corrupted fragment")
+	}
+}
+
+func TestGrowSameCapIsNoOp(t *testing.T) {
+	s := schema.MustNew(schema.Int64Attr("a"))
+	a := hostAlloc()
+	f, _ := NewFragment(a, s, []int{0}, RowRange{0, 4}, Direct)
+	g, err := f.Grow(a, 4)
+	if err != nil || g != f {
+		t.Fatalf("same-cap grow: %v, %v", g, err)
+	}
+}
+
+func TestGrowPreservesRowRangeBegin(t *testing.T) {
+	s := schema.MustNew(schema.Int64Attr("a"), schema.Int64Attr("b"))
+	a := hostAlloc()
+	f, _ := NewFragment(a, s, []int{0, 1}, RowRange{100, 104}, NSM)
+	g, err := f.Grow(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rows() != (RowRange{100, 108}) {
+		t.Fatalf("rows = %v", g.Rows())
+	}
+}
+
+// Property: Grow then full readback equals the original contents for
+// random fill levels and growth factors.
+func TestQuickGrowRoundTrip(t *testing.T) {
+	s := schema.MustNew(schema.Int64Attr("a"), schema.Float64Attr("b"), schema.CharAttr("c", 3))
+	f := func(fill, extra uint8, dsm bool) bool {
+		a := hostAlloc()
+		lin := NSM
+		if dsm {
+			lin = DSM
+		}
+		capacity := int(fill)%20 + 2
+		n := capacity / 2
+		fr, err := NewFragment(a, s, []int{0, 1, 2}, RowRange{0, uint64(capacity)}, lin)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if fr.AppendTuplet([]schema.Value{
+				schema.IntValue(int64(i)), schema.FloatValue(float64(i) / 2), schema.CharValue("x"),
+			}) != nil {
+				return false
+			}
+		}
+		g, err := fr.Grow(a, capacity+int(extra)%50)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			v, err := g.Get(i, 0)
+			if err != nil || v.I != int64(i) {
+				return false
+			}
+			w, err := g.Get(i, 1)
+			if err != nil || w.F != float64(i)/2 {
+				return false
+			}
+		}
+		return g.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

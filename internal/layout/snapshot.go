@@ -1,0 +1,79 @@
+package layout
+
+import "hybridstore/internal/mem"
+
+// The snapshot types give the taxonomy classifier a structural view of an
+// engine's live layouts without coupling it to fragment internals. Engines
+// expose snapshots of representative relations; internal/taxonomy derives
+// classification properties (Table 1 of the paper) from them.
+
+// FragmentInfo is the structural digest of one fragment.
+type FragmentInfo struct {
+	// Rows is the covered row range.
+	Rows RowRange
+	// Cols are the covered relation attribute indexes.
+	Cols []int
+	// Lin is the fragment's physical linearization.
+	Lin Linearization
+	// Space is the memory space holding the fragment's bytes.
+	Space mem.Space
+	// Fat records the paper's fat/thin distinction.
+	Fat bool
+}
+
+// LayoutInfo is the structural digest of one layout.
+type LayoutInfo struct {
+	// Name is the layout name.
+	Name string
+	// Fragments digests each fragment.
+	Fragments []FragmentInfo
+	// VerticalOnly, HorizontalOnly and Combined mirror the layout
+	// predicates of the same names.
+	VerticalOnly, HorizontalOnly, Combined bool
+}
+
+// Snapshot is the structural digest of one relation's physical state.
+type Snapshot struct {
+	// Relation is the relation name.
+	Relation string
+	// Arity is the schema arity.
+	Arity int
+	// Rows is the logical row count.
+	Rows uint64
+	// Layouts digests each layout.
+	Layouts []LayoutInfo
+}
+
+// Digest builds the structural digest of a fragment.
+func (f *Fragment) Digest() FragmentInfo {
+	return FragmentInfo{
+		Rows:  f.Rows(),
+		Cols:  f.Cols(),
+		Lin:   f.Lin(),
+		Space: f.Space(),
+		Fat:   f.IsFat(),
+	}
+}
+
+// Digest builds the structural digest of a layout.
+func (l *Layout) Digest() LayoutInfo {
+	info := LayoutInfo{
+		Name:           l.Name(),
+		VerticalOnly:   l.VerticalOnly(),
+		HorizontalOnly: l.HorizontalOnly(),
+		Combined:       l.Combined(),
+	}
+	for _, f := range l.Fragments() {
+		info.Fragments = append(info.Fragments, f.Digest())
+	}
+	return info
+}
+
+// Digest builds the structural digest of a relation.
+func (r *Relation) Digest() Snapshot {
+	s := Snapshot{Relation: r.Name(), Arity: r.Schema().Arity(), Rows: r.Rows()}
+	for _, l := range r.Layouts() {
+		s.Layouts = append(s.Layouts, l.Digest())
+	}
+	return s
+}

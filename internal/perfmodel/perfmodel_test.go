@@ -1,0 +1,268 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// The paper's item record: 20 bytes of 4 fields plus an 8-byte price.
+const (
+	itemWidth     = 28
+	priceSize     = 8
+	customerWidth = 96
+	customerArity = 21
+)
+
+// Finding (i) of Section II-B: on a tiny number of records, sequential
+// execution outperforms multi-threaded execution since thread-management
+// costs dominate.
+func TestTinyInputsFavourSingleThreaded(t *testing.T) {
+	h := DefaultHost()
+	n := int64(150)
+	single := h.ScanSumNs(n, priceSize, priceSize, 1)
+	multi := h.ScanSumNs(n, priceSize, priceSize, h.Threads)
+	if single >= multi {
+		t.Errorf("tiny scan: single %.0fns >= multi %.0fns", single, multi)
+	}
+}
+
+// Finding (i) inverted at scale: for large inputs multi-threading wins.
+func TestLargeInputsFavourMultiThreaded(t *testing.T) {
+	h := DefaultHost()
+	n := int64(50_000_000)
+	single := h.ScanSumNs(n, priceSize, priceSize, 1)
+	multi := h.ScanSumNs(n, priceSize, priceSize, h.Threads)
+	if multi >= single {
+		t.Errorf("large scan: multi %.0fns >= single %.0fns", multi, single)
+	}
+}
+
+// Finding (ii): for record-centric operations NSM outperforms DSM, since
+// one record costs a couple of line misses instead of one miss per field.
+func TestRecordCentricFavoursNSM(t *testing.T) {
+	h := DefaultHost()
+	k, n := int64(150), int64(50_000_000)
+	nsm := h.MaterializeNs(k, n, customerWidth, 1, 1)
+	dsm := h.MaterializeNs(k, n, customerWidth, customerArity, 1)
+	if nsm >= dsm {
+		t.Errorf("materialize: NSM %.0fns >= DSM %.0fns", nsm, dsm)
+	}
+	if dsm/nsm < 3 {
+		t.Errorf("NSM advantage only %.1fx, expect >=3x for 21 attributes", dsm/nsm)
+	}
+}
+
+// Finding (iii): for attribute-centric operations DSM outperforms NSM —
+// the NSM scan drags the whole record through the cache.
+func TestAttributeCentricFavoursDSM(t *testing.T) {
+	h := DefaultHost()
+	n := int64(50_000_000)
+	for _, threads := range []int{1, h.Threads} {
+		dsm := h.ScanSumNs(n, priceSize, priceSize, threads)
+		nsm := h.ScanSumNs(n, priceSize, itemWidth, threads)
+		if dsm >= nsm {
+			t.Errorf("threads=%d: DSM %.0fns >= NSM %.0fns", threads, dsm, nsm)
+		}
+	}
+}
+
+// Finding (iv): once the column is resident in device memory, the GPU
+// outperforms the CPU; behind the bus it does not dominate.
+func TestDeviceDominatesOnlyWhenResident(t *testing.T) {
+	h, d := DefaultHost(), DefaultDevice()
+	n := int64(50_000_000)
+	bytes := n * priceSize
+	hostMulti := h.ScanSumNs(n, priceSize, priceSize, h.Threads)
+	resident := d.ReduceKernelNs(n, priceSize, priceSize, 1024, 512)
+	withTransfer := d.TransferNs(bytes) + resident
+	if resident >= hostMulti {
+		t.Errorf("resident device %.0fns >= host multi %.0fns", resident, hostMulti)
+	}
+	if withTransfer <= hostMulti/2 {
+		t.Errorf("transfer-bound device %.0fns should not dominate host %.0fns", withTransfer, hostMulti)
+	}
+}
+
+// The resident-device throughput should land near the paper's ~10000M
+// rows/s plateau (panel 4) and the host multi-threaded one near ~2000M.
+func TestThroughputPlateausMatchPaperShape(t *testing.T) {
+	h, d := DefaultHost(), DefaultDevice()
+	n := int64(65_000_000)
+	devNs := d.ReduceKernelNs(n, priceSize, priceSize, 1024, 512)
+	devThroughput := float64(n) / devNs * 1e9 / 1e6 // M rows/s
+	if devThroughput < 7000 || devThroughput > 13000 {
+		t.Errorf("device resident throughput = %.0fM rows/s, want ~10000M", devThroughput)
+	}
+	hostNs := h.ScanSumNs(n, priceSize, priceSize, h.Threads)
+	hostThroughput := float64(n) / hostNs * 1e9 / 1e6
+	if hostThroughput < 1200 || hostThroughput > 4000 {
+		t.Errorf("host multi throughput = %.0fM rows/s, want ~2000M", hostThroughput)
+	}
+	if devThroughput/hostThroughput < 3 {
+		t.Errorf("device/host ratio = %.1f, want >= 3", devThroughput/hostThroughput)
+	}
+}
+
+func TestStridedBytes(t *testing.T) {
+	h := DefaultHost()
+	cases := []struct {
+		n           int64
+		field, strd int
+		want        int64
+	}{
+		{100, 8, 8, 800},     // contiguous: field bytes only
+		{100, 8, 4, 800},     // stride below field size clamps to field
+		{100, 8, 28, 2800},   // item NSM: whole record per field
+		{100, 8, 96, 6400},   // customer NSM: capped at one line per field
+		{100, 8, 1000, 6400}, // huge stride: still one line per field
+	}
+	for _, c := range cases {
+		if got := h.StridedBytes(c.n, c.field, c.strd); got != c.want {
+			t.Errorf("StridedBytes(%d,%d,%d) = %d, want %d", c.n, c.field, c.strd, got, c.want)
+		}
+	}
+}
+
+func TestAccessLatencyTiers(t *testing.T) {
+	h := DefaultHost()
+	if l2 := h.accessLatencyNs(h.L2); l2 != h.L2LatencyNs {
+		t.Errorf("L2 working set latency = %v", l2)
+	}
+	if l3 := h.accessLatencyNs(h.L3); l3 != h.L3LatencyNs {
+		t.Errorf("L3 working set latency = %v", l3)
+	}
+	if mem := h.accessLatencyNs(h.L3 + 1); mem != h.MissLatencyNs {
+		t.Errorf("DRAM working set latency = %v", mem)
+	}
+}
+
+func TestMaterializeCacheResidencyEffect(t *testing.T) {
+	h := DefaultHost()
+	small := h.MaterializeNs(150, 1000, customerWidth, 1, 1) // fits in caches
+	big := h.MaterializeNs(150, 50_000_000, customerWidth, 1, 1)
+	if small >= big {
+		t.Errorf("cache-resident materialize %.0fns >= DRAM one %.0fns", small, big)
+	}
+}
+
+func TestTransferNsComponents(t *testing.T) {
+	d := DefaultDevice()
+	latOnly := d.TransferNs(0)
+	if latOnly != d.TransferLatencyNs {
+		t.Errorf("zero-byte transfer = %.0fns, want latency %.0fns", latOnly, d.TransferLatencyNs)
+	}
+	gb := d.TransferNs(1 << 30)
+	wantSeconds := float64(1<<30) / d.TransferBandwidth
+	if gb < wantSeconds*1e9 {
+		t.Errorf("1GiB transfer %.0fns below pure bandwidth term", gb)
+	}
+}
+
+func TestEffectiveBandwidthCoalescing(t *testing.T) {
+	d := DefaultDevice()
+	full := d.effectiveBandwidth(8, 8)
+	if full != d.GlobalBandwidth {
+		t.Errorf("coalesced bandwidth derated: %v", full)
+	}
+	strided := d.effectiveBandwidth(8, 28)
+	if strided >= full {
+		t.Error("uncoalesced access should derate bandwidth")
+	}
+	wide := d.effectiveBandwidth(64, 128)
+	if wide != d.GlobalBandwidth {
+		t.Error("fields at or above segment size should not be derated")
+	}
+}
+
+func TestGatherKernelScalesWithK(t *testing.T) {
+	d := DefaultDevice()
+	small := d.GatherKernelNs(10, 1_000_000, customerWidth)
+	big := d.GatherKernelNs(10_000, 1_000_000, customerWidth)
+	if big <= small {
+		t.Error("gather cost must grow with k")
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	c.Advance(1500)
+	c.Advance(-5) // negative advances are ignored
+	if c.ElapsedNs() != 1500 {
+		t.Errorf("ElapsedNs = %v", c.ElapsedNs())
+	}
+	if c.Elapsed() != 1500*time.Nanosecond {
+		t.Errorf("Elapsed = %v", c.Elapsed())
+	}
+	if c.String() == "" {
+		t.Error("empty String")
+	}
+	c.Reset()
+	if c.ElapsedNs() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+// Property: scan cost is monotone in n for every configuration.
+func TestQuickScanMonotoneInN(t *testing.T) {
+	h := DefaultHost()
+	f := func(a, b uint32, multi bool) bool {
+		n1, n2 := int64(a%10_000_000), int64(b%10_000_000)
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		threads := 1
+		if multi {
+			threads = h.Threads
+		}
+		return h.ScanSumNs(n1, priceSize, itemWidth, threads) <= h.ScanSumNs(n2, priceSize, itemWidth, threads)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: materialization under NSM never exceeds DSM for multi-field
+// records on DRAM-resident tables.
+func TestQuickNSMBeatsDSMForMaterialize(t *testing.T) {
+	h := DefaultHost()
+	f := func(kRaw uint16, arityRaw uint8) bool {
+		k := int64(kRaw)%1000 + 1
+		arity := int(arityRaw)%20 + 2
+		width := arity * 8
+		n := int64(20_000_000)
+		return h.MaterializeNs(k, n, width, 1, 1) <= h.MaterializeNs(k, n, width, arity, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding the bus transfer never makes the device faster.
+func TestQuickTransferNeverHelps(t *testing.T) {
+	d := DefaultDevice()
+	f := func(nRaw uint32) bool {
+		n := int64(nRaw % 50_000_000)
+		resident := d.ReduceKernelNs(n, priceSize, priceSize, 1024, 512)
+		return d.TransferNs(n*priceSize)+resident >= resident
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultProfilesMatchPaperFootnote(t *testing.T) {
+	h, d := DefaultHost(), DefaultDevice()
+	if h.Threads != 8 {
+		t.Errorf("host threads = %d, want 8 (paper fixes 8 threads)", h.Threads)
+	}
+	if h.L1 != 32<<10 || h.L2 != 256<<10 || h.L3 != 6<<20 {
+		t.Error("host cache sizes do not match footnote 4")
+	}
+	if d.GlobalMemory != 4044<<20 {
+		t.Errorf("device memory = %d, want 4044 MB", d.GlobalMemory)
+	}
+	if d.SMs != 5 || d.CoresPerSM != 128 || d.MaxThreadsPerBlock != 1024 {
+		t.Error("device execution resources do not match footnote 4")
+	}
+}

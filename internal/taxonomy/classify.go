@@ -1,0 +1,240 @@
+package taxonomy
+
+import (
+	"errors"
+	"fmt"
+
+	"hybridstore/internal/layout"
+	"hybridstore/internal/mem"
+)
+
+// Capabilities carries the behavioural facts about an engine that cannot
+// be read off a structural snapshot: whether multi-layout support is
+// native, whether the engine re-organizes at runtime, what coherence
+// scheme it uses, and what platform/workload it targets. The classifier
+// combines these with structural evidence; Validate cross-checks the two.
+type Capabilities struct {
+	// BuiltInMultiLayout marks native multi-layout support (as opposed to
+	// emulation via same-named replicated relations).
+	BuiltInMultiLayout bool
+	// Responsive marks runtime re-organization of layouts in response to
+	// workload changes.
+	Responsive bool
+	// VariableLinearization marks engines that can store fat fragments in
+	// either NSM or DSM order even if the current snapshot shows one.
+	VariableLinearization bool
+	// Unconstrained marks strong flexible engines whose fragment
+	// definitions have no side-effects on adjacent fragments and no
+	// pre-defined partitioning order. Strong flexible engines default to
+	// constrained, matching every strong row of the paper's Table 1.
+	Unconstrained bool
+	// FixedFragmentation marks engines whose fragmentation is dictated by
+	// an external constant (e.g. PAX page size) rather than chosen per
+	// relation; the paper classifies such engines as inflexible even
+	// though their layouts physically contain many fragments.
+	FixedFragmentation bool
+	// ClusterDistributed marks engines that distribute fragments across
+	// cluster nodes (ES²), which makes locality distributed even when all
+	// bytes are host-kind memory.
+	ClusterDistributed bool
+	// Scheme is the declared fragment coherence scheme.
+	Scheme FragmentScheme
+	// Processors is the targeted compute platform set.
+	Processors ProcessorSupport
+	// Workloads is the targeted workload mix.
+	Workloads WorkloadSupport
+	// PrimaryDeclared optionally overrides the derived primary-copy
+	// location (e.g. disk-based engines whose snapshot shows the
+	// in-memory working set).
+	PrimaryDeclared LocationKind
+	// HasPrimaryDeclared gates PrimaryDeclared.
+	HasPrimaryDeclared bool
+	// Year is the publication year recorded in the survey row.
+	Year int
+}
+
+// ErrNoEvidence is returned when a snapshot has no layouts or fragments to
+// classify.
+var ErrNoEvidence = errors.New("taxonomy: snapshot has no layouts or fragments")
+
+// Classify derives a Classification for the engine named name from the
+// structural snapshot of a representative relation plus the declared
+// capabilities. This is the operational core of the paper's Section III:
+// Table 1 falls out of applying Classify to each engine implementation.
+func Classify(name string, snap layout.Snapshot, caps Capabilities) (Classification, error) {
+	if len(snap.Layouts) == 0 {
+		return Classification{}, fmt.Errorf("%w: relation %q", ErrNoEvidence, snap.Relation)
+	}
+	nFrags := 0
+	for _, l := range snap.Layouts {
+		nFrags += len(l.Fragments)
+	}
+	if nFrags == 0 {
+		return Classification{}, fmt.Errorf("%w: relation %q has empty layouts", ErrNoEvidence, snap.Relation)
+	}
+
+	c := Classification{
+		Name:       name,
+		Scheme:     caps.Scheme,
+		Processors: caps.Processors,
+		Workloads:  caps.Workloads,
+		Year:       caps.Year,
+	}
+
+	// Layout handling: structural evidence (several live layouts) or a
+	// declared native capability (Peloton supports multiple layouts even
+	// when a snapshot happens to show one).
+	switch {
+	case caps.BuiltInMultiLayout:
+		c.Handling = MultiLayoutBuiltIn
+	case len(snap.Layouts) > 1:
+		c.Handling = MultiLayoutEmulated
+	default:
+		c.Handling = SingleLayout
+	}
+
+	// Layout flexibility.
+	c.Flexibility = deriveFlexibility(snap, caps)
+
+	// Layout adaptability: responsive only makes sense for flexible engines.
+	if caps.Responsive && c.Flexibility.Flexible() {
+		c.Adaptability = Responsive
+	} else {
+		c.Adaptability = Static
+	}
+
+	// Data location and locality.
+	c.Working = deriveWorking(snap)
+	if caps.HasPrimaryDeclared {
+		c.Primary = caps.PrimaryDeclared
+	} else {
+		c.Primary = c.Working
+	}
+	if c.Working == LocMixed || c.Primary == LocMixed || caps.ClusterDistributed {
+		c.Locality = Distributed
+	} else {
+		c.Locality = Centralized
+	}
+
+	// Fragment linearization class.
+	c.Linearization = deriveLinearization(snap, caps)
+
+	// Single-layout engines have no cross-layout coherence to manage.
+	if c.Handling == SingleLayout && caps.Scheme == SchemeNone {
+		c.Scheme = SchemeNone
+	}
+	return c, nil
+}
+
+// deriveFlexibility inspects layout structure for the flexibility class.
+func deriveFlexibility(snap layout.Snapshot, caps Capabilities) LayoutFlexibility {
+	if caps.FixedFragmentation {
+		return Inflexible
+	}
+	anyCombined := false
+	anyMulti := false
+	for _, l := range snap.Layouts {
+		if l.Combined {
+			anyCombined = true
+		}
+		if len(l.Fragments) > 1 {
+			anyMulti = true
+		}
+	}
+	switch {
+	case anyCombined:
+		if caps.Unconstrained {
+			return StrongFlexibleUnconstrained
+		}
+		return StrongFlexibleConstrained
+	case anyMulti:
+		return WeakFlexible
+	default:
+		return Inflexible
+	}
+}
+
+// deriveWorking folds all fragment spaces into a location kind.
+func deriveWorking(snap layout.Snapshot) LocationKind {
+	seen := make(map[mem.Space]bool)
+	for _, l := range snap.Layouts {
+		for _, f := range l.Fragments {
+			seen[f.Space] = true
+		}
+	}
+	if len(seen) > 1 {
+		return LocMixed
+	}
+	for s := range seen {
+		switch s {
+		case mem.Host:
+			return LocHost
+		case mem.Device:
+			return LocDevice
+		case mem.Secondary:
+			return LocSecondary
+		}
+	}
+	return LocHost
+}
+
+// deriveLinearization folds fragment shapes into the engine-level class.
+// Linearization evidence is counted by each fragment's physical order:
+// NSM/DSM fragments (including degenerate single-column ones, like ES²'s
+// PAX-formatted single-attribute partitions) witness fixed linearization;
+// directly-linearized thin fragments witness emulation — per-column
+// fragments emulate DSM, per-row ones emulate NSM.
+func deriveLinearization(snap layout.Snapshot, caps Capabilities) LinearizationClass {
+	var nsm, dsm, thinCol, thinRow int
+	for _, l := range snap.Layouts {
+		for _, f := range l.Fragments {
+			switch f.Lin {
+			case layout.NSM:
+				nsm++
+			case layout.DSM:
+				dsm++
+			default: // direct
+				if len(f.Cols) == 1 {
+					thinCol++
+				} else {
+					thinRow++
+				}
+			}
+		}
+	}
+	anyFixed := nsm+dsm > 0
+	anyEmulated := thinCol+thinRow > 0
+	switch {
+	case anyFixed && anyEmulated:
+		// An engine that can relinearize its fat fragments is variable
+		// outright; otherwise the mix is the paper's "partially emulated"
+		// class, with the fixed direction set by the fat fragments.
+		if caps.VariableLinearization {
+			return FatVariable
+		}
+		if nsm >= dsm {
+			return VarNSMFixedPartDSMEmulated
+		}
+		return VarDSMFixedPartNSMEmulated
+	case anyFixed:
+		// Mirrored NSM+DSM: multiple layouts whose fat fragments disagree
+		// in linearization without relinearization support (Fractured
+		// Mirrors).
+		if len(snap.Layouts) > 1 && nsm > 0 && dsm > 0 && !caps.VariableLinearization {
+			return FatNSMPlusDSMFixed
+		}
+		if caps.VariableLinearization || (nsm > 0 && dsm > 0) {
+			return FatVariable
+		}
+		if nsm > 0 {
+			return FatNSMFixed
+		}
+		return FatDSMFixed
+	default:
+		// Emulation-only layouts.
+		if thinRow > thinCol {
+			return ThinNSMEmulated
+		}
+		return ThinDSMEmulated
+	}
+}

@@ -1,0 +1,328 @@
+// Package taxonomy implements the classification properties and taxonomy
+// of storage engines from Section III of the paper, the structural
+// classifier that derives a classification from live layout snapshots, the
+// consistency rules implied by the paper's definitions, and renderers for
+// the survey table (Table 1) and the taxonomy tree (Figure 4).
+package taxonomy
+
+import "fmt"
+
+// LayoutHandling states how many simultaneous layouts a relation may have
+// and whether multi-layout support is native or emulated via same-named
+// replicated relations.
+type LayoutHandling uint8
+
+// Layout handling values.
+const (
+	// SingleLayout limits a relation to exactly one layout.
+	SingleLayout LayoutHandling = iota
+	// MultiLayoutBuiltIn supports multiple alternative layouts natively.
+	MultiLayoutBuiltIn
+	// MultiLayoutEmulated emulates multiple layouts by holding replicated
+	// relations under the same name.
+	MultiLayoutEmulated
+)
+
+// String renders the value as it appears in Table 1.
+func (v LayoutHandling) String() string {
+	switch v {
+	case SingleLayout:
+		return "single"
+	case MultiLayoutBuiltIn:
+		return "built-in multi"
+	case MultiLayoutEmulated:
+		return "emulated multi"
+	default:
+		return fmt.Sprintf("LayoutHandling(%d)", uint8(v))
+	}
+}
+
+// LayoutFlexibility states how a layout may be divided into fragments.
+type LayoutFlexibility uint8
+
+// Layout flexibility values.
+const (
+	// Inflexible supports only one fragment per layout.
+	Inflexible LayoutFlexibility = iota
+	// WeakFlexible layouts apply one partitioning technique (vertical or
+	// horizontal) to define fragments.
+	WeakFlexible
+	// StrongFlexibleConstrained layouts combine vertical and horizontal
+	// partitioning, but fragment definitions have side-effects on
+	// adjacent fragments or a pre-defined partitioning order.
+	StrongFlexibleConstrained
+	// StrongFlexibleUnconstrained layouts combine both partitioning
+	// techniques without such side-effects.
+	StrongFlexibleUnconstrained
+)
+
+// String renders the value as it appears in Table 1.
+func (v LayoutFlexibility) String() string {
+	switch v {
+	case Inflexible:
+		return "inflexible"
+	case WeakFlexible:
+		return "weak flexible"
+	case StrongFlexibleConstrained:
+		return "strong flexible (constrained)"
+	case StrongFlexibleUnconstrained:
+		return "strong flexible (unconstrained)"
+	default:
+		return fmt.Sprintf("LayoutFlexibility(%d)", uint8(v))
+	}
+}
+
+// Strong reports whether the flexibility is one of the strong variants.
+func (v LayoutFlexibility) Strong() bool {
+	return v == StrongFlexibleConstrained || v == StrongFlexibleUnconstrained
+}
+
+// Flexible reports whether the engine supports more than one fragment per
+// layout at all.
+func (v LayoutFlexibility) Flexible() bool { return v != Inflexible }
+
+// LayoutAdaptability states whether layouts re-organize in response to
+// workload changes at runtime.
+type LayoutAdaptability uint8
+
+// Layout adaptability values.
+const (
+	// Static layouts never re-organize (also forced for inflexible engines).
+	Static LayoutAdaptability = iota
+	// Responsive layouts adapt fragments to observed workload changes.
+	Responsive
+)
+
+// String renders the value as it appears in Table 1.
+func (v LayoutAdaptability) String() string {
+	switch v {
+	case Static:
+		return "static"
+	case Responsive:
+		return "responsive"
+	default:
+		return fmt.Sprintf("LayoutAdaptability(%d)", uint8(v))
+	}
+}
+
+// LocationKind names where tuplets are stored, following the paper's data
+// location property.
+type LocationKind uint8
+
+// Location kinds.
+const (
+	// LocHost is host-main-memory-only.
+	LocHost LocationKind = iota
+	// LocDevice is device-memory-only.
+	LocDevice
+	// LocSecondary is secondary-storage-only (disk/flash).
+	LocSecondary
+	// LocMixed spans more than one memory kind.
+	LocMixed
+)
+
+// String renders the value as it appears in Table 1.
+func (v LocationKind) String() string {
+	switch v {
+	case LocHost:
+		return "host"
+	case LocDevice:
+		return "device"
+	case LocSecondary:
+		return "secondary"
+	case LocMixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("LocationKind(%d)", uint8(v))
+	}
+}
+
+// Locality is derived from the data location: centralized for single-kind
+// locations, distributed for mixed ones.
+type Locality uint8
+
+// Locality values.
+const (
+	// Centralized data lives in exactly one memory kind.
+	Centralized Locality = iota
+	// Distributed data spans memory kinds (or cluster nodes).
+	Distributed
+)
+
+// String renders the value as it appears in Table 1.
+func (v Locality) String() string {
+	switch v {
+	case Centralized:
+		return "centralized"
+	case Distributed:
+		return "distributed"
+	default:
+		return fmt.Sprintf("Locality(%d)", uint8(v))
+	}
+}
+
+// LinearizationClass is the engine-level fragment linearization property
+// (Section III, "Fragment linearization properties"), the refinement of
+// per-fragment NSM/DSM/direct into the paper's engine-level vocabulary.
+type LinearizationClass uint8
+
+// Linearization classes.
+const (
+	// FatNSMFixed stores fat fragments, always row-major.
+	FatNSMFixed LinearizationClass = iota
+	// FatDSMFixed stores fat fragments, always column-major.
+	FatDSMFixed
+	// FatNSMPlusDSMFixed keeps NSM-fixed and DSM-fixed fat copies side by
+	// side (Fractured Mirrors).
+	FatNSMPlusDSMFixed
+	// FatVariable stores fat fragments in either order, per fragment.
+	FatVariable
+	// ThinNSMEmulated emulates NSM via thin one-row fragments with direct
+	// linearization.
+	ThinNSMEmulated
+	// ThinDSMEmulated emulates DSM via thin per-column fragments with
+	// direct linearization.
+	ThinDSMEmulated
+	// VarNSMFixedPartDSMEmulated mixes NSM-fixed fat fragments with
+	// DSM-emulated thin ones (H₂O).
+	VarNSMFixedPartDSMEmulated
+	// VarDSMFixedPartNSMEmulated mixes DSM-fixed fat fragments with
+	// NSM-emulated thin ones.
+	VarDSMFixedPartNSMEmulated
+)
+
+// String renders the value as it appears in Table 1.
+func (v LinearizationClass) String() string {
+	switch v {
+	case FatNSMFixed:
+		return "fat, NSM-fixed"
+	case FatDSMFixed:
+		return "fat, DSM-fixed"
+	case FatNSMPlusDSMFixed:
+		return "fat, NSM+DSM-fixed"
+	case FatVariable:
+		return "fat, variable"
+	case ThinNSMEmulated:
+		return "thin, NSM-emulated"
+	case ThinDSMEmulated:
+		return "thin, DSM-emulated"
+	case VarNSMFixedPartDSMEmulated:
+		return "variable NSM-fixed partially DSM-emulated"
+	case VarDSMFixedPartNSMEmulated:
+		return "variable DSM-fixed partially NSM-emulated"
+	default:
+		return fmt.Sprintf("LinearizationClass(%d)", uint8(v))
+	}
+}
+
+// FragmentScheme states how multi-layout engines keep tuplets coherent
+// across the layouts of a relation.
+type FragmentScheme uint8
+
+// Fragment schemes.
+const (
+	// SchemeNone applies to single-layout engines.
+	SchemeNone FragmentScheme = iota
+	// SchemeReplication holds per-layout copies of tuplets.
+	SchemeReplication
+	// SchemeDelegation stores some tuplets exclusively in certain layouts
+	// and routes access via delegation policies.
+	SchemeDelegation
+)
+
+// String renders the value as it appears in Table 1.
+func (v FragmentScheme) String() string {
+	switch v {
+	case SchemeNone:
+		return "-"
+	case SchemeReplication:
+		return "replication"
+	case SchemeDelegation:
+		return "delegated"
+	default:
+		return fmt.Sprintf("FragmentScheme(%d)", uint8(v))
+	}
+}
+
+// ProcessorSupport states which compute platforms the engine targets.
+type ProcessorSupport uint8
+
+// Processor support values.
+const (
+	// CPUOnly engines run on the host processor only.
+	CPUOnly ProcessorSupport = iota
+	// GPUOnly engines run on the device processor only.
+	GPUOnly
+	// CPUAndGPU engines cooperate across both.
+	CPUAndGPU
+)
+
+// String renders the value as it appears in Table 1.
+func (v ProcessorSupport) String() string {
+	switch v {
+	case CPUOnly:
+		return "CPU"
+	case GPUOnly:
+		return "GPU"
+	case CPUAndGPU:
+		return "CPU/GPU"
+	default:
+		return fmt.Sprintf("ProcessorSupport(%d)", uint8(v))
+	}
+}
+
+// WorkloadSupport states which workload mix the engine is designed for.
+type WorkloadSupport uint8
+
+// Workload support values.
+const (
+	// OLTP is transaction processing.
+	OLTP WorkloadSupport = iota
+	// OLAP is analytic processing.
+	OLAP
+	// HTAP is hybrid transactional/analytical processing.
+	HTAP
+)
+
+// String renders the value as it appears in Table 1.
+func (v WorkloadSupport) String() string {
+	switch v {
+	case OLTP:
+		return "OLTP"
+	case OLAP:
+		return "OLAP"
+	case HTAP:
+		return "HTAP"
+	default:
+		return fmt.Sprintf("WorkloadSupport(%d)", uint8(v))
+	}
+}
+
+// Classification is one row of the paper's Table 1: the full set of
+// property values for one storage engine.
+type Classification struct {
+	// Name is the engine name as printed in the survey.
+	Name string
+	// Handling is the layout handling property.
+	Handling LayoutHandling
+	// Flexibility is the layout flexibility property.
+	Flexibility LayoutFlexibility
+	// Adaptability is the layout adaptability property.
+	Adaptability LayoutAdaptability
+	// Working is where the working set lives.
+	Working LocationKind
+	// Primary is where the primary (authoritative) copy lives.
+	Primary LocationKind
+	// Locality is derived from Working/Primary.
+	Locality Locality
+	// Linearization is the engine-level linearization class.
+	Linearization LinearizationClass
+	// Scheme is the fragment scheme for multi-layout coherence.
+	Scheme FragmentScheme
+	// Processors is the targeted compute platform set.
+	Processors ProcessorSupport
+	// Workloads is the targeted workload mix.
+	Workloads WorkloadSupport
+	// Year is the publication year (for table ordering).
+	Year int
+}

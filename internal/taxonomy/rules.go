@@ -1,0 +1,120 @@
+package taxonomy
+
+import (
+	"fmt"
+
+	"hybridstore/internal/layout"
+)
+
+// Rule identifies one consistency rule implied by the paper's definitions
+// in Section III.
+type Rule string
+
+// The consistency rules.
+const (
+	// RuleInflexibleSingleFragment: an inflexible engine supports only one
+	// fragment per layout (waived for fixed-fragmentation engines like
+	// PAX, whose page-dictated fragmentation the paper still calls
+	// inflexible).
+	RuleInflexibleSingleFragment Rule = "inflexible-single-fragment"
+	// RuleWeakUniformPartitioning: a weak flexible engine's layouts each
+	// use one partitioning technique, never a combination.
+	RuleWeakUniformPartitioning Rule = "weak-uniform-partitioning"
+	// RuleResponsiveRequiresFlexible: static is forced for inflexible
+	// engines; responsive requires flexibility.
+	RuleResponsiveRequiresFlexible Rule = "responsive-requires-flexible"
+	// RuleMixedImpliesDistributed: a mixed data location implies
+	// distributed locality, and centralized locality implies a
+	// single-kind location.
+	RuleMixedImpliesDistributed Rule = "mixed-implies-distributed"
+	// RuleMultiLayoutRequiresScheme: relations with more fragments than
+	// needed to cover the tuples need a replication- or delegation-based
+	// scheme to stay coherent.
+	RuleMultiLayoutRequiresScheme Rule = "multi-layout-requires-scheme"
+	// RuleDirectOnlyThin: direct linearization appears only on thin
+	// fragments (two-dimensional fat fragments require NSM or DSM).
+	RuleDirectOnlyThin Rule = "direct-only-thin"
+	// RuleStrongRequiresCombined: strong flexibility claims need
+	// structural evidence of combined vertical+horizontal partitioning.
+	RuleStrongRequiresCombined Rule = "strong-requires-combined"
+)
+
+// Violation reports one rule breach found by Validate.
+type Violation struct {
+	// Rule is the breached rule.
+	Rule Rule
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// String renders the violation.
+func (v Violation) String() string { return fmt.Sprintf("%s: %s", v.Rule, v.Detail) }
+
+// Validate cross-checks a classification against the structural snapshot
+// it was derived from (or any snapshot claimed to realize it) and returns
+// all rule violations. A nil/empty result means the classification is
+// consistent with the paper's definitions.
+func Validate(c Classification, snap layout.Snapshot, caps Capabilities) []Violation {
+	var out []Violation
+
+	if c.Flexibility == Inflexible && !caps.FixedFragmentation {
+		for _, l := range snap.Layouts {
+			if len(l.Fragments) > 1 {
+				out = append(out, Violation{RuleInflexibleSingleFragment,
+					fmt.Sprintf("layout %q has %d fragments", l.Name, len(l.Fragments))})
+			}
+		}
+	}
+
+	if c.Flexibility == WeakFlexible {
+		for _, l := range snap.Layouts {
+			if l.Combined {
+				out = append(out, Violation{RuleWeakUniformPartitioning,
+					fmt.Sprintf("layout %q combines vertical and horizontal partitioning", l.Name)})
+			}
+		}
+	}
+
+	if c.Adaptability == Responsive && !c.Flexibility.Flexible() {
+		out = append(out, Violation{RuleResponsiveRequiresFlexible,
+			"responsive adaptability on an inflexible engine"})
+	}
+
+	if (c.Working == LocMixed || c.Primary == LocMixed) && c.Locality != Distributed {
+		out = append(out, Violation{RuleMixedImpliesDistributed,
+			"mixed data location with centralized locality"})
+	}
+	if c.Locality == Centralized && c.Working == LocMixed {
+		out = append(out, Violation{RuleMixedImpliesDistributed,
+			"centralized locality requires a single-kind location"})
+	}
+
+	if c.Handling != SingleLayout && c.Scheme == SchemeNone {
+		out = append(out, Violation{RuleMultiLayoutRequiresScheme,
+			"multi-layout relation without replication or delegation scheme"})
+	}
+
+	for _, l := range snap.Layouts {
+		for i, f := range l.Fragments {
+			if f.Fat && f.Lin == layout.Direct {
+				out = append(out, Violation{RuleDirectOnlyThin,
+					fmt.Sprintf("layout %q fragment %d is fat but direct", l.Name, i)})
+			}
+		}
+	}
+
+	if c.Flexibility.Strong() {
+		any := false
+		for _, l := range snap.Layouts {
+			if l.Combined {
+				any = true
+				break
+			}
+		}
+		if !any {
+			out = append(out, Violation{RuleStrongRequiresCombined,
+				"strong flexibility claimed but no layout combines vertical and horizontal partitioning"})
+		}
+	}
+	return out
+}

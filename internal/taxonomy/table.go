@@ -1,0 +1,91 @@
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderTable formats classifications as the paper's Table 1: one row per
+// engine, ordered by publication year then name, with the survey's column
+// set. The output is a fixed-width text table suitable for terminals and
+// for golden-file comparison in tests.
+func RenderTable(rows []Classification) string {
+	sorted := append([]Classification(nil), rows...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Year != sorted[j].Year {
+			return sorted[i].Year < sorted[j].Year
+		}
+		return sorted[i].Name < sorted[j].Name
+	})
+
+	header := []string{
+		"Engine", "Layout handling", "Layout flexibility", "Layout adaptability",
+		"Data location", "Fragment linearization", "Fragment scheme",
+		"Processor", "Workload", "Year",
+	}
+	table := [][]string{header}
+	for _, c := range sorted {
+		table = append(table, []string{
+			c.Name,
+			c.Handling.String(),
+			c.Flexibility.String(),
+			c.Adaptability.String(),
+			locationCell(c),
+			c.Linearization.String(),
+			c.Scheme.String(),
+			c.Processors.String(),
+			c.Workloads.String(),
+			fmt.Sprintf("%d", c.Year),
+		})
+	}
+
+	widths := make([]int, len(header))
+	for _, row := range table {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for r, row := range table {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+		if r == 0 {
+			total := 0
+			for i, w := range widths {
+				if i > 0 {
+					total += 2
+				}
+				total += w
+			}
+			b.WriteString(strings.Repeat("-", total))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// locationCell renders the Table-1 "Data location" column: working space,
+// primary space, and the derived locality (e.g. "host+secondary centr.").
+func locationCell(c Classification) string {
+	loc := c.Working.String()
+	if c.Primary != c.Working {
+		loc += "+" + c.Primary.String()
+	}
+	switch c.Locality {
+	case Centralized:
+		return loc + " centr."
+	default:
+		return loc + " distr."
+	}
+}

@@ -1,0 +1,312 @@
+// Package tx implements a multi-version concurrency control (MVCC)
+// version store with snapshot isolation. It is the substrate behind the
+// paper's challenge (b.iii) — "efficient processing of both workload
+// types without interferences between long-running ad-hoc analytic
+// queries and massive short-living write-intensive transactional queries"
+// — and the mechanism HyPer-style engines use to detach analytic query
+// execution from mission-critical transactional data: analytic readers
+// pin a snapshot timestamp and never block or observe concurrent writers.
+//
+// The design is a classic timestamp-ordered version chain per row with
+// buffered writes and first-committer-wins conflict resolution:
+//
+//   - Begin assigns the transaction a begin timestamp (the snapshot).
+//   - Reads see the newest version committed at or before the snapshot,
+//     plus the transaction's own buffered writes.
+//   - Commit validates that no written row has a newer committed version
+//     than the snapshot (else ErrConflict) and installs all writes
+//     atomically at a fresh commit timestamp.
+//   - Prune garbage-collects versions no active snapshot can see.
+package tx
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hybridstore/internal/schema"
+)
+
+// Transaction errors.
+var (
+	// ErrConflict is returned by Commit when another transaction
+	// committed a newer version of a written row (first committer wins).
+	ErrConflict = errors.New("tx: write-write conflict")
+	// ErrClosed is returned when using a committed or aborted transaction.
+	ErrClosed = errors.New("tx: transaction already finished")
+	// ErrNotFound is returned when reading a row with no visible version.
+	ErrNotFound = errors.New("tx: no visible version")
+)
+
+// version is one entry of a row's version chain, newest first.
+type version struct {
+	ts      uint64
+	rec     schema.Record
+	deleted bool
+	next    *version
+}
+
+// Store holds the version chains of one relation. The zero value is not
+// usable; create stores with NewStore. Safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	chains map[uint64]*version
+}
+
+// NewStore creates an empty version store.
+func NewStore() *Store {
+	return &Store{chains: make(map[uint64]*version)}
+}
+
+// visible returns the newest version of row committed at or before ts.
+func (s *Store) visible(row uint64, ts uint64) *version {
+	for v := s.chains[row]; v != nil; v = v.next {
+		if v.ts <= ts {
+			return v
+		}
+	}
+	return nil
+}
+
+// LatestTS returns the commit timestamp of row's newest version (0 if the
+// row has none).
+func (s *Store) LatestTS(row uint64) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if v := s.chains[row]; v != nil {
+		return v.ts
+	}
+	return 0
+}
+
+// Rows returns the number of rows with at least one version.
+func (s *Store) Rows() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.chains)
+}
+
+// Versions returns the total number of stored versions (for GC tests and
+// compaction policies).
+func (s *Store) Versions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, v := range s.chains {
+		for ; v != nil; v = v.next {
+			n++
+		}
+	}
+	return n
+}
+
+// Prune drops versions that no snapshot at or after minTS can see: for
+// each chain the newest version with ts <= minTS is kept, everything
+// older is cut. Deleted markers older than minTS are removed entirely.
+func (s *Store) Prune(minTS uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for row, v := range s.chains {
+		// Find the newest version visible at minTS; cut its tail.
+		for cur := v; cur != nil; cur = cur.next {
+			if cur.ts <= minTS {
+				cur.next = nil
+				break
+			}
+		}
+		// A chain whose only remaining content is an old delete marker
+		// can vanish.
+		if v.deleted && v.ts <= minTS && v.next == nil {
+			delete(s.chains, row)
+		}
+	}
+}
+
+// Forget removes row's entire version chain. It is only safe when the
+// newest version's value has been folded into the caller's base storage
+// and no active snapshot predates that version (callers guard with
+// Manager.MinActiveTS) — the merge path of HTAP engines.
+func (s *Store) Forget(row uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.chains, row)
+}
+
+// Manager issues timestamps and transactions over any number of stores.
+// Safe for concurrent use.
+type Manager struct {
+	mu     sync.Mutex
+	clock  uint64
+	active map[uint64]uint64 // txID → beginTS
+	nextID uint64
+}
+
+// NewManager creates a transaction manager.
+func NewManager() *Manager {
+	return &Manager{active: make(map[uint64]uint64)}
+}
+
+// Begin starts a transaction with a snapshot of the current clock.
+func (m *Manager) Begin() *Tx {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	t := &Tx{
+		m:       m,
+		id:      m.nextID,
+		beginTS: m.clock,
+		writes:  make(map[writeKey]writeVal),
+	}
+	m.active[t.id] = t.beginTS
+	return t
+}
+
+// MinActiveTS returns the smallest snapshot timestamp any active
+// transaction holds, or the current clock when none is active. It is the
+// safe horizon for Store.Prune.
+func (m *Manager) MinActiveTS() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	min := m.clock
+	for _, ts := range m.active {
+		if ts < min {
+			min = ts
+		}
+	}
+	return min
+}
+
+// Now returns the current logical clock value.
+func (m *Manager) Now() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clock
+}
+
+// writeKey addresses one row of one store inside a transaction's buffer.
+type writeKey struct {
+	store *Store
+	row   uint64
+}
+
+// writeVal is one buffered write.
+type writeVal struct {
+	rec     schema.Record
+	deleted bool
+}
+
+// Tx is one transaction. A Tx is not safe for concurrent use by multiple
+// goroutines (like database handles, each goroutine begins its own).
+type Tx struct {
+	m       *Manager
+	id      uint64
+	beginTS uint64
+	writes  map[writeKey]writeVal
+	closed  bool
+}
+
+// ID returns the transaction id.
+func (t *Tx) ID() uint64 { return t.id }
+
+// SnapshotTS returns the transaction's begin timestamp.
+func (t *Tx) SnapshotTS() uint64 { return t.beginTS }
+
+// Read returns the record of row visible to this transaction: its own
+// buffered write if any, else the newest version at or before its
+// snapshot. ErrNotFound is returned for invisible or deleted rows.
+func (t *Tx) Read(s *Store, row uint64) (schema.Record, error) {
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if w, ok := t.writes[writeKey{s, row}]; ok {
+		if w.deleted {
+			return nil, fmt.Errorf("%w: row %d deleted in this transaction", ErrNotFound, row)
+		}
+		return w.rec.Clone(), nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v := s.visible(row, t.beginTS)
+	if v == nil || v.deleted {
+		return nil, fmt.Errorf("%w: row %d at ts %d", ErrNotFound, row, t.beginTS)
+	}
+	return v.rec.Clone(), nil
+}
+
+// Write buffers a full-record write of row.
+func (t *Tx) Write(s *Store, row uint64, rec schema.Record) error {
+	if t.closed {
+		return ErrClosed
+	}
+	t.writes[writeKey{s, row}] = writeVal{rec: rec.Clone()}
+	return nil
+}
+
+// Delete buffers a deletion of row.
+func (t *Tx) Delete(s *Store, row uint64) error {
+	if t.closed {
+		return ErrClosed
+	}
+	t.writes[writeKey{s, row}] = writeVal{deleted: true}
+	return nil
+}
+
+// Pending returns the number of buffered writes.
+func (t *Tx) Pending() int { return len(t.writes) }
+
+// Commit validates and installs the buffered writes atomically at a fresh
+// commit timestamp. On conflict everything is discarded and ErrConflict
+// returned; the transaction is finished either way.
+func (t *Tx) Commit() error {
+	if t.closed {
+		return ErrClosed
+	}
+	t.closed = true
+
+	// The manager lock is held across validate+install, making Commit the
+	// serial commit point: commit-timestamp order equals validation order.
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	defer delete(t.m.active, t.id)
+
+	// Group writes per store; each store is validated under its own lock.
+	stores := make(map[*Store][]writeKey)
+	for k := range t.writes {
+		stores[k.store] = append(stores[k.store], k)
+	}
+	for s, keys := range stores {
+		s.mu.Lock()
+		for _, k := range keys {
+			if v := s.chains[k.row]; v != nil && v.ts > t.beginTS {
+				s.mu.Unlock()
+				return fmt.Errorf("%w: row %d written at ts %d after snapshot %d",
+					ErrConflict, k.row, v.ts, t.beginTS)
+			}
+		}
+		s.mu.Unlock()
+	}
+
+	t.m.clock++
+	commitTS := t.m.clock
+	for s, keys := range stores {
+		s.mu.Lock()
+		for _, k := range keys {
+			w := t.writes[k]
+			s.chains[k.row] = &version{ts: commitTS, rec: w.rec, deleted: w.deleted, next: s.chains[k.row]}
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Abort discards the buffered writes and finishes the transaction.
+func (t *Tx) Abort() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	t.writes = nil
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	delete(t.m.active, t.id)
+}
