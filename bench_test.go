@@ -131,10 +131,6 @@ func reportSim(b *testing.B, ns float64) {
 func benchMaterialize(b *testing.B, l *layout.Layout, cfg exec.Config, spread int) {
 	fixtures(b)
 	h := perfmodel.DefaultHost()
-	threads := 1
-	if cfg.Policy == exec.MultiThreaded {
-		threads = h.Threads
-	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := exec.Materialize(cfg, l, fix.custPositions); err != nil {
@@ -142,20 +138,33 @@ func benchMaterialize(b *testing.B, l *layout.Layout, cfg exec.Config, spread in
 		}
 	}
 	b.StopTimer()
-	reportSim(b, h.MaterializeNs(figures.K, PaperRows, figures.CustomerWidth, spread, threads))
+	switch cfg.Policy {
+	case exec.MultiThreaded:
+		reportSim(b, h.MaterializeNs(figures.K, PaperRows, figures.CustomerWidth, spread, h.Threads))
+	case exec.MorselDriven:
+		reportSim(b, h.MaterializeMorselNs(figures.K, PaperRows, figures.CustomerWidth, spread, h.Threads))
+	default:
+		reportSim(b, h.MaterializeNs(figures.K, PaperRows, figures.CustomerWidth, spread, 1))
+	}
 }
 
 func BenchmarkFig2Panel1RowSingle(b *testing.B) {
 	benchMaterialize(b, fix1(b).custRow, exec.Single(), 1)
 }
 func BenchmarkFig2Panel1RowMulti(b *testing.B) {
-	benchMaterialize(b, fix1(b).custRow, exec.Multi(), 1)
+	benchMaterialize(b, fix1(b).custRow, exec.MultiN(8), 1)
 }
 func BenchmarkFig2Panel1ColSingle(b *testing.B) {
 	benchMaterialize(b, fix1(b).custCol, exec.Single(), figures.CustomerArity)
 }
 func BenchmarkFig2Panel1ColMulti(b *testing.B) {
-	benchMaterialize(b, fix1(b).custCol, exec.Multi(), figures.CustomerArity)
+	benchMaterialize(b, fix1(b).custCol, exec.MultiN(8), figures.CustomerArity)
+}
+func BenchmarkFig2Panel1RowMorsel(b *testing.B) {
+	benchMaterialize(b, fix1(b).custRow, exec.Morsel(), 1)
+}
+func BenchmarkFig2Panel1ColMorsel(b *testing.B) {
+	benchMaterialize(b, fix1(b).custCol, exec.Morsel(), figures.CustomerArity)
 }
 
 // fix1 forces fixture construction before taking struct fields.
@@ -176,10 +185,6 @@ func fix1(b *testing.B) *struct {
 func benchSum150(b *testing.B, l *layout.Layout, cfg exec.Config, width int) {
 	fixtures(b)
 	h := perfmodel.DefaultHost()
-	threads := 1
-	if cfg.Policy == exec.MultiThreaded {
-		threads = h.Threads
-	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		recs, err := exec.Materialize(cfg, l, fix.itemPositions)
@@ -195,20 +200,33 @@ func benchSum150(b *testing.B, l *layout.Layout, cfg exec.Config, width int) {
 		}
 	}
 	b.StopTimer()
-	reportSim(b, h.MaterializeNs(figures.K, PaperRows, width, 1, threads))
+	switch cfg.Policy {
+	case exec.MultiThreaded:
+		reportSim(b, h.MaterializeNs(figures.K, PaperRows, width, 1, h.Threads))
+	case exec.MorselDriven:
+		reportSim(b, h.MaterializeMorselNs(figures.K, PaperRows, width, 1, h.Threads))
+	default:
+		reportSim(b, h.MaterializeNs(figures.K, PaperRows, width, 1, 1))
+	}
 }
 
 func BenchmarkFig2Panel2RowSingle(b *testing.B) {
 	benchSum150(b, fix1(b).itemsRow, exec.Single(), figures.ItemWidth)
 }
 func BenchmarkFig2Panel2RowMulti(b *testing.B) {
-	benchSum150(b, fix1(b).itemsRow, exec.Multi(), figures.ItemWidth)
+	benchSum150(b, fix1(b).itemsRow, exec.MultiN(8), figures.ItemWidth)
 }
 func BenchmarkFig2Panel2ColSingle(b *testing.B) {
 	benchSum150(b, fix1(b).itemsCol, exec.Single(), figures.PriceSize)
 }
 func BenchmarkFig2Panel2ColMulti(b *testing.B) {
-	benchSum150(b, fix1(b).itemsCol, exec.Multi(), figures.PriceSize)
+	benchSum150(b, fix1(b).itemsCol, exec.MultiN(8), figures.PriceSize)
+}
+func BenchmarkFig2Panel2RowMorsel(b *testing.B) {
+	benchSum150(b, fix1(b).itemsRow, exec.Morsel(), figures.ItemWidth)
+}
+func BenchmarkFig2Panel2ColMorsel(b *testing.B) {
+	benchSum150(b, fix1(b).itemsCol, exec.Morsel(), figures.PriceSize)
 }
 
 // --- Figure 2 / panels 3-4: sum all prices --------------------------------
@@ -220,10 +238,6 @@ func benchFullScan(b *testing.B, l *layout.Layout, cfg exec.Config, stride int) 
 		b.Fatal(err)
 	}
 	h := perfmodel.DefaultHost()
-	threads := 1
-	if cfg.Policy == exec.MultiThreaded {
-		threads = h.Threads
-	}
 	want := workload.ExpectedItemPriceSum(BenchRows)
 	b.SetBytes(int64(h.StridedBytes(BenchRows, figures.PriceSize, stride)))
 	b.ResetTimer()
@@ -237,20 +251,125 @@ func benchFullScan(b *testing.B, l *layout.Layout, cfg exec.Config, stride int) 
 		}
 	}
 	b.StopTimer()
-	reportSim(b, h.ScanSumNs(PaperRows, figures.PriceSize, stride, threads))
+	switch cfg.Policy {
+	case exec.MultiThreaded:
+		reportSim(b, h.ScanSumNs(PaperRows, figures.PriceSize, stride, h.Threads))
+	case exec.MorselDriven:
+		reportSim(b, h.ScanSumMorselNs(PaperRows, figures.PriceSize, stride, h.Threads))
+	default:
+		reportSim(b, h.ScanSumNs(PaperRows, figures.PriceSize, stride, 1))
+	}
 }
 
 func BenchmarkFig2Panel3RowSingle(b *testing.B) {
 	benchFullScan(b, fix1(b).itemsRow, exec.Single(), figures.ItemWidth)
 }
 func BenchmarkFig2Panel3RowMulti(b *testing.B) {
-	benchFullScan(b, fix1(b).itemsRow, exec.Multi(), figures.ItemWidth)
+	benchFullScan(b, fix1(b).itemsRow, exec.MultiN(8), figures.ItemWidth)
 }
 func BenchmarkFig2Panel3ColSingle(b *testing.B) {
 	benchFullScan(b, fix1(b).itemsCol, exec.Single(), figures.PriceSize)
 }
 func BenchmarkFig2Panel3ColMulti(b *testing.B) {
-	benchFullScan(b, fix1(b).itemsCol, exec.Multi(), figures.PriceSize)
+	benchFullScan(b, fix1(b).itemsCol, exec.MultiN(8), figures.PriceSize)
+}
+func BenchmarkFig2Panel3RowMorsel(b *testing.B) {
+	benchFullScan(b, fix1(b).itemsRow, exec.Morsel(), figures.ItemWidth)
+}
+func BenchmarkFig2Panel3ColMorsel(b *testing.B) {
+	benchFullScan(b, fix1(b).itemsCol, exec.Morsel(), figures.PriceSize)
+}
+
+// --- Morsel vs blockwise (finding v) --------------------------------------
+//
+// The acceptance pair behind the MorselDriven policy: on small-result
+// operators the resident pool must clearly beat spawning the paper's
+// eight blockwise workers (the scheduling cost is the whole bill), and
+// on full scans it must hold the blockwise plateau.
+
+// benchTinyAggregate sums a 150-value column view — the pure
+// scheduling-overhead microbenchmark behind finding (v): the work is a
+// few hundred nanoseconds, so the executor's dispatch cost dominates.
+func benchTinyAggregate(b *testing.B, cfg exec.Config) {
+	fixtures(b)
+	pieces, err := exec.ColumnView(fix.itemsCol, workload.ItemPriceCol, figures.K)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := perfmodel.DefaultHost()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := exec.SumFloat64(cfg, pieces)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum <= 0 {
+			b.Fatal("bad sum")
+		}
+	}
+	b.StopTimer()
+	switch cfg.Policy {
+	case exec.MultiThreaded:
+		reportSim(b, h.ScanSumNs(figures.K, figures.PriceSize, figures.PriceSize, h.Threads))
+	case exec.MorselDriven:
+		reportSim(b, h.ScanSumMorselNs(figures.K, figures.PriceSize, figures.PriceSize, h.Threads))
+	default:
+		reportSim(b, h.ScanSumNs(figures.K, figures.PriceSize, figures.PriceSize, 1))
+	}
+}
+
+// benchSelect filters the full price column at low selectivity
+// (2 in 10_000): a full scan whose tiny result exercises the pooled
+// position-list buffers.
+func benchSelect(b *testing.B, cfg exec.Config) {
+	fixtures(b)
+	pieces, err := exec.ColumnView(fix.itemsCol, workload.ItemPriceCol, BenchRows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// ItemPrice(i) = (i%10000)/100 + 1, so x < 1.02 matches i%10000 < 2.
+	const want = 2 * (BenchRows / 10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos, err := exec.SelectFloat64(cfg, pieces, func(x float64) bool { return x < 1.02 })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pos) != want {
+			b.Fatalf("matches = %d, want %d", len(pos), want)
+		}
+	}
+}
+
+func BenchmarkMorselVsBlockwiseTinyAggMorsel(b *testing.B) {
+	benchTinyAggregate(b, exec.Morsel())
+}
+func BenchmarkMorselVsBlockwiseTinyAggBlockwise(b *testing.B) {
+	benchTinyAggregate(b, exec.MultiN(8))
+}
+func BenchmarkMorselVsBlockwiseSum150Morsel(b *testing.B) {
+	benchSum150(b, fix1(b).itemsCol, exec.Morsel(), figures.PriceSize)
+}
+func BenchmarkMorselVsBlockwiseSum150Blockwise(b *testing.B) {
+	benchSum150(b, fix1(b).itemsCol, exec.MultiN(8), figures.PriceSize)
+}
+func BenchmarkMorselVsBlockwiseMaterializeMorsel(b *testing.B) {
+	benchMaterialize(b, fix1(b).custRow, exec.Morsel(), 1)
+}
+func BenchmarkMorselVsBlockwiseMaterializeBlockwise(b *testing.B) {
+	benchMaterialize(b, fix1(b).custRow, exec.MultiN(8), 1)
+}
+func BenchmarkMorselVsBlockwiseFullScanMorsel(b *testing.B) {
+	benchFullScan(b, fix1(b).itemsCol, exec.Morsel(), figures.PriceSize)
+}
+func BenchmarkMorselVsBlockwiseFullScanBlockwise(b *testing.B) {
+	benchFullScan(b, fix1(b).itemsCol, exec.MultiN(8), figures.PriceSize)
+}
+func BenchmarkMorselVsBlockwiseSelectMorsel(b *testing.B) {
+	benchSelect(b, exec.Morsel())
+}
+func BenchmarkMorselVsBlockwiseSelectBlockwise(b *testing.B) {
+	benchSelect(b, exec.MultiN(8))
 }
 
 // BenchmarkFig2Panel3Device includes the host→device transfer every
@@ -359,7 +478,7 @@ func BenchmarkAblationThreadMgmtSingle(b *testing.B) {
 // BenchmarkAblationThreadMgmtMulti spawns the paper's eight workers for
 // the same tiny input.
 func BenchmarkAblationThreadMgmtMulti(b *testing.B) {
-	benchSum150(b, fix1(b).itemsCol, exec.Multi(), figures.PriceSize)
+	benchSum150(b, fix1(b).itemsCol, exec.MultiN(8), figures.PriceSize)
 }
 
 // BenchmarkAblationVolcano compares tuple-at-a-time iteration against the

@@ -10,10 +10,11 @@
 //
 // Usage:
 //
-//	htapbench [-panel 0-4] [-csv] [-verify] [-verify-rows N]
+//	htapbench [-panel 0-4] [-csv] [-json] [-verify] [-verify-rows N]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 func main() {
 	panel := flag.Int("panel", 0, "panel to regenerate (1-4), 0 = all")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	jsonOut := flag.Bool("json", false, "also write panels+findings to BENCH_fig2.json for perf tracking")
 	verify := flag.Bool("verify", false, "also execute every configuration for real and cross-check answers")
 	verifyRows := flag.Uint64("verify-rows", 100_000, "row count for -verify")
 	real := flag.Bool("real", false, "also measure the single-threaded host series with real wall-clock execution")
@@ -54,6 +56,24 @@ func main() {
 	fmt.Printf("  (ii)  record-centric operations favour NSM:         %v\n", f.RecordCentricFavoursNSM)
 	fmt.Printf("  (iii) attribute-centric operations favour DSM:      %v\n", f.AttrCentricFavoursDSM)
 	fmt.Printf("  (iv)  device wins once the column is resident:      %v\n", f.DeviceWinsWhenResident)
+	fmt.Printf("  (v)   morsel pool amortizes scheduling overhead:    %v\n", f.MorselAmortizesScheduling)
+
+	if *jsonOut {
+		blob, err := json.MarshalIndent(struct {
+			Panels   []figures.Panel
+			Findings figures.Findings
+		}{panels, f}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "json encoding failed:", err)
+			os.Exit(1)
+		}
+		const path = "BENCH_fig2.json"
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "json write failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (%d panels)\n", path, len(panels))
+	}
 
 	if *real {
 		fmt.Println()

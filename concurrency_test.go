@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"hybridstore/internal/exec/pool"
 	"hybridstore/internal/workload"
 )
 
@@ -161,4 +162,99 @@ func TestConcurrentHTAPStress(t *testing.T) {
 			t.Fatalf("Get(%d) = %v, %v; want price %v", probe, rec, err, model[probe])
 		}
 	}
+}
+
+// TestConcurrentMorselPoolStress hammers the process-wide morsel pool
+// from several independent DBs at once: every engine routes its analytic
+// operators through the same resident workers and recycled buffers, so
+// concurrent queries across databases must neither race nor cross-feed
+// results. Run under -race this validates the pool's sharing contract.
+func TestConcurrentMorselPoolStress(t *testing.T) {
+	// Small morsels force real multi-morsel scheduling on this machine;
+	// extra workers force cross-query stealing.
+	pool.SetMorselSize(128)
+	pool.SetWorkers(4)
+	t.Cleanup(func() {
+		pool.SetMorselSize(0)
+		pool.SetWorkers(0)
+	})
+
+	const dbs, rows = 3, 3000
+	type fixture struct {
+		tbl  *Table
+		want float64
+	}
+	fixtures := make([]fixture, dbs)
+	for d := range fixtures {
+		db := Open(Options{ChunkRows: 256, HotChunks: 2, Policy: MorselDriven})
+		tbl, err := db.CreateTable("item", ItemSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tbl.Free()
+		// Distinct data per DB: shift the generator so a buffer leaking
+		// across queries produces a visibly wrong sum.
+		shift := uint64(d * 100_000)
+		for i := uint64(0); i < rows; i++ {
+			if _, err := tbl.Insert(Item(shift + i)); err != nil {
+				t.Fatal(err)
+			}
+			fixtures[d].want += workload.ItemPrice(shift + i)
+		}
+		fixtures[d].tbl = tbl
+	}
+
+	// Churn the pool size while the queries run: in-flight jobs keep the
+	// slot bound they were submitted with, so resizing must stay safe.
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		sizes := []int{2, 4, 1, 3}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				pool.SetWorkers(sizes[i%len(sizes)])
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for d := range fixtures {
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(d, w int) {
+				defer wg.Done()
+				f := fixtures[d]
+				r := rand.New(rand.NewSource(int64(d*10 + w)))
+				for i := 0; i < 30; i++ {
+					got, err := f.tbl.SumFloat64(ItemPriceColumn)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if math.Abs(got-f.want) > 1e-6 {
+						t.Errorf("db %d: concurrent sum = %v, want %v", d, got, f.want)
+						return
+					}
+					groups, err := f.tbl.GroupSumFloat64(1, ItemPriceColumn)
+					if err != nil || len(groups) == 0 {
+						t.Errorf("db %d: group sum = %v, %v", d, groups, err)
+						return
+					}
+					row := uint64(r.Int63n(rows))
+					if _, err := f.tbl.Get(row); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(d, w)
+		}
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
 }

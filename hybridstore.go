@@ -60,6 +60,23 @@ var (
 	CharValue  = schema.CharValue
 )
 
+// ExecPolicy selects the host threading policy for analytic operators.
+type ExecPolicy = exec.Policy
+
+// Execution policies, re-exported from internal/exec.
+const (
+	// SingleThreaded runs operators sequentially on the calling
+	// goroutine (the default).
+	SingleThreaded = exec.SingleThreaded
+	// MultiThreaded partitions operators blockwise over
+	// runtime.GOMAXPROCS(0) fresh goroutines per call.
+	MultiThreaded = exec.MultiThreaded
+	// MorselDriven executes operators on the process-wide resident
+	// worker pool in fixed-size morsels, amortizing scheduling and
+	// recycling result buffers across queries.
+	MorselDriven = exec.MorselDriven
+)
+
 // Options tunes a DB.
 type Options struct {
 	// ChunkRows is the horizontal chunk capacity (default 1024).
@@ -73,6 +90,9 @@ type Options struct {
 	// DevicePlacement enables moving scan-hot columns to the simulated
 	// GPU.
 	DevicePlacement bool
+	// Policy is the host execution policy for analytic operators
+	// (default SingleThreaded).
+	Policy ExecPolicy
 }
 
 // DB is an open hybridstore instance: one simulated platform (host
@@ -85,6 +105,7 @@ type DB struct {
 // Open creates a DB.
 func Open(opts Options) *DB {
 	env := engine.NewEnv()
+	env.ExecPolicy = opts.Policy
 	return &DB{
 		env: env,
 		eng: core.New(env, core.Options{

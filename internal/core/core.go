@@ -181,7 +181,7 @@ func (e *Engine) Create(name string, s *schema.Schema) (engine.Table, error) {
 		oltp: oltp,
 		olap: olap,
 		cfg: exec.Config{
-			Policy: exec.SingleThreaded,
+			Policy: e.env.ExecPolicy,
 			Host:   e.env.HostProfile,
 			Clock:  e.env.Clock,
 		},

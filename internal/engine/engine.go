@@ -15,6 +15,7 @@ import (
 	"errors"
 
 	"hybridstore/internal/device"
+	"hybridstore/internal/exec"
 	"hybridstore/internal/layout"
 	"hybridstore/internal/mem"
 	"hybridstore/internal/perfmodel"
@@ -49,6 +50,10 @@ type Env struct {
 	HostProfile perfmodel.HostProfile
 	// Clock accumulates simulated time across the platform. May be nil.
 	Clock *perfmodel.Clock
+	// ExecPolicy is the host threading policy engines configure their
+	// bulk operators with: SingleThreaded (the zero value), blockwise
+	// MultiThreaded, or MorselDriven on the shared resident pool.
+	ExecPolicy exec.Policy
 }
 
 // NewEnv builds a default environment: unlimited host and disk, a device

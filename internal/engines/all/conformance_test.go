@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"hybridstore/internal/engine"
+	"hybridstore/internal/exec"
+	"hybridstore/internal/exec/pool"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/taxonomy"
 	"hybridstore/internal/workload"
@@ -35,11 +37,32 @@ func loadItems(t *testing.T, e engine.Engine, n uint64) engine.Table {
 }
 
 // TestConformance runs every surveyed engine through the same behaviour
-// suite: the answers to the paper's two query archetypes must be
-// identical across all ten engines on identical data.
+// suite under each host execution policy: the answers to the paper's two
+// query archetypes must be identical across all ten engines on identical
+// data, whether operators run sequentially, blockwise, or morsel-driven
+// on the shared pool.
 func TestConformance(t *testing.T) {
 	const n = 700
-	for _, e := range Engines(engine.NewEnv()) {
+	// Shrink the morsel granularity so the 700-row tables genuinely
+	// dispatch multi-morsel jobs through the shared pool.
+	pool.SetMorselSize(128)
+	pool.SetWorkers(4)
+	t.Cleanup(func() {
+		pool.SetMorselSize(0)
+		pool.SetWorkers(0)
+	})
+	for _, policy := range []exec.Policy{exec.SingleThreaded, exec.MultiThreaded, exec.MorselDriven} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			env := engine.NewEnv()
+			env.ExecPolicy = policy
+			conformanceSuite(t, env, n)
+		})
+	}
+}
+
+func conformanceSuite(t *testing.T, env *engine.Env, n uint64) {
+	for _, e := range Engines(env) {
 		e := e
 		t.Run(e.Name(), func(t *testing.T) {
 			tbl := loadItems(t, e, n)

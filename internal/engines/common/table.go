@@ -46,7 +46,7 @@ func NewTable(env *engine.Env, rel *layout.Relation) *Table {
 		Env: env,
 		Rel: rel,
 		Cfg: exec.Config{
-			Policy: exec.SingleThreaded,
+			Policy: env.ExecPolicy,
 			Host:   env.HostProfile,
 			Clock:  env.Clock,
 		},

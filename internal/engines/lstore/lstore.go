@@ -89,7 +89,7 @@ type Table struct {
 func (e *Engine) Create(name string, s *schema.Schema) (engine.Table, error) {
 	rel := layout.NewRelation(name, s)
 	t := &Table{env: e.env, rel: rel, s: s,
-		cfg: exec.Config{Policy: exec.SingleThreaded, Host: e.env.HostProfile, Clock: e.env.Clock}}
+		cfg: exec.Config{Policy: e.env.ExecPolicy, Host: e.env.HostProfile, Clock: e.env.Clock}}
 	l := layout.NewLayout("base+tail", s)
 	const initialCap = 64
 	for c := 0; c < s.Arity(); c++ {

@@ -12,6 +12,12 @@
 // runs report Figure-2-shaped timings regardless of this container's
 // single CPU. A Volcano-style row iterator is included for the
 // tuple-at-a-time comparison discussed in Section II-A.
+//
+// A third policy, MorselDriven, executes on the process-wide resident
+// worker pool of internal/exec/pool: operators enqueue fixed-size
+// morsels instead of spawning goroutines, and per-worker partial-result
+// buffers are recycled through sync.Pool, so steady-state calls pay
+// neither thread management nor allocation on the hot path.
 package exec
 
 import (
@@ -19,8 +25,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
+	"hybridstore/internal/exec/pool"
 	"hybridstore/internal/layout"
 	"hybridstore/internal/perfmodel"
 )
@@ -37,6 +45,11 @@ const (
 	// workers: each worker operates on one exclusive, subsequent range of
 	// input positions.
 	MultiThreaded
+	// MorselDriven executes on the shared resident worker pool
+	// (internal/exec/pool): the input positions are split into fixed-size
+	// morsels that idle workers claim, so no threads are created per
+	// query and skewed pieces rebalance across workers.
+	MorselDriven
 )
 
 // String names the policy.
@@ -46,6 +59,8 @@ func (p Policy) String() string {
 		return "single-threaded"
 	case MultiThreaded:
 		return "multi-threaded"
+	case MorselDriven:
+		return "morsel-driven"
 	default:
 		return fmt.Sprintf("Policy(%d)", uint8(p))
 	}
@@ -68,16 +83,33 @@ type Config struct {
 // Single returns a sequential configuration with no time accounting.
 func Single() Config { return Config{Policy: SingleThreaded} }
 
-// Multi returns a blockwise multi-threaded configuration with the paper's
-// eight workers and no time accounting.
-func Multi() Config { return Config{Policy: MultiThreaded, Threads: 8} }
+// Multi returns a blockwise multi-threaded configuration sized to the
+// machine: the worker count resolves to runtime.GOMAXPROCS(0). The
+// paper's fixed eight-thread policy is MultiN(8), used by the Figure-2
+// harness.
+func Multi() Config { return Config{Policy: MultiThreaded} }
+
+// MultiN returns a blockwise multi-threaded configuration with exactly n
+// workers.
+func MultiN(n int) Config { return Config{Policy: MultiThreaded, Threads: n} }
+
+// Morsel returns the morsel-driven configuration executing on the shared
+// resident worker pool.
+func Morsel() Config { return Config{Policy: MorselDriven} }
 
 // threads returns the effective worker count.
 func (c Config) threads() int {
-	if c.Policy != MultiThreaded || c.Threads < 1 {
+	switch c.Policy {
+	case MultiThreaded:
+		if c.Threads >= 1 {
+			return c.Threads
+		}
+		return runtime.GOMAXPROCS(0)
+	case MorselDriven:
+		return pool.Workers()
+	default:
 		return 1
 	}
-	return c.Threads
 }
 
 // Exec errors.
@@ -157,10 +189,18 @@ func (c Config) chargeScan(pieces []Piece) {
 	for _, p := range pieces {
 		ns += scanPieceNs(c.Host, p, 1) // bandwidth/ALU term once per piece
 	}
-	// Thread management is paid once per operator invocation, and the
-	// streaming term divides across workers.
-	if th := c.threads(); th > 1 {
-		ns = ns/float64(th) + c.Host.ThreadMgmtNs(th)
+	switch c.Policy {
+	case MorselDriven:
+		// The resident pool charges one wake plus amortized per-morsel
+		// dispatch instead of per-query thread management.
+		morsels := int64(pool.Morsels(totalLen(pieces), pool.MorselSize()))
+		ns = c.Host.MorselAmortizedNs(ns, morsels, c.threads())
+	case MultiThreaded:
+		// Thread management is paid once per operator invocation, and the
+		// streaming term divides across workers.
+		if th := c.threads(); th > 1 {
+			ns = ns/float64(th) + c.Host.ThreadMgmtNs(th)
+		}
 	}
 	c.Clock.Advance(ns)
 }
@@ -211,10 +251,88 @@ func SumInt64(cfg Config, pieces []Piece) (int64, error) {
 	return int64(sum), nil
 }
 
+// eachRange visits the sub-ranges of pieces covering the global element
+// positions [gFrom, gTo), in order: fn receives each intersected piece
+// and the local element range within it.
+func eachRange(pieces []Piece, gFrom, gTo int, fn func(p Piece, from, to int)) {
+	base := 0
+	for _, p := range pieces {
+		pFrom, pTo := gFrom-base, gTo-base
+		base += p.Vec.Len
+		if pTo <= 0 {
+			break
+		}
+		if pFrom < 0 {
+			pFrom = 0
+		}
+		if pFrom >= p.Vec.Len {
+			continue
+		}
+		if pTo > p.Vec.Len {
+			pTo = p.Vec.Len
+		}
+		fn(p, pFrom, pTo)
+	}
+}
+
+// foldRange applies the sum kernel to the global element positions
+// [gFrom, gTo) across pieces and returns the partial sum.
+func foldRange(pieces []Piece, gFrom, gTo int, kernel func(v layout.ColVector, from, to int) float64) float64 {
+	var acc float64
+	base := 0
+	for _, p := range pieces {
+		pFrom, pTo := gFrom-base, gTo-base
+		base += p.Vec.Len
+		if pTo <= 0 {
+			break
+		}
+		if pFrom < 0 {
+			pFrom = 0
+		}
+		if pFrom >= p.Vec.Len {
+			continue
+		}
+		if pTo > p.Vec.Len {
+			pTo = p.Vec.Len
+		}
+		acc += kernel(p.Vec, pFrom, pTo)
+	}
+	return acc
+}
+
+// blockRange returns worker w's blockwise share of total positions split
+// over th workers; from >= to means the worker has no share.
+func blockRange(w, th, total int) (from, to int) {
+	per := (total + th - 1) / th
+	from = w * per
+	if from >= total {
+		return total, total
+	}
+	to = from + per
+	if to > total {
+		to = total
+	}
+	return from, to
+}
+
 // parallelSum folds pieces with the configured policy. The partial kernel
 // receives a vector and a [from,to) element range and returns its partial
 // sum as float64 (exact for the int64 magnitudes the engines produce).
 func parallelSum(cfg Config, pieces []Piece, kernel func(v layout.ColVector, from, to int) float64) float64 {
+	total := totalLen(pieces)
+	if cfg.Policy == MorselDriven && total > 0 {
+		slots := pool.Slots()
+		partials := pool.GetFloat64s(slots)
+		pool.Run(total, pool.MorselSize(), slots, func(slot, from, to int) {
+			partials[slot] += foldRange(pieces, from, to, kernel)
+		})
+		var acc float64
+		for _, x := range partials {
+			acc += x
+		}
+		pool.PutFloat64s(partials)
+		return acc
+	}
 	th := cfg.threads()
 	if th == 1 {
 		var acc float64
@@ -224,42 +342,17 @@ func parallelSum(cfg Config, pieces []Piece, kernel func(v layout.ColVector, fro
 		return acc
 	}
 	// Blockwise partitioning of the global position space.
-	total := totalLen(pieces)
-	per := (total + th - 1) / th
-	partials := make([]float64, th)
+	partials := pool.GetFloat64s(th)
 	var wg sync.WaitGroup
 	for w := 0; w < th; w++ {
-		gFrom := w * per
-		if gFrom >= total {
+		gFrom, gTo := blockRange(w, th, total)
+		if gFrom >= gTo {
 			break
-		}
-		gTo := gFrom + per
-		if gTo > total {
-			gTo = total
 		}
 		wg.Add(1)
 		go func(w, gFrom, gTo int) {
 			defer wg.Done()
-			var acc float64
-			base := 0
-			for _, p := range pieces {
-				pFrom, pTo := gFrom-base, gTo-base
-				base += p.Vec.Len
-				if pTo <= 0 {
-					break
-				}
-				if pFrom < 0 {
-					pFrom = 0
-				}
-				if pFrom >= p.Vec.Len {
-					continue
-				}
-				if pTo > p.Vec.Len {
-					pTo = p.Vec.Len
-				}
-				acc += kernel(p.Vec, pFrom, pTo)
-			}
-			partials[w] = acc
+			partials[w] = foldRange(pieces, gFrom, gTo, kernel)
 		}(w, gFrom, gTo)
 	}
 	wg.Wait()
@@ -267,5 +360,6 @@ func parallelSum(cfg Config, pieces []Piece, kernel func(v layout.ColVector, fro
 	for _, x := range partials {
 		acc += x
 	}
+	pool.PutFloat64s(partials)
 	return acc
 }

@@ -153,7 +153,7 @@ func TestSumFloat64AllPolicies(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, cfg := range []Config{Single(), Multi(), {Policy: MultiThreaded, Threads: 3}} {
+		for _, cfg := range []Config{Single(), Multi(), MultiN(3), Morsel()} {
 			got, err := SumFloat64(cfg, pieces)
 			if err != nil {
 				t.Fatal(err)
@@ -172,7 +172,7 @@ func TestSumInt64AllPolicies(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := int64(776 * 777 / 2)
-	for _, cfg := range []Config{Single(), Multi()} {
+	for _, cfg := range []Config{Single(), Multi(), MultiN(8), Morsel()} {
 		got, err := SumInt64(cfg, pieces)
 		if err != nil || got != want {
 			t.Fatalf("sum = %d, %v; want %d", got, err, want)
@@ -206,7 +206,7 @@ func TestSumRejectsWrongWidth(t *testing.T) {
 func TestMaterialize(t *testing.T) {
 	l, _ := buildLayout(t, layout.NSM, false, 500)
 	positions := []uint64{0, 42, 499}
-	for _, cfg := range []Config{Single(), Multi()} {
+	for _, cfg := range []Config{Single(), MultiN(8), Morsel()} {
 		recs, err := Materialize(cfg, l, positions)
 		if err != nil {
 			t.Fatal(err)
@@ -231,7 +231,7 @@ func TestMaterialize(t *testing.T) {
 func TestSelectFloat64(t *testing.T) {
 	l, _ := buildLayout(t, layout.NSM, false, 300)
 	pieces, _ := ColumnView(l, 3, 300)
-	for _, cfg := range []Config{Single(), Multi()} {
+	for _, cfg := range []Config{Single(), MultiN(8), Morsel()} {
 		pos, err := SelectFloat64(cfg, pieces, func(x float64) bool { return x < 1 })
 		if err != nil {
 			t.Fatal(err)
@@ -333,7 +333,8 @@ func TestSimulatedTimeCharging(t *testing.T) {
 }
 
 func TestPolicyString(t *testing.T) {
-	if SingleThreaded.String() != "single-threaded" || MultiThreaded.String() != "multi-threaded" {
+	if SingleThreaded.String() != "single-threaded" || MultiThreaded.String() != "multi-threaded" ||
+		MorselDriven.String() != "morsel-driven" {
 		t.Error("policy names wrong")
 	}
 	if Policy(9).String() == "" {

@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
 	"sync"
+
+	"hybridstore/internal/exec/pool"
+	"hybridstore/internal/layout"
 )
 
 // SelectFloat64 scans a float64 column view and returns the sorted global
@@ -20,43 +22,9 @@ func SelectFloat64(cfg Config, pieces []Piece, pred func(float64) bool) ([]uint6
 			return nil, fmt.Errorf("%w: float64 selection over %d-byte fields", ErrBadColumn, p.Vec.Size)
 		}
 	}
-	th := cfg.threads()
-	var out []uint64
-	if th == 1 {
-		for _, p := range pieces {
-			v := p.Vec
-			off := v.Base
-			for i := 0; i < v.Len; i++ {
-				if pred(math.Float64frombits(binary.LittleEndian.Uint64(v.Data[off:]))) {
-					out = append(out, p.Rows.Begin+uint64(i))
-				}
-				off += v.Stride
-			}
-		}
-	} else {
-		parts := make([][]uint64, len(pieces))
-		var wg sync.WaitGroup
-		for pi := range pieces {
-			wg.Add(1)
-			go func(pi int) {
-				defer wg.Done()
-				p := pieces[pi]
-				v := p.Vec
-				off := v.Base
-				for i := 0; i < v.Len; i++ {
-					if pred(math.Float64frombits(binary.LittleEndian.Uint64(v.Data[off:]))) {
-						parts[pi] = append(parts[pi], p.Rows.Begin+uint64(i))
-					}
-					off += v.Stride
-				}
-			}(pi)
-		}
-		wg.Wait()
-		for _, part := range parts {
-			out = append(out, part...)
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	}
+	out := selectPositions(cfg, pieces, func(v layout.ColVector, off int) bool {
+		return pred(math.Float64frombits(binary.LittleEndian.Uint64(v.Data[off:])))
+	})
 	cfg.chargeScan(pieces)
 	return out, nil
 }
@@ -68,19 +36,96 @@ func SelectInt64(cfg Config, pieces []Piece, pred func(int64) bool) ([]uint64, e
 			return nil, fmt.Errorf("%w: int64 selection over %d-byte fields", ErrBadColumn, p.Vec.Size)
 		}
 	}
-	var out []uint64
-	for _, p := range pieces {
+	out := selectPositions(cfg, pieces, func(v layout.ColVector, off int) bool {
+		return pred(int64(binary.LittleEndian.Uint64(v.Data[off:])))
+	})
+	cfg.chargeScan(pieces)
+	return out, nil
+}
+
+// scanMatches appends the global positions in pieces' local range
+// [gFrom, gTo) whose field matches, reusing buf's capacity.
+func scanMatches(buf []uint64, pieces []Piece, gFrom, gTo int, match func(v layout.ColVector, off int) bool) []uint64 {
+	eachRange(pieces, gFrom, gTo, func(p Piece, from, to int) {
 		v := p.Vec
-		off := v.Base
-		for i := 0; i < v.Len; i++ {
-			if pred(int64(binary.LittleEndian.Uint64(v.Data[off:]))) {
-				out = append(out, p.Rows.Begin+uint64(i))
+		off := v.Base + from*v.Stride
+		for i := from; i < to; i++ {
+			if match(v, off) {
+				buf = append(buf, p.Rows.Begin+uint64(i))
 			}
 			off += v.Stride
 		}
+	})
+	return buf
+}
+
+// selectPositions runs the selection under the configured policy. The
+// parallel paths partition the global position space (blockwise or in
+// morsels), collect per-partition matches into recycled buffers, and
+// merge them into one exactly-sized output; partitions are in global
+// order, so the concatenation is already sorted and no extra sort pass
+// is needed.
+func selectPositions(cfg Config, pieces []Piece, match func(v layout.ColVector, off int) bool) []uint64 {
+	total := totalLen(pieces)
+	if total == 0 {
+		return nil
 	}
-	cfg.chargeScan(pieces)
-	return out, nil
+	switch cfg.Policy {
+	case MorselDriven:
+		msize := pool.MorselSize()
+		if total <= msize {
+			return scanMatches(nil, pieces, 0, total, match)
+		}
+		slots := pool.Slots()
+		parts := make([][]uint64, pool.Morsels(total, msize))
+		pool.Run(total, msize, slots, func(_, from, to int) {
+			parts[from/msize] = scanMatches(pool.GetPositions(), pieces, from, to, match)
+		})
+		return mergeParts(parts)
+	case MultiThreaded:
+		th := cfg.threads()
+		if th == 1 {
+			return scanMatches(nil, pieces, 0, total, match)
+		}
+		parts := make([][]uint64, th)
+		var wg sync.WaitGroup
+		for w := 0; w < th; w++ {
+			gFrom, gTo := blockRange(w, th, total)
+			if gFrom >= gTo {
+				break
+			}
+			wg.Add(1)
+			go func(w, gFrom, gTo int) {
+				defer wg.Done()
+				parts[w] = scanMatches(pool.GetPositions(), pieces, gFrom, gTo, match)
+			}(w, gFrom, gTo)
+		}
+		wg.Wait()
+		return mergeParts(parts)
+	default:
+		return scanMatches(nil, pieces, 0, total, match)
+	}
+}
+
+// mergeParts concatenates ordered per-partition position lists into one
+// exactly-sized slice and recycles the partition buffers.
+func mergeParts(parts [][]uint64) []uint64 {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	if n == 0 {
+		for _, p := range parts {
+			pool.PutPositions(p)
+		}
+		return nil
+	}
+	out := make([]uint64, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+		pool.PutPositions(p)
+	}
+	return out
 }
 
 // CountFloat64 counts the elements satisfying pred without building a
@@ -91,17 +136,17 @@ func CountFloat64(cfg Config, pieces []Piece, pred func(float64) bool) (int64, e
 			return 0, fmt.Errorf("%w: float64 count over %d-byte fields", ErrBadColumn, p.Vec.Size)
 		}
 	}
-	var n int64
-	for _, p := range pieces {
-		v := p.Vec
-		off := v.Base
-		for i := 0; i < v.Len; i++ {
+	n := int64(parallelSum(cfg, pieces, func(v layout.ColVector, from, to int) float64 {
+		var c int64
+		off := v.Base + from*v.Stride
+		for i := from; i < to; i++ {
 			if pred(math.Float64frombits(binary.LittleEndian.Uint64(v.Data[off:]))) {
-				n++
+				c++
 			}
 			off += v.Stride
 		}
-	}
+		return float64(c)
+	}))
 	cfg.chargeScan(pieces)
 	return n, nil
 }
@@ -114,22 +159,89 @@ func MinMaxFloat64(cfg Config, pieces []Piece) (min, max float64, ok bool, err e
 			return 0, 0, false, fmt.Errorf("%w: float64 minmax over %d-byte fields", ErrBadColumn, p.Vec.Size)
 		}
 	}
-	min, max = math.Inf(1), math.Inf(-1)
-	for _, p := range pieces {
-		v := p.Vec
-		off := v.Base
-		for i := 0; i < v.Len; i++ {
+	total := totalLen(pieces)
+	if total == 0 {
+		cfg.chargeScan(pieces)
+		return 0, 0, false, nil
+	}
+	extreme := func(v layout.ColVector, from, to int, lo, hi *float64) {
+		off := v.Base + from*v.Stride
+		for i := from; i < to; i++ {
 			x := math.Float64frombits(binary.LittleEndian.Uint64(v.Data[off:]))
-			if x < min {
-				min = x
+			if x < *lo {
+				*lo = x
 			}
-			if x > max {
-				max = x
+			if x > *hi {
+				*hi = x
 			}
-			ok = true
 			off += v.Stride
 		}
 	}
+	min, max = math.Inf(1), math.Inf(-1)
+	switch cfg.Policy {
+	case MorselDriven:
+		slots := pool.Slots()
+		lows, highs := pool.GetFloat64s(slots), pool.GetFloat64s(slots)
+		for i := 0; i < slots; i++ {
+			lows[i], highs[i] = math.Inf(1), math.Inf(-1)
+		}
+		pool.Run(total, pool.MorselSize(), slots, func(slot, from, to int) {
+			eachRange(pieces, from, to, func(p Piece, a, b int) {
+				extreme(p.Vec, a, b, &lows[slot], &highs[slot])
+			})
+		})
+		for i := 0; i < slots; i++ {
+			if lows[i] < min {
+				min = lows[i]
+			}
+			if highs[i] > max {
+				max = highs[i]
+			}
+		}
+		pool.PutFloat64s(lows)
+		pool.PutFloat64s(highs)
+	case MultiThreaded:
+		th := cfg.threads()
+		if th == 1 {
+			for _, p := range pieces {
+				extreme(p.Vec, 0, p.Vec.Len, &min, &max)
+			}
+			break
+		}
+		lows, highs := pool.GetFloat64s(th), pool.GetFloat64s(th)
+		for i := 0; i < th; i++ {
+			lows[i], highs[i] = math.Inf(1), math.Inf(-1)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < th; w++ {
+			gFrom, gTo := blockRange(w, th, total)
+			if gFrom >= gTo {
+				break
+			}
+			wg.Add(1)
+			go func(w, gFrom, gTo int) {
+				defer wg.Done()
+				eachRange(pieces, gFrom, gTo, func(p Piece, a, b int) {
+					extreme(p.Vec, a, b, &lows[w], &highs[w])
+				})
+			}(w, gFrom, gTo)
+		}
+		wg.Wait()
+		for i := 0; i < th; i++ {
+			if lows[i] < min {
+				min = lows[i]
+			}
+			if highs[i] > max {
+				max = highs[i]
+			}
+		}
+		pool.PutFloat64s(lows)
+		pool.PutFloat64s(highs)
+	default:
+		for _, p := range pieces {
+			extreme(p.Vec, 0, p.Vec.Len, &min, &max)
+		}
+	}
 	cfg.chargeScan(pieces)
-	return min, max, ok, nil
+	return min, max, true, nil
 }

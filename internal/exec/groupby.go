@@ -6,6 +6,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"hybridstore/internal/exec/pool"
 )
 
 // GroupResult is one group of a grouped aggregation.
@@ -40,22 +42,31 @@ func GroupSumFloat64(cfg Config, keys, vals []Piece) ([]GroupResult, error) {
 		}
 	}
 
-	th := cfg.threads()
-	tables := make([]map[int64]*GroupResult, th)
-	if th == 1 {
-		tables[0] = groupPartial(keys, vals, 0, totalLen(keys))
-	} else {
-		total := totalLen(keys)
-		per := (total + th - 1) / th
+	total := totalLen(keys)
+	var tables []map[int64]*GroupResult
+	switch {
+	case cfg.Policy == MorselDriven && total > 0:
+		// Partial hash tables hold query results, so they are per-call
+		// (never recycled through sync.Pool) — a stale table must not leak
+		// one query's groups into another.
+		slots := pool.Slots()
+		tables = make([]map[int64]*GroupResult, slots)
+		pool.Run(total, pool.MorselSize(), slots, func(slot, from, to int) {
+			if tables[slot] == nil {
+				tables[slot] = make(map[int64]*GroupResult)
+			}
+			groupPartialInto(tables[slot], keys, vals, from, to)
+		})
+	case cfg.threads() == 1:
+		tables = []map[int64]*GroupResult{groupPartial(keys, vals, 0, total)}
+	default:
+		th := cfg.threads()
+		tables = make([]map[int64]*GroupResult, th)
 		var wg sync.WaitGroup
 		for w := 0; w < th; w++ {
-			from := w * per
-			if from >= total {
+			from, to := blockRange(w, th, total)
+			if from >= to {
 				break
-			}
-			to := from + per
-			if to > total {
-				to = total
 			}
 			wg.Add(1)
 			go func(w, from, to int) {
@@ -90,6 +101,14 @@ func GroupSumFloat64(cfg Config, keys, vals []Piece) ([]GroupResult, error) {
 // groupPartial builds a hash aggregate over global positions [from, to).
 func groupPartial(keys, vals []Piece, from, to int) map[int64]*GroupResult {
 	table := make(map[int64]*GroupResult)
+	groupPartialInto(table, keys, vals, from, to)
+	return table
+}
+
+// groupPartialInto folds global positions [from, to) into an existing
+// partial table (morsel-driven workers accumulate one table per slot
+// across many morsels).
+func groupPartialInto(table map[int64]*GroupResult, keys, vals []Piece, from, to int) {
 	base := 0
 	for pi := range keys {
 		kp, vp := keys[pi].Vec, vals[pi].Vec
@@ -127,7 +146,6 @@ func groupPartial(keys, vals []Piece, from, to int) map[int64]*GroupResult {
 			vOff += vp.Stride
 		}
 	}
-	return table
 }
 
 // checkAligned verifies both views cover identical position runs.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"hybridstore/internal/exec/pool"
 	"hybridstore/internal/layout"
 	"hybridstore/internal/schema"
 )
@@ -15,6 +16,30 @@ import (
 // MultiThreaded the position list is partitioned blockwise.
 func Materialize(cfg Config, l *layout.Layout, positions []uint64) ([]schema.Record, error) {
 	out := make([]schema.Record, len(positions))
+	if cfg.Policy == MorselDriven && len(positions) > 0 {
+		slots := pool.Slots()
+		errs := make([]error, slots)
+		pool.Run(len(positions), pool.MorselSize(), slots, func(slot, from, to int) {
+			if errs[slot] != nil {
+				return
+			}
+			for i := from; i < to; i++ {
+				rec, e := l.Record(positions[i])
+				if e != nil {
+					errs[slot] = fmt.Errorf("materializing position %d: %w", positions[i], e)
+					return
+				}
+				out[i] = rec
+			}
+		})
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+		cfg.chargeMaterialize(l, len(positions))
+		return out, nil
+	}
 	th := cfg.threads()
 	var err error
 	if th == 1 {
@@ -87,6 +112,10 @@ func (c Config) chargeMaterialize(l *layout.Layout, k int) {
 		if f.Rows().End > rows {
 			rows = f.Rows().End
 		}
+	}
+	if c.Policy == MorselDriven {
+		c.Clock.Advance(c.Host.MaterializeMorselNs(int64(k), int64(rows), s.Width(), spread, c.threads()))
+		return
 	}
 	c.Clock.Advance(c.Host.MaterializeNs(int64(k), int64(rows), s.Width(), spread, c.threads()))
 }

@@ -1,0 +1,202 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDefaultsFollowGOMAXPROCS(t *testing.T) {
+	SetWorkers(0)
+	if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS %d", got, want)
+	}
+	if Slots() != Workers()+1 {
+		t.Fatalf("Slots() = %d, want Workers()+1", Slots())
+	}
+	if MorselSize() != DefaultMorselSize {
+		t.Fatalf("MorselSize() = %d, want %d", MorselSize(), DefaultMorselSize)
+	}
+}
+
+func TestSetWorkersAndMorselSize(t *testing.T) {
+	defer SetWorkers(0)
+	defer SetMorselSize(0)
+	SetWorkers(3)
+	if Workers() != 3 || Slots() != 4 {
+		t.Fatalf("Workers/Slots = %d/%d, want 3/4", Workers(), Slots())
+	}
+	SetMorselSize(64)
+	if MorselSize() != 64 {
+		t.Fatalf("MorselSize = %d", MorselSize())
+	}
+	SetWorkers(-5)
+	if Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative SetWorkers did not restore default")
+	}
+}
+
+func TestMorsels(t *testing.T) {
+	cases := []struct{ total, morsel, want int }{
+		{0, 64, 0}, {-3, 64, 0}, {1, 64, 1}, {64, 64, 1}, {65, 64, 2},
+		{1000, 64, 16}, {10, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Morsels(c.total, c.morsel); got != c.want {
+			t.Errorf("Morsels(%d, %d) = %d, want %d", c.total, c.morsel, got, c.want)
+		}
+	}
+}
+
+// TestRunCoversEveryPosition checks that a multi-morsel job touches each
+// position exactly once and that every reported slot is in range.
+func TestRunCoversEveryPosition(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	const total, morsel = 10_000, 64
+	slots := Slots()
+	seen := make([]int32, total)
+	var badSlot atomic.Int32
+	Run(total, morsel, slots, func(slot, from, to int) {
+		if slot < 0 || slot >= slots {
+			badSlot.Store(int32(slot) + 1)
+		}
+		for i := from; i < to; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	if s := badSlot.Load(); s != 0 {
+		t.Fatalf("out-of-range slot %d", s-1)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("position %d executed %d times", i, n)
+		}
+	}
+}
+
+// TestRunSingleMorselInline checks the fast path: a job no larger than
+// one morsel runs on the caller's goroutine in the submitter slot.
+func TestRunSingleMorselInline(t *testing.T) {
+	slots := Slots()
+	var calls int
+	var gotSlot int
+	Run(150, DefaultMorselSize, slots, func(slot, from, to int) {
+		calls++
+		gotSlot = slot
+		if from != 0 || to != 150 {
+			t.Fatalf("range [%d,%d), want [0,150)", from, to)
+		}
+	})
+	if calls != 1 || gotSlot != slots-1 {
+		t.Fatalf("calls=%d slot=%d, want 1 call in submitter slot %d", calls, gotSlot, slots-1)
+	}
+}
+
+// TestConcurrentJobsShareThePool hammers the pool with overlapping
+// multi-morsel jobs from many goroutines.
+func TestConcurrentJobsShareThePool(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	const queries = 24
+	var wg sync.WaitGroup
+	for q := 0; q < queries; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			total := 1_000 + q*97
+			var sum atomic.Int64
+			slots := Slots()
+			Run(total, 32, slots, func(_, from, to int) {
+				var s int64
+				for i := from; i < to; i++ {
+					s += int64(i)
+				}
+				sum.Add(s)
+			})
+			want := int64(total) * int64(total-1) / 2
+			if sum.Load() != want {
+				t.Errorf("query %d: sum=%d want %d", q, sum.Load(), want)
+			}
+		}(q)
+	}
+	wg.Wait()
+}
+
+// TestResizeUnderLoad shrinks and grows the pool while jobs run;
+// in-flight jobs keep their slot bound so no slot ever exceeds it.
+func TestResizeUnderLoad(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sizes := []int{1, 2, 5, 3, 4}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				SetWorkers(sizes[i%len(sizes)])
+			}
+		}
+	}()
+	for round := 0; round < 200; round++ {
+		slots := Slots()
+		var n atomic.Int64
+		Run(4_096, 64, slots, func(slot, from, to int) {
+			if slot < 0 || slot >= slots {
+				panic("slot out of bound")
+			}
+			n.Add(int64(to - from))
+		})
+		if n.Load() != 4_096 {
+			t.Fatalf("round %d: covered %d positions", round, n.Load())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestPositionBufferRecycling(t *testing.T) {
+	b := GetPositions()
+	if len(b) != 0 {
+		t.Fatalf("GetPositions len = %d", len(b))
+	}
+	b = append(b, 7, 8, 9)
+	PutPositions(b)
+	c := GetPositions()
+	if len(c) != 0 {
+		t.Fatalf("recycled buffer not reset: len=%d", len(c))
+	}
+	PutPositions(c)
+	PutPositions(nil) // zero-cap buffers are dropped, not pooled
+}
+
+func TestFloatScratchZeroed(t *testing.T) {
+	s := GetFloat64s(8)
+	for i := range s {
+		s[i] = float64(i) + 0.5
+	}
+	PutFloat64s(s)
+	r := GetFloat64s(8)
+	for i, v := range r {
+		if v != 0 {
+			t.Fatalf("recycled scratch not zeroed at %d: %v", i, v)
+		}
+	}
+	PutFloat64s(r)
+	big := GetFloat64s(1 << 12)
+	if len(big) != 1<<12 {
+		t.Fatalf("grow: len=%d", len(big))
+	}
+	for _, v := range big {
+		if v != 0 {
+			t.Fatal("grown scratch not zeroed")
+		}
+	}
+	PutFloat64s(big)
+}

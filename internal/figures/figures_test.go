@@ -19,11 +19,14 @@ func TestAllFourFindingsReproduce(t *testing.T) {
 	if !f.DeviceWinsWhenResident {
 		t.Error("finding (iv) failed: resident device should dominate")
 	}
+	if !f.MorselAmortizesScheduling {
+		t.Error("finding (v) failed: morsel-driven should beat blockwise on tiny inputs and hold the scan plateau")
+	}
 }
 
 func TestPanel1Shape(t *testing.T) {
 	p := Default().Panel1(DefaultSizes(1))
-	if len(p.Series) != 4 || len(p.Series[0].Values) != 5 {
+	if len(p.Series) != 6 || len(p.Series[0].Values) != 5 {
 		t.Fatalf("panel 1 shape: %d series × %d points", len(p.Series), len(p.Series[0].Values))
 	}
 	// NSM beats DSM at every size, by several ×.
@@ -41,11 +44,19 @@ func TestPanel1Shape(t *testing.T) {
 	if p.find(RowSingle).Values[0] >= p.find(RowMulti).Values[0] {
 		t.Error("multi-threading should lose on 150-record materialization")
 	}
+	// The resident pool sits between: cheaper than spawning threads,
+	// costlier than staying single-threaded.
+	if p.find(RowMorsel).Values[0] >= p.find(RowMulti).Values[0] {
+		t.Error("morsel-driven should beat blockwise on 150-record materialization")
+	}
+	if p.find(RowMorsel).Values[0] <= p.find(RowSingle).Values[0] {
+		t.Error("the pool wake should cost more than staying single-threaded")
+	}
 }
 
 func TestPanel2Shape(t *testing.T) {
 	p := Default().Panel2(DefaultSizes(2))
-	if len(p.Series) != 4 || len(p.Series[0].Values) != 6 {
+	if len(p.Series) != 6 || len(p.Series[0].Values) != 6 {
 		t.Fatalf("panel 2 shape wrong")
 	}
 	// Single-threaded wins across the sweep (finding i).
@@ -54,13 +65,18 @@ func TestPanel2Shape(t *testing.T) {
 			t.Errorf("size %d: single %.2f >= multi %.2f µs", p.Sizes[i],
 				p.find(ColSingle).Values[i], p.find(ColMulti).Values[i])
 		}
+		// Morsel-driven nearly closes the gap: single < morsel < multi.
+		if p.find(ColMorsel).Values[i] >= p.find(ColMulti).Values[i] {
+			t.Errorf("size %d: morsel %.2f >= multi %.2f µs", p.Sizes[i],
+				p.find(ColMorsel).Values[i], p.find(ColMulti).Values[i])
+		}
 	}
 }
 
 func TestPanel3Shape(t *testing.T) {
 	p := Default().Panel3(DefaultSizes(3))
-	if len(p.Series) != 5 {
-		t.Fatalf("panel 3 series = %d, want 5 (4 host + device)", len(p.Series))
+	if len(p.Series) != 7 {
+		t.Fatalf("panel 3 series = %d, want 7 (6 host + device)", len(p.Series))
 	}
 	last := len(p.Sizes) - 1
 	colMulti := p.find(ColMulti).Values[last]
@@ -82,6 +98,12 @@ func TestPanel3Shape(t *testing.T) {
 	// Host multi plateau lands near the paper's ~1500-2500M rows/s.
 	if colMulti < 1200 || colMulti > 4000 {
 		t.Errorf("host plateau = %.0fM rows/s, want ~2000M", colMulti)
+	}
+	// The morsel policy holds the blockwise plateau on full scans
+	// (acceptance: no worse than 5% below it).
+	colMorsel := p.find(ColMorsel).Values[last]
+	if colMorsel < 0.95*colMulti {
+		t.Errorf("morsel plateau %.0f < 95%% of blockwise %.0f M rows/s", colMorsel, colMulti)
 	}
 }
 

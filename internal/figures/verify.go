@@ -110,9 +110,11 @@ func Verify(n uint64) (VerifyReport, error) {
 		c    exec.Config
 	}{
 		{"sum all prices / " + RowSingle, rowL, exec.Single()},
-		{"sum all prices / " + RowMulti, rowL, exec.Multi()},
+		{"sum all prices / " + RowMulti, rowL, exec.MultiN(8)},
+		{"sum all prices / " + RowMorsel, rowL, exec.Morsel()},
 		{"sum all prices / " + ColSingle, colL, exec.Single()},
-		{"sum all prices / " + ColMulti, colL, exec.Multi()},
+		{"sum all prices / " + ColMulti, colL, exec.MultiN(8)},
+		{"sum all prices / " + ColMorsel, colL, exec.Morsel()},
 	} {
 		pieces, err := exec.ColumnView(cfg.l, workload.ItemPriceCol, n)
 		if err != nil {
@@ -160,7 +162,8 @@ func Verify(n uint64) (VerifyReport, error) {
 		c    exec.Config
 	}{
 		{"sum prices of 150 items / " + RowSingle, rowL, exec.Single()},
-		{"sum prices of 150 items / " + ColMulti, colL, exec.Multi()},
+		{"sum prices of 150 items / " + ColMulti, colL, exec.MultiN(8)},
+		{"sum prices of 150 items / " + ColMorsel, colL, exec.Morsel()},
 	} {
 		recs, err := exec.Materialize(cfg.c, cfg.l, positions)
 		if err != nil {

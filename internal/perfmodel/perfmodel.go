@@ -62,6 +62,16 @@ type HostProfile struct {
 	L2LatencyNs, L3LatencyNs float64
 	// OpNs is the per-element ALU cost of a simple aggregate step.
 	OpNs float64
+	// PoolWakeNs is the fixed cost of waking the resident morsel-driven
+	// worker pool for one operator call (no thread creation — the workers
+	// already exist).
+	PoolWakeNs float64
+	// MorselDispatchNs is the scheduling cost of claiming one morsel from
+	// a query's work queue (an atomic fetch-add plus queue scan).
+	MorselDispatchNs float64
+	// MorselRows is the positions-per-morsel granularity the model
+	// assumes for morsel-driven execution.
+	MorselRows int64
 }
 
 // DeviceProfile models a discrete GPU platform.
@@ -104,6 +114,10 @@ func DefaultHost() HostProfile {
 		L2LatencyNs:   4,
 		L3LatencyNs:   14,
 		OpNs:          0.35,
+
+		PoolWakeNs:       2_000, // futex wake of resident workers
+		MorselDispatchNs: 150,   // atomic claim + queue scan per morsel
+		MorselRows:       16 << 10,
 	}
 }
 
@@ -198,6 +212,72 @@ func (h HostProfile) ScanSumNs(n int64, fieldSize, stride, threads int) float64 
 // coordinating thread).
 func (h HostProfile) ThreadMgmtNs(threads int) float64 {
 	return float64(threads) * h.ThreadSpawnNs
+}
+
+// Morsels returns how many morsels of the profile's granularity cover n
+// positions.
+func (h HostProfile) Morsels(n int64) int64 {
+	m := h.MorselRows
+	if m < 1 {
+		m = 16 << 10
+	}
+	if n <= 0 {
+		return 0
+	}
+	return (n + m - 1) / m
+}
+
+// MorselAmortizedNs prices workNs of divisible work executed
+// morsel-driven on a resident pool: one pool wake (no thread creation),
+// plus the work and the per-morsel dispatch cost spread over the workers
+// that can actually run concurrently — at most one per morsel. Unlike
+// ThreadMgmtNs, dispatch overlaps with execution on other workers, so
+// tiny inputs cost roughly the single-threaded time plus the wake.
+func (h HostProfile) MorselAmortizedNs(workNs float64, morsels int64, workers int) float64 {
+	if morsels < 1 {
+		morsels = 1
+	}
+	p := int64(workers)
+	if p > morsels {
+		p = morsels
+	}
+	if p < 1 {
+		p = 1
+	}
+	return h.PoolWakeNs + (workNs+float64(morsels)*h.MorselDispatchNs)/float64(p)
+}
+
+// ScanSumMorselNs prices the attribute-centric aggregate of ScanSumNs
+// executed morsel-driven on a resident pool of the given worker count.
+// The streaming term still saturates at the shared memory bus.
+func (h HostProfile) ScanSumMorselNs(n int64, fieldSize, stride, workers int) float64 {
+	bytes := h.StridedBytes(n, fieldSize, stride)
+	work := h.SeqScanNs(bytes, n) // total single-core work to divide
+	morsels := h.Morsels(n)
+	p := int64(workers)
+	if p > morsels {
+		p = morsels
+	}
+	if p < 1 {
+		p = 1
+	}
+	// Re-apply the bandwidth cap that ScanSumNs models: p cores cannot
+	// stream faster than the memory bus allows.
+	perCore := h.SeqBandwidth * float64(p)
+	if perCore > h.MemBandwidth {
+		floor := float64(bytes) / h.MemBandwidth * 1e9
+		if work/float64(p) < floor {
+			work = floor * float64(p)
+		}
+	}
+	return h.MorselAmortizedNs(work, morsels, workers)
+}
+
+// MaterializeMorselNs prices the record-centric materialization of
+// MaterializeNs executed morsel-driven on a resident pool.
+func (h HostProfile) MaterializeMorselNs(k, n int64, recordWidth, fragmentsPerRecord, workers int) float64 {
+	work := h.MaterializeNs(k, n, recordWidth, fragmentsPerRecord, 1)
+	return h.MorselAmortizedNs(work, h.Morsels(k), workers)
 }
 
 // MaterializeNs prices a record-centric materialization (the paper's Q1
