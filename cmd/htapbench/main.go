@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	htapbench [-panel 0-4] [-csv] [-json] [-verify] [-verify-rows N]
+//	htapbench [-panel 0-4] [-csv] [-json] [-verify] [-verify-rows N] [-metrics]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"hybridstore"
 	"hybridstore/internal/figures"
 )
 
@@ -30,6 +31,8 @@ func main() {
 	verifyRows := flag.Uint64("verify-rows", 100_000, "row count for -verify")
 	real := flag.Bool("real", false, "also measure the single-threaded host series with real wall-clock execution")
 	realRows := flag.Uint64("real-rows", 2_000_000, "largest row count for -real (sweep is 1/4, 1/2, 1x)")
+	metrics := flag.Bool("metrics", false, "run a mixed HTAP workload on the reference engine and report its observability snapshot (with -json, added as an \"obs\" section)")
+	metricsRows := flag.Uint64("metrics-rows", 40_000, "row count for the -metrics mixed workload (keep above one morsel, 16384, so scans exercise the shared pool)")
 	flag.Parse()
 
 	cfg := figures.Default()
@@ -58,11 +61,24 @@ func main() {
 	fmt.Printf("  (iv)  device wins once the column is resident:      %v\n", f.DeviceWinsWhenResident)
 	fmt.Printf("  (v)   morsel pool amortizes scheduling overhead:    %v\n", f.MorselAmortizesScheduling)
 
+	var obsSnap *hybridstore.MetricsSnapshot
+	if *metrics {
+		snap, err := mixedWorkloadMetrics(*metricsRows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics workload failed:", err)
+			os.Exit(1)
+		}
+		obsSnap = &snap
+		fmt.Println()
+		printMetricsSummary(snap)
+	}
+
 	if *jsonOut {
 		blob, err := json.MarshalIndent(struct {
 			Panels   []figures.Panel
 			Findings figures.Findings
-		}{panels, f}, "", "  ")
+			Obs      *hybridstore.MetricsSnapshot `json:"obs,omitempty"`
+		}{panels, f, obsSnap}, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "json encoding failed:", err)
 			os.Exit(1)
@@ -97,5 +113,116 @@ func main() {
 		if !report.AllOK() {
 			os.Exit(1)
 		}
+	}
+}
+
+// mixedWorkloadMetrics drives the reference engine with one mixed HTAP
+// round — bulk inserts, morsel-driven scans, point transactions
+// (including a forced first-committer-wins conflict and an abort),
+// layout adaptation, explicit device placement with device-side point
+// gathers, and a version-store merge — then returns the resulting
+// process-wide metrics snapshot.
+func mixedWorkloadMetrics(rows uint64) (hybridstore.MetricsSnapshot, error) {
+	var zero hybridstore.MetricsSnapshot
+	hybridstore.ResetMetrics()
+	db := hybridstore.Open(hybridstore.Options{
+		Policy:          hybridstore.MorselDriven,
+		DevicePlacement: true,
+	})
+	tbl, err := db.CreateTable("item", hybridstore.ItemSchema())
+	if err != nil {
+		return zero, err
+	}
+	defer tbl.Free()
+
+	for i := uint64(0); i < rows; i++ {
+		if _, err := tbl.Insert(hybridstore.Item(i)); err != nil {
+			return zero, err
+		}
+	}
+	// OLAP side: repeated attribute-centric scans on the shared pool
+	// (these also feed the workload monitor its scan-dominance signal).
+	for i := 0; i < 8; i++ {
+		if _, err := tbl.SumFloat64(hybridstore.ItemPriceColumn); err != nil {
+			return zero, err
+		}
+	}
+	// OLTP side: autocommit point updates plus explicit transactions —
+	// one clean commit, one forced first-committer-wins conflict, one
+	// abort.
+	for row := uint64(0); row < 64 && row < rows; row++ {
+		if err := tbl.Update(row, hybridstore.ItemPriceColumn, hybridstore.FloatValue(9.99)); err != nil {
+			return zero, err
+		}
+	}
+	a, b := tbl.Begin(), tbl.Begin()
+	if err := a.Update(0, hybridstore.ItemPriceColumn, hybridstore.FloatValue(1)); err != nil {
+		return zero, err
+	}
+	if err := b.Update(0, hybridstore.ItemPriceColumn, hybridstore.FloatValue(2)); err != nil {
+		return zero, err
+	}
+	if err := a.Commit(); err != nil {
+		return zero, err
+	}
+	if err := b.Commit(); err == nil {
+		return zero, fmt.Errorf("expected a write-write conflict, got none")
+	}
+	c := tbl.Begin()
+	if err := c.Update(1, hybridstore.ItemPriceColumn, hybridstore.FloatValue(3)); err != nil {
+		return zero, err
+	}
+	c.Abort()
+
+	// Structural work: adaptation, explicit device placement, scans and
+	// point gathers against the device-resident column, and the merge
+	// pass that folds settled versions back into the base fragments.
+	if _, err := tbl.Adapt(); err != nil {
+		return zero, err
+	}
+	if err := tbl.PlaceColumn(hybridstore.ItemPriceColumn); err != nil {
+		return zero, err
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := tbl.SumFloat64(hybridstore.ItemPriceColumn); err != nil {
+			return zero, err
+		}
+	}
+	// Point-read rows the OLTP phase did not touch: clean rows resolve
+	// from the base fragments, so the reads gather the device-resident
+	// price field over the bus.
+	for row := uint64(2048); row < 2080 && row < rows; row++ {
+		if _, err := tbl.Get(row); err != nil {
+			return zero, err
+		}
+	}
+	if err := tbl.Merge(); err != nil {
+		return zero, err
+	}
+	return hybridstore.Metrics(), nil
+}
+
+// printMetricsSummary renders the headline counters of a snapshot.
+func printMetricsSummary(s hybridstore.MetricsSnapshot) {
+	fmt.Println("observability snapshot (mixed HTAP workload):")
+	rows := []struct{ label, name string }{
+		{"pool jobs submitted", "pool.jobs_submitted"},
+		{"pool jobs inline", "pool.jobs_inline"},
+		{"pool morsels by submitter", "pool.morsels_submitter"},
+		{"pool morsels stolen", "pool.morsels_stolen"},
+		{"device h2d bytes", "device.h2d_bytes"},
+		{"device d2h bytes", "device.d2h_bytes"},
+		{"device kernels", "device.kernels"},
+		{"tx begins", "tx.begins"},
+		{"tx commits", "tx.commits"},
+		{"tx conflicts", "tx.conflicts"},
+		{"tx aborts", "tx.aborts"},
+		{"tx versions pruned", "tx.versions_pruned"},
+		{"adapt runs", "core.adapt_runs"},
+		{"freezes", "core.freezes"},
+		{"column placements", "core.column_placements"},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-26s %d\n", r.label, s.Counter(r.name))
 	}
 }

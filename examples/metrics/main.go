@@ -1,0 +1,65 @@
+// Metrics: run a small hybrid workload and dump the library's
+// process-wide observability registry — an expvar-style JSON snapshot of
+// every counter, gauge and latency histogram, plus the recent structural
+// spans (freeze, adapt, merge) with the decisions they recorded.
+//
+//	go run ./examples/metrics
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hybridstore"
+)
+
+func main() {
+	db := hybridstore.Open(hybridstore.Options{
+		ChunkRows:       512,
+		HotChunks:       1,
+		DevicePlacement: true,
+		Policy:          hybridstore.MorselDriven,
+	})
+	items, err := db.CreateTable("item", hybridstore.ItemSchema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer items.Free()
+
+	// A little of everything: inserts freeze chunks, scans feed the
+	// advisor, updates exercise MVCC, Adapt and Merge do structural work.
+	for i := 0; i < 4096; i++ {
+		if _, err := items.Insert(hybridstore.Item(uint64(i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := items.SumFloat64(hybridstore.ItemPriceColumn); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for row := uint64(0); row < 32; row++ {
+		if err := items.Update(row, hybridstore.ItemPriceColumn, hybridstore.FloatValue(1.25)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := items.Adapt(); err != nil {
+		log.Fatal(err)
+	}
+	if err := items.Merge(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Structured access: pick single metrics out of a snapshot...
+	snap := hybridstore.Metrics()
+	fmt.Fprintf(os.Stderr, "tx.commits=%d core.freezes=%d pool.jobs_inline=%d\n",
+		snap.Counter("tx.commits"), snap.Counter("core.freezes"),
+		snap.Counter("pool.jobs_inline"))
+
+	// ...or dump the whole registry as one JSON object (pipe through jq,
+	// scrape it, or diff two dumps around a workload phase).
+	if err := hybridstore.WriteMetricsJSON(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

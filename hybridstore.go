@@ -19,10 +19,12 @@ package hybridstore
 
 import (
 	"fmt"
+	"io"
 
 	"hybridstore/internal/core"
 	"hybridstore/internal/engine"
 	"hybridstore/internal/exec"
+	"hybridstore/internal/obs"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/taxonomy"
 	"hybridstore/internal/workload"
@@ -264,6 +266,31 @@ func (x *Txn) Commit() error { return x.x.Commit() }
 
 // Abort discards the transaction.
 func (x *Txn) Abort() { x.x.Abort() }
+
+// MetricsSnapshot is a point-in-time copy of the process-wide
+// observability registry: every counter, gauge and latency histogram the
+// library maintains (pool scheduling, operator invocations, device bus
+// traffic, transaction outcomes, adaptation decisions), plus the most
+// recent structural spans and events.
+type MetricsSnapshot = obs.Snapshot
+
+// HistogramStats summarizes one latency histogram inside a
+// MetricsSnapshot.
+type HistogramStats = obs.HistogramSnapshot
+
+// Metrics returns a consistent snapshot of the process-wide metrics
+// registry. Counters are cumulative since process start (or the last
+// ResetMetrics); taking a snapshot is cheap and safe to do concurrently
+// with running queries.
+func Metrics() MetricsSnapshot { return obs.TakeSnapshot() }
+
+// WriteMetricsJSON writes the current metrics snapshot to w as one JSON
+// object (an expvar-style dump, convenient for scraping or diffing).
+func WriteMetricsJSON(w io.Writer) error { return obs.Default.WriteJSON(w) }
+
+// ResetMetrics zeroes every registered metric and clears the span and
+// event rings. Handles stay valid; benchmarks use this to isolate phases.
+func ResetMetrics() { obs.Reset() }
 
 // TPC-C-style demo workload, re-exported for examples and quickstarts.
 var (

@@ -6,8 +6,28 @@ import (
 
 	"hybridstore/internal/layout"
 	"hybridstore/internal/mem"
+	"hybridstore/internal/obs"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/workload"
+)
+
+// Adaptation observability: counters for every structural decision the
+// advisor takes, span families timing the coarse reorganization passes
+// (these run under the table's exclusive lock, so their duration is the
+// write-stall the adaptivity costs — the trade-off DESIGN.md Section 6
+// quantifies), and an event per adaptation recording the monitor
+// snapshot that triggered it.
+var (
+	mAdaptRuns     = obs.NewCounter("core.adapt_runs")
+	mAdaptChanged  = obs.NewCounter("core.adapt_changed")
+	mChunkRegroups = obs.NewCounter("core.chunk_regroups")
+	mFreezes       = obs.NewCounter("core.freezes")
+	mPlacements    = obs.NewCounter("core.column_placements")
+	mEvictions     = obs.NewCounter("core.column_evictions")
+
+	sfAdapt  = obs.NewSpanFamily("core.adapt")
+	sfFreeze = obs.NewSpanFamily("core.freeze")
+	sfMerge  = obs.NewSpanFamily("core.merge")
 )
 
 // Observe feeds an external workload observation into the advisor (the
@@ -26,6 +46,12 @@ func (t *Table) Adapt() (bool, error) {
 	if t.mon.Observations() == 0 {
 		return false, nil
 	}
+	mAdaptRuns.Inc()
+	sp := sfAdapt.Start()
+	// Capture the snapshot driving this decision before Reset discards it;
+	// the span detail preserves what the advisor actually saw.
+	nObs := t.mon.Observations()
+	stats := t.mon.Snapshot()
 	changed := false
 	advice := t.mon.SuggestGroups(t.eng.opts.Affinity)
 	for _, c := range t.chunks {
@@ -33,24 +59,34 @@ func (t *Table) Adapt() (bool, error) {
 			continue
 		}
 		if err := t.regroupChunk(c, advice); err != nil {
+			sp.EndWith(fmt.Sprintf("error: %v", err))
 			return changed, err
 		}
+		mChunkRegroups.Inc()
 		changed = true
 	}
 	if t.eng.opts.DevicePlacement {
 		moved, err := t.adaptPlacement()
 		if err != nil {
+			sp.EndWith(fmt.Sprintf("error: %v", err))
 			return changed, err
 		}
 		changed = changed || moved
 	}
 	if changed {
 		t.adapts++
+		mAdaptChanged.Inc()
 	}
 	// Either way the advice was consumed: start a fresh observation epoch
 	// so the next adaptation reflects the workload from now on (and a
 	// shift like OLTP→OLAP is not drowned out by history).
 	t.mon.Reset()
+	detail := fmt.Sprintf("obs=%d attr_ratio=%.2f groups=%v changed=%t",
+		nObs, stats.AttrCentricRatio, advice, changed)
+	sp.EndWith(detail)
+	if changed {
+		obs.RecordEvent("core.adapt", detail)
+	}
 	return changed, nil
 }
 
@@ -203,6 +239,7 @@ func (t *Table) placeColumnLocked(col int) error {
 		moved = append(moved, c)
 	}
 	t.deviceCols[col] = true
+	mPlacements.Inc()
 	return nil
 }
 
@@ -225,6 +262,7 @@ func (t *Table) evictColumnLocked(col int) error {
 		}
 	}
 	t.deviceCols[col] = false
+	mEvictions.Inc()
 	return nil
 }
 
@@ -238,9 +276,10 @@ func (t *Table) placeChunkColumn(c *chunk, col int) error {
 	if err != nil {
 		return fmt.Errorf("core: placing column %d: %w", col, err)
 	}
-	if t.env.Clock != nil {
-		t.env.Clock.Advance(t.env.GPU.Profile().TransferNs(int64(df.SizeBytes())))
-	}
+	// CloneTo moves the block directly, bypassing CopyToDevice; charge and
+	// count the bus traffic through the device so placement shows up in
+	// both the clock and the transfer counters.
+	t.env.GPU.ChargeTransfer(int64(df.SizeBytes()), true)
 	if err := t.olap.Replace(f, df); err != nil {
 		df.Free()
 		return err
@@ -260,9 +299,7 @@ func (t *Table) unplaceChunkColumn(c *chunk, col int) error {
 	if err != nil {
 		return fmt.Errorf("core: evicting column %d: %w", col, err)
 	}
-	if t.env.Clock != nil {
-		t.env.Clock.Advance(t.env.GPU.Profile().TransferNs(int64(hf.SizeBytes())))
-	}
+	t.env.GPU.ChargeTransfer(int64(hf.SizeBytes()), false)
 	if err := t.olap.Replace(f, hf); err != nil {
 		hf.Free()
 		return err

@@ -341,6 +341,7 @@ func (t *Table) freeze(c *chunk) error {
 	if c.state != hot {
 		return nil
 	}
+	sp := sfFreeze.Start()
 	groups := t.mon.SuggestGroups(t.eng.opts.Affinity)
 	frags, err := t.buildColdFragments(c.rows, groups)
 	if err != nil {
@@ -378,6 +379,7 @@ func (t *Table) freeze(c *chunk) error {
 	c.groups = groups
 	c.frags = frags
 	t.freezes++
+	mFreezes.Inc()
 	// Device-resident columns extend to the new cold fragments.
 	for col := range t.deviceCols {
 		if t.deviceCols[col] {
@@ -387,6 +389,7 @@ func (t *Table) freeze(c *chunk) error {
 			}
 		}
 	}
+	sp.EndWith(fmt.Sprintf("rows=[%d,%d) groups=%v", c.rows.Begin, c.rows.End, groups))
 	return nil
 }
 
@@ -464,7 +467,7 @@ func (t *Table) baseRecord(row uint64) (schema.Record, error) {
 // chargeDeviceGather prices gathering k records' worth of device-resident
 // fields of chunk c.
 func (t *Table) chargeDeviceGather(c *chunk, k int64) {
-	if t.env.Clock == nil || c.state != cold {
+	if c.state != cold {
 		return
 	}
 	var devBytes int64
@@ -476,6 +479,6 @@ func (t *Table) chargeDeviceGather(c *chunk, k int64) {
 		}
 	}
 	if devBytes > 0 {
-		t.env.Clock.Advance(t.env.GPU.Profile().TransferNs(devBytes * k))
+		t.env.GPU.ChargeTransfer(devBytes*k, false)
 	}
 }

@@ -243,6 +243,8 @@ func (x *Txn) Abort() { x.x.Abort() }
 func (t *Table) Merge() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	sp := sfMerge.Start()
+	defer sp.End()
 	minTS := t.txm.MinActiveTS()
 	rows := t.rel.Rows()
 	reader := t.txm.Begin()

@@ -20,7 +20,20 @@ import (
 	"sync"
 
 	"hybridstore/internal/mem"
+	"hybridstore/internal/obs"
 	"hybridstore/internal/perfmodel"
+)
+
+// Process-wide device counters. Each GPU instance also keeps its own
+// per-instance counters (Stats); these registry handles aggregate across
+// every simulated card so `htapbench -metrics` sees total bus traffic no
+// matter how many Envs a run creates.
+var (
+	mH2DBytes = obs.NewCounter("device.h2d_bytes")
+	mD2HBytes = obs.NewCounter("device.d2h_bytes")
+	mH2DOps   = obs.NewCounter("device.h2d_ops")
+	mD2HOps   = obs.NewCounter("device.d2h_ops")
+	mKernels  = obs.NewCounter("device.kernels")
 )
 
 // Device errors.
@@ -39,13 +52,16 @@ type GPU struct {
 	prof  perfmodel.DeviceProfile
 	alloc *mem.Allocator
 
-	mu      sync.Mutex
-	clock   *perfmodel.Clock
-	h2d     int64 // bytes host→device
-	d2h     int64 // bytes device→host
-	h2dOps  int64
-	d2hOps  int64
-	kernels int64
+	mu    sync.Mutex // guards clock
+	clock *perfmodel.Clock
+
+	// Per-instance traffic counters; lock-free (previously int64s under
+	// mu, which serialized concurrent kernels on pure bookkeeping).
+	h2d     obs.Counter // bytes host→device
+	d2h     obs.Counter // bytes device→host
+	h2dOps  obs.Counter
+	d2hOps  obs.Counter
+	kernels obs.Counter
 }
 
 // New creates a GPU with the given profile, charging simulated time to
@@ -86,13 +102,46 @@ type TransferStats struct {
 
 // Stats returns a snapshot of the device counters.
 func (g *GPU) Stats() TransferStats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	return TransferStats{
-		HostToDeviceBytes: g.h2d, DeviceToHostBytes: g.d2h,
-		HostToDeviceOps: g.h2dOps, DeviceToHostOps: g.d2hOps,
-		KernelLaunches: g.kernels,
+		HostToDeviceBytes: g.h2d.Load(), DeviceToHostBytes: g.d2h.Load(),
+		HostToDeviceOps: g.h2dOps.Load(), DeviceToHostOps: g.d2hOps.Load(),
+		KernelLaunches: g.kernels.Load(),
 	}
+}
+
+// countTransfer records n transferred bytes in the given direction on
+// both the per-instance and the process-wide counters.
+func (g *GPU) countTransfer(n int64, toDevice bool) {
+	if toDevice {
+		g.h2d.Add(n)
+		g.h2dOps.Inc()
+		mH2DBytes.Add(n)
+		mH2DOps.Inc()
+		return
+	}
+	g.d2h.Add(n)
+	g.d2hOps.Inc()
+	mD2HBytes.Add(n)
+	mD2HOps.Inc()
+}
+
+// countKernels records k kernel launches.
+func (g *GPU) countKernels(k int64) {
+	g.kernels.Add(k)
+	mKernels.Add(k)
+}
+
+// ChargeTransfer accounts for n bytes moved over the bus outside the
+// Buffer copy paths — engines that relocate fragment blocks directly
+// between host and device memory (placement, eviction) call this so the
+// traffic is priced and counted exactly like an explicit CopyToDevice /
+// CopyToHost.
+func (g *GPU) ChargeTransfer(n int64, toDevice bool) {
+	if n <= 0 {
+		return
+	}
+	g.charge(g.prof.TransferNs(n))
+	g.countTransfer(n, toDevice)
 }
 
 // Buffer is a device-global-memory allocation.
@@ -146,10 +195,7 @@ func (g *GPU) CopyToDevice(dst *Buffer, off int, src []byte) error {
 	}
 	copy(buf[off:], src)
 	g.charge(g.prof.TransferNs(int64(len(src))))
-	g.mu.Lock()
-	g.h2d += int64(len(src))
-	g.h2dOps++
-	g.mu.Unlock()
+	g.countTransfer(int64(len(src)), true)
 	return nil
 }
 
@@ -164,10 +210,7 @@ func (g *GPU) CopyToHost(dst []byte, src *Buffer, off int) error {
 	}
 	copy(dst, buf[off:])
 	g.charge(g.prof.TransferNs(int64(len(dst))))
-	g.mu.Lock()
-	g.d2h += int64(len(dst))
-	g.d2hOps++
-	g.mu.Unlock()
+	g.countTransfer(int64(len(dst)), false)
 	return nil
 }
 
@@ -259,9 +302,7 @@ func (g *GPU) ReduceSumFloat64(v Vec, cfg LaunchConfig) (float64, error) {
 	partials := g.blockReduce(v.Len, cfg, load)
 	// Final pass: one block reduces the per-block partials.
 	total := treeReduce(partials)
-	g.mu.Lock()
-	g.kernels += 2
-	g.mu.Unlock()
+	g.countKernels(2)
 	g.charge(g.prof.ReduceKernelNs(int64(v.Len), v.Size, v.Stride, cfg.Blocks, cfg.ThreadsPerBlock))
 	return total, nil
 }
@@ -285,9 +326,7 @@ func (g *GPU) ReduceSumInt64(v Vec, cfg LaunchConfig) (int64, error) {
 	// range; the shared block reducer keeps one code path.
 	partials := g.blockReduce(v.Len, cfg, load)
 	total := treeReduce(partials)
-	g.mu.Lock()
-	g.kernels += 2
-	g.mu.Unlock()
+	g.countKernels(2)
 	g.charge(g.prof.ReduceKernelNs(int64(v.Len), v.Size, v.Stride, cfg.Blocks, cfg.ThreadsPerBlock))
 	return int64(total), nil
 }
@@ -375,11 +414,8 @@ func (g *GPU) Gather(src *Buffer, recordWidth int, positions []int) ([]byte, err
 		}
 		copy(out[i*recordWidth:], buf[off:off+recordWidth])
 	}
-	g.mu.Lock()
-	g.kernels++
-	g.d2h += int64(len(out))
-	g.d2hOps++
-	g.mu.Unlock()
+	g.countKernels(1)
+	g.countTransfer(int64(len(out)), false)
 	n := int64(src.Len() / recordWidth)
 	g.charge(g.prof.GatherKernelNs(int64(len(positions)), n, recordWidth))
 	g.charge(g.prof.TransferNs(int64(len(out))))
@@ -404,9 +440,7 @@ func (g *GPU) Scatter(v Vec, positions []int, vals []byte) error {
 		}
 		copy(buf[v.Base+p*v.Stride:v.Base+p*v.Stride+v.Size], vals[i*v.Size:(i+1)*v.Size])
 	}
-	g.mu.Lock()
-	g.kernels++
-	g.mu.Unlock()
+	g.countKernels(1)
 	g.charge(g.prof.KernelLaunchNs + float64(len(positions))*4)
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"hybridstore/internal/engine"
 	"hybridstore/internal/exec"
 	"hybridstore/internal/exec/pool"
+	"hybridstore/internal/obs"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/taxonomy"
 	"hybridstore/internal/workload"
@@ -51,6 +52,7 @@ func TestConformance(t *testing.T) {
 		pool.SetMorselSize(0)
 		pool.SetWorkers(0)
 	})
+	before := obs.TakeSnapshot()
 	for _, policy := range []exec.Policy{exec.SingleThreaded, exec.MultiThreaded, exec.MorselDriven} {
 		policy := policy
 		t.Run(policy.String(), func(t *testing.T) {
@@ -58,6 +60,21 @@ func TestConformance(t *testing.T) {
 			env.ExecPolicy = policy
 			conformanceSuite(t, env, n)
 		})
+	}
+	// The observability layer must have seen the suite: every policy ran
+	// aggregations and materializations on every engine, and the
+	// morsel-driven pass dispatched multi-morsel jobs through the pool.
+	after := obs.TakeSnapshot()
+	for _, policy := range []exec.Policy{exec.SingleThreaded, exec.MultiThreaded, exec.MorselDriven} {
+		for _, op := range []string{"sum", "materialize"} {
+			name := "exec." + op + "." + policy.String() + ".ops"
+			if after.Counter(name) <= before.Counter(name) {
+				t.Errorf("counter %s did not advance over the conformance suite", name)
+			}
+		}
+	}
+	if after.Counter("pool.jobs_submitted") <= before.Counter("pool.jobs_submitted") {
+		t.Error("pool.jobs_submitted did not advance over the morsel-driven pass")
 	}
 }
 

@@ -27,11 +27,75 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"hybridstore/internal/exec/pool"
 	"hybridstore/internal/layout"
+	"hybridstore/internal/obs"
 	"hybridstore/internal/perfmodel"
 )
+
+// Operator observability: each operator reports a per-policy invocation
+// counter plus a per-policy latency histogram. The counter is updated on
+// every call (one atomic add); wall-clock latency is sampled 1-in-64 so
+// the tiny-input fast path — the exact case the morsel pool exists for —
+// never pays two clock reads per call. Sampled histograms still converge
+// on the steady-state latency distribution the adaptation layer needs.
+const latSampleMask = 63
+
+// opObs holds the registered handles of one operator family, indexed by
+// Policy.
+type opObs struct {
+	ops [3]*obs.Counter
+	lat [3]*obs.Histogram
+}
+
+// newOpObs registers the per-policy metrics of one operator.
+func newOpObs(op string) opObs {
+	var o opObs
+	for p := SingleThreaded; p <= MorselDriven; p++ {
+		o.ops[p] = obs.NewCounter("exec." + op + "." + p.String() + ".ops")
+		o.lat[p] = obs.NewHistogram("exec." + op + "." + p.String() + ".ns")
+	}
+	return o
+}
+
+// Registered operator families.
+var (
+	obsSum         = newOpObs("sum")
+	obsSelect      = newOpObs("select")
+	obsCount       = newOpObs("count")
+	obsMinMax      = newOpObs("minmax")
+	obsMaterialize = newOpObs("materialize")
+	obsGroupBy     = newOpObs("groupby")
+)
+
+// opTimer is an in-flight (possibly unsampled) operator measurement; the
+// zero value is inert so unsampled calls cost nothing on completion.
+type opTimer struct {
+	h  *obs.Histogram
+	t0 time.Time
+}
+
+// start counts one invocation and opens a latency sample every 64th
+// call.
+func (o *opObs) start(p Policy) opTimer {
+	i := int(p)
+	if i >= len(o.ops) {
+		i = 0
+	}
+	if o.ops[i].Inc()&latSampleMask != 0 {
+		return opTimer{}
+	}
+	return opTimer{h: o.lat[i], t0: time.Now()}
+}
+
+// end records the sampled latency, if this call was sampled.
+func (t opTimer) end() {
+	if t.h != nil {
+		t.h.ObserveSince(t.t0)
+	}
+}
 
 // Policy is the host threading policy.
 type Policy uint8
@@ -218,6 +282,7 @@ func SumFloat64(cfg Config, pieces []Piece) (float64, error) {
 			return 0, fmt.Errorf("%w: float64 sum over %d-byte fields", ErrBadColumn, p.Vec.Size)
 		}
 	}
+	ot := obsSum.start(cfg.Policy)
 	sum := parallelSum(cfg, pieces, func(v layout.ColVector, from, to int) float64 {
 		var acc float64
 		off := v.Base + from*v.Stride
@@ -228,6 +293,7 @@ func SumFloat64(cfg Config, pieces []Piece) (float64, error) {
 		return acc
 	})
 	cfg.chargeScan(pieces)
+	ot.end()
 	return sum, nil
 }
 
@@ -238,6 +304,7 @@ func SumInt64(cfg Config, pieces []Piece) (int64, error) {
 			return 0, fmt.Errorf("%w: int64 sum over %d-byte fields", ErrBadColumn, p.Vec.Size)
 		}
 	}
+	ot := obsSum.start(cfg.Policy)
 	sum := parallelSum(cfg, pieces, func(v layout.ColVector, from, to int) float64 {
 		var acc int64
 		off := v.Base + from*v.Stride
@@ -248,6 +315,7 @@ func SumInt64(cfg Config, pieces []Piece) (int64, error) {
 		return float64(acc)
 	})
 	cfg.chargeScan(pieces)
+	ot.end()
 	return int64(sum), nil
 }
 

@@ -22,10 +22,12 @@ func SelectFloat64(cfg Config, pieces []Piece, pred func(float64) bool) ([]uint6
 			return nil, fmt.Errorf("%w: float64 selection over %d-byte fields", ErrBadColumn, p.Vec.Size)
 		}
 	}
+	ot := obsSelect.start(cfg.Policy)
 	out := selectPositions(cfg, pieces, func(v layout.ColVector, off int) bool {
 		return pred(math.Float64frombits(binary.LittleEndian.Uint64(v.Data[off:])))
 	})
 	cfg.chargeScan(pieces)
+	ot.end()
 	return out, nil
 }
 
@@ -36,10 +38,12 @@ func SelectInt64(cfg Config, pieces []Piece, pred func(int64) bool) ([]uint64, e
 			return nil, fmt.Errorf("%w: int64 selection over %d-byte fields", ErrBadColumn, p.Vec.Size)
 		}
 	}
+	ot := obsSelect.start(cfg.Policy)
 	out := selectPositions(cfg, pieces, func(v layout.ColVector, off int) bool {
 		return pred(int64(binary.LittleEndian.Uint64(v.Data[off:])))
 	})
 	cfg.chargeScan(pieces)
+	ot.end()
 	return out, nil
 }
 
@@ -136,6 +140,7 @@ func CountFloat64(cfg Config, pieces []Piece, pred func(float64) bool) (int64, e
 			return 0, fmt.Errorf("%w: float64 count over %d-byte fields", ErrBadColumn, p.Vec.Size)
 		}
 	}
+	ot := obsCount.start(cfg.Policy)
 	n := int64(parallelSum(cfg, pieces, func(v layout.ColVector, from, to int) float64 {
 		var c int64
 		off := v.Base + from*v.Stride
@@ -148,6 +153,7 @@ func CountFloat64(cfg Config, pieces []Piece, pred func(float64) bool) (int64, e
 		return float64(c)
 	}))
 	cfg.chargeScan(pieces)
+	ot.end()
 	return n, nil
 }
 
@@ -159,9 +165,11 @@ func MinMaxFloat64(cfg Config, pieces []Piece) (min, max float64, ok bool, err e
 			return 0, 0, false, fmt.Errorf("%w: float64 minmax over %d-byte fields", ErrBadColumn, p.Vec.Size)
 		}
 	}
+	ot := obsMinMax.start(cfg.Policy)
 	total := totalLen(pieces)
 	if total == 0 {
 		cfg.chargeScan(pieces)
+		ot.end()
 		return 0, 0, false, nil
 	}
 	extreme := func(v layout.ColVector, from, to int, lo, hi *float64) {
@@ -243,5 +251,6 @@ func MinMaxFloat64(cfg Config, pieces []Piece) (min, max float64, ok bool, err e
 		}
 	}
 	cfg.chargeScan(pieces)
+	ot.end()
 	return min, max, true, nil
 }

@@ -42,6 +42,7 @@ func GroupSumFloat64(cfg Config, keys, vals []Piece) ([]GroupResult, error) {
 		}
 	}
 
+	ot := obsGroupBy.start(cfg.Policy)
 	total := totalLen(keys)
 	var tables []map[int64]*GroupResult
 	switch {
@@ -95,6 +96,7 @@ func GroupSumFloat64(cfg Config, keys, vals []Piece) ([]GroupResult, error) {
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	cfg.chargeScan(keys)
 	cfg.chargeScan(vals)
+	ot.end()
 	return out, nil
 }
 

@@ -15,6 +15,7 @@ import (
 // operator materializes all fields of the addressed records). Under
 // MultiThreaded the position list is partitioned blockwise.
 func Materialize(cfg Config, l *layout.Layout, positions []uint64) ([]schema.Record, error) {
+	ot := obsMaterialize.start(cfg.Policy)
 	out := make([]schema.Record, len(positions))
 	if cfg.Policy == MorselDriven && len(positions) > 0 {
 		slots := pool.Slots()
@@ -38,6 +39,7 @@ func Materialize(cfg Config, l *layout.Layout, positions []uint64) ([]schema.Rec
 			}
 		}
 		cfg.chargeMaterialize(l, len(positions))
+		ot.end()
 		return out, nil
 	}
 	th := cfg.threads()
@@ -83,6 +85,7 @@ func Materialize(cfg Config, l *layout.Layout, positions []uint64) ([]schema.Rec
 		}
 	}
 	cfg.chargeMaterialize(l, len(positions))
+	ot.end()
 	return out, nil
 }
 

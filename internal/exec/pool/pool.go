@@ -22,12 +22,37 @@
 // steady-state operator calls allocation-free: position-list buffers
 // (GetPositions/PutPositions) and zeroed float64 scratch slices
 // (GetFloat64s/PutFloat64s).
+//
+// The pool reports itself to internal/obs: jobs run inline vs submitted,
+// morsels claimed by the submitter vs stolen by resident workers,
+// cross-query picks, queue depth, live workers, and worker wake latency.
+// All hot-path updates are uncontended atomic adds, amortized to O(1)
+// per job.
 package pool
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"hybridstore/internal/obs"
+)
+
+// Pool metrics (process-global, matching the pool itself). Handles are
+// registered once; hot-path updates are single atomic adds, and the
+// per-morsel counters are accumulated locally per drain loop so a job
+// costs O(1) metric updates, not O(morsels).
+var (
+	mJobsInline       = obs.NewCounter("pool.jobs_inline")       // ran on the caller, no scheduling
+	mJobsSubmitted    = obs.NewCounter("pool.jobs_submitted")    // enqueued on the shared pool
+	mMorselsSubmitter = obs.NewCounter("pool.morsels_submitter") // claimed by the submitting goroutine
+	mMorselsStolen    = obs.NewCounter("pool.morsels_stolen")    // claimed by resident pool workers
+	mCrossQueryPicks  = obs.NewCounter("pool.cross_query_picks") // worker picked a queue while several were active
+	gQueueDepth       = obs.NewGauge("pool.queue_depth")         // active per-query queues
+	gWorkers          = obs.NewGauge("pool.workers")             // live resident workers
+	hWake             = obs.NewHistogram("pool.worker_wake_ns")  // submit → first pool-worker claim
 )
 
 // DefaultMorselSize is the number of positions per morsel. Following
@@ -47,6 +72,9 @@ type job struct {
 	next int64 // next unclaimed position (atomic)
 	done int64 // completed positions (atomic)
 	fin  chan struct{}
+
+	enq    time.Time   // when the job was enqueued (wake-latency base)
+	picked atomic.Bool // a pool worker has claimed from this job
 }
 
 // claim reserves the next morsel; from >= to means the queue is drained.
@@ -102,17 +130,44 @@ func Workers() int {
 // submitting goroutine, which drains its own queue rather than idling.
 func Slots() int { return Workers() + 1 }
 
-// SetWorkers resizes the pool; n < 1 restores the GOMAXPROCS default.
-// In-flight jobs keep the slot bound they were submitted with, so
-// resizing is safe while queries run — supernumerary workers retire
-// lazily and never touch a job whose slot bound excludes them.
+// RunningWorkers returns the number of live resident worker goroutines.
+// It trails Workers() briefly while supernumerary workers retire after a
+// shrink; after SetWorkers grows the pool the new workers are started
+// eagerly, so it reaches the target before SetWorkers returns.
+func RunningWorkers() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return running
+}
+
+// MaxWorkers is the hard ceiling on the pool size. The target used to be
+// truncated int → int32, so a value above math.MaxInt32 could wrap to a
+// negative and silently revert the pool to its GOMAXPROCS default; now
+// out-of-range values saturate. The ceiling is deliberately far below
+// MaxInt32: workers are resident goroutines started eagerly on growth,
+// and no machine this runs on schedules more than a few hundred hardware
+// threads.
+const MaxWorkers = 1 << 10
+
+// SetWorkers resizes the pool; n < 1 restores the GOMAXPROCS default and
+// n > MaxWorkers clamps to MaxWorkers (never wraps). In-flight jobs keep
+// the slot bound they were submitted with, so resizing is safe while
+// queries run — on growth the new workers start eagerly (jobs already
+// submitted against the larger Slots() value can use them immediately,
+// without waiting for another Run to arrive), and on shrink
+// supernumerary workers retire lazily and never touch a job whose slot
+// bound excludes them.
 func SetWorkers(n int) {
-	if n < 1 {
+	switch {
+	case n < 1:
 		workerTarget.Store(0)
-	} else {
+	case n > MaxWorkers:
+		workerTarget.Store(MaxWorkers)
+	default:
 		workerTarget.Store(int32(n))
 	}
 	mu.Lock()
+	ensureLocked()   // grow eagerly; in-flight jobs see the new workers
 	cond.Broadcast() // wake idle workers so extras retire promptly
 	mu.Unlock()
 }
@@ -126,12 +181,17 @@ func MorselSize() int {
 }
 
 // SetMorselSize overrides the morsel granularity; n < 1 restores the
-// default. Tests shrink it to force multi-morsel scheduling on small
-// inputs.
+// default and values above math.MaxInt32 clamp to math.MaxInt32 instead
+// of wrapping to a negative (which would silently revert the granularity
+// to its default). Tests shrink it to force multi-morsel scheduling on
+// small inputs.
 func SetMorselSize(n int) {
-	if n < 1 {
+	switch {
+	case n < 1:
 		morselSize.Store(0)
-	} else {
+	case n > math.MaxInt32:
+		morselSize.Store(math.MaxInt32)
+	default:
 		morselSize.Store(int32(n))
 	}
 }
@@ -166,25 +226,31 @@ func Run(total, morsel, slots int, fn func(slot, from, to int)) {
 		slots = 1
 	}
 	if total <= morsel || slots == 1 {
+		mJobsInline.Inc()
 		fn(slots-1, 0, total)
 		return
 	}
-	j := &job{total: total, morsel: morsel, slots: slots, fn: fn, fin: make(chan struct{})}
+	j := &job{total: total, morsel: morsel, slots: slots, fn: fn, fin: make(chan struct{}), enq: time.Now()}
+	mJobsSubmitted.Inc()
 	mu.Lock()
 	ensureLocked()
 	jobs = append(jobs, j)
+	gQueueDepth.Set(int64(len(jobs)))
 	cond.Broadcast()
 	mu.Unlock()
 	// Morsel-driven: the submitter is a worker too. It drains its own
 	// queue, then waits only for morsels claimed by pool workers.
+	mine := int64(0)
 	for {
 		from, to := j.claim()
 		if from >= to {
 			break
 		}
+		mine++
 		fn(slots-1, from, to)
 		j.complete(to - from)
 	}
+	mMorselsSubmitter.Add(mine)
 	mu.Lock()
 	removeLocked(j)
 	mu.Unlock()
@@ -199,6 +265,7 @@ func ensureLocked() {
 		go worker(running)
 		running++
 	}
+	gWorkers.Set(int64(running))
 }
 
 // removeLocked drops a drained job from the active list; both the
@@ -208,6 +275,7 @@ func removeLocked(j *job) {
 	for i, a := range jobs {
 		if a == j {
 			jobs = append(jobs[:i], jobs[i+1:]...)
+			gQueueDepth.Set(int64(len(jobs)))
 			return
 		}
 	}
@@ -225,6 +293,11 @@ func pickLocked(id int) *job {
 	for i := 0; i < len(jobs); i++ {
 		j := jobs[(rr+id+i)%len(jobs)]
 		if id < j.slots-1 && !j.drained() {
+			if len(jobs) > 1 {
+				// The worker had several live queries to choose from:
+				// cross-query sharing is actually happening.
+				mCrossQueryPicks.Inc()
+			}
 			return j
 		}
 	}
@@ -239,6 +312,7 @@ func worker(id int) {
 	for {
 		if running > Workers() && id == running-1 {
 			running--
+			gWorkers.Set(int64(running))
 			cond.Broadcast() // let the next supernumerary id retire
 			mu.Unlock()
 			return
@@ -249,14 +323,20 @@ func worker(id int) {
 			continue
 		}
 		mu.Unlock()
+		if !j.picked.Swap(true) {
+			hWake.ObserveSince(j.enq)
+		}
+		stolen := int64(0)
 		for {
 			from, to := j.claim()
 			if from >= to {
 				break
 			}
+			stolen++
 			j.fn(id, from, to)
 			j.complete(to - from)
 		}
+		mMorselsStolen.Add(stolen)
 		mu.Lock()
 		removeLocked(j)
 	}
@@ -297,6 +377,12 @@ var floatsPool = sync.Pool{New: func() any {
 func GetFloat64s(n int) []float64 {
 	s := *floatsPool.Get().(*[]float64)
 	if cap(s) < n {
+		// Too small for this slot count: put it back for smaller callers
+		// and allocate at the requested size. The grown slice joins the
+		// pool on PutFloat64s, so repeated large-slot queries allocate
+		// once instead of churning (the fetched buffer used to be
+		// dropped on the floor here, leaking it from the pool).
+		PutFloat64s(s)
 		return make([]float64, n)
 	}
 	s = s[:n]

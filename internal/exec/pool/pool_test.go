@@ -1,10 +1,14 @@
 package pool
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"hybridstore/internal/obs"
 )
 
 func TestDefaultsFollowGOMAXPROCS(t *testing.T) {
@@ -35,6 +39,98 @@ func TestSetWorkersAndMorselSize(t *testing.T) {
 	if Workers() != runtime.GOMAXPROCS(0) {
 		t.Fatalf("negative SetWorkers did not restore default")
 	}
+}
+
+// TestSetWorkersClampsHugeValues pins the saturation fix: the target is
+// stored as an int32, and a value above the ceiling used to wrap —
+// possibly to a negative, silently reverting the pool to its default.
+func TestSetWorkersClampsHugeValues(t *testing.T) {
+	defer SetWorkers(0)
+	defer SetMorselSize(0)
+	SetWorkers(math.MaxInt)
+	if got := Workers(); got != MaxWorkers {
+		t.Fatalf("Workers() after huge SetWorkers = %d, want clamp to %d", got, MaxWorkers)
+	}
+	SetMorselSize(math.MaxInt)
+	if got := MorselSize(); got != math.MaxInt32 {
+		t.Fatalf("MorselSize() after huge SetMorselSize = %d, want clamp to %d", got, math.MaxInt32)
+	}
+	// The clamped values must behave, not just read back: a single-morsel
+	// job still runs inline.
+	ran := false
+	Run(10, MorselSize(), Slots(), func(_, from, to int) { ran = from == 0 && to == 10 })
+	if !ran {
+		t.Fatal("clamped configuration did not execute")
+	}
+}
+
+// waitUntil polls cond for up to two seconds.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSetWorkersGrowStartsEagerly pins the eager-growth fix: growing the
+// pool used to only take effect at the next Run, so an in-flight job
+// sized for the larger pool could never use the new workers.
+func TestSetWorkersGrowStartsEagerly(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(1)
+	waitUntil(t, "pool shrink to 1", func() bool { return RunningWorkers() == 1 })
+
+	// A job sized for a 4-worker pool (5 slots), submitted while only one
+	// worker exists. Every executor parks in fn until released.
+	const slots, morsels = 5, 6
+	release := make(chan struct{})
+	var parked atomic.Int32
+	done := make(chan struct{})
+	go func() {
+		Run(morsels, 1, slots, func(slot, from, to int) {
+			parked.Add(1)
+			<-release
+		})
+		close(done)
+	}()
+
+	// Submitter + the single worker claim one morsel each and park.
+	waitUntil(t, "submitter and worker 0 to park", func() bool { return parked.Load() == 2 })
+
+	// Grow: workers 1..3 must start eagerly and claim from the in-flight
+	// job (their ids are inside its slot bound) without another Run.
+	SetWorkers(4)
+	if got := RunningWorkers(); got != 4 {
+		t.Fatalf("RunningWorkers() right after grow = %d, want 4", got)
+	}
+	waitUntil(t, "grown workers to claim in-flight morsels", func() bool { return parked.Load() == 5 })
+
+	close(release)
+	<-done
+}
+
+// TestGetFloat64sRepoolsOnGrow pins the leak fix: when GetFloat64s
+// fetches a pooled buffer too small for the requested length, that
+// buffer must go back to the pool (it used to be dropped on the floor,
+// so mixed small/large-slot query patterns churned allocations). The
+// fingerprint: a buffer with the unusual capacity 7 is planted, a large
+// request forces the grow path, and the planted buffer must still be
+// obtainable afterwards. sync.Pool's per-P private slot makes the
+// sequence deterministic in practice; a few attempts absorb scheduling
+// noise.
+func TestGetFloat64sRepoolsOnGrow(t *testing.T) {
+	for attempt := 0; attempt < 50; attempt++ {
+		PutFloat64s(make([]float64, 0, 7))
+		PutFloat64s(GetFloat64s(1 << 16)) // fetches the cap-7 buffer, must re-pool it
+		if cap(GetFloat64s(4)) == 7 {
+			return
+		}
+	}
+	t.Fatal("too-small scratch buffers are dropped by GetFloat64s instead of re-pooled")
 }
 
 func TestMorsels(t *testing.T) {
@@ -159,6 +255,44 @@ func TestResizeUnderLoad(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestPoolMetricsAdvance checks the pool's obs reporting: inline and
+// submitted job counts, full morsel accounting (submitter + stolen ==
+// total morsels), and the queue-depth/worker gauges.
+func TestPoolMetricsAdvance(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	before := obs.TakeSnapshot()
+
+	// Single-morsel job: inline, no scheduling.
+	Run(50, DefaultMorselSize, Slots(), func(_, _, _ int) {})
+	// Multi-morsel job through the shared queues.
+	const total, morsel = 10_000, 64
+	Run(total, morsel, Slots(), func(_, _, _ int) {})
+
+	if d := obs.TakeSnapshot().Counter("pool.jobs_inline") - before.Counter("pool.jobs_inline"); d != 1 {
+		t.Fatalf("jobs_inline advanced by %d, want 1", d)
+	}
+	if d := obs.TakeSnapshot().Counter("pool.jobs_submitted") - before.Counter("pool.jobs_submitted"); d != 1 {
+		t.Fatalf("jobs_submitted advanced by %d, want 1", d)
+	}
+	// Workers publish their stolen-morsel counts right after the job
+	// drains, which can trail Run's return by an instant.
+	want := int64(Morsels(total, morsel))
+	waitUntil(t, "morsel accounting to settle", func() bool {
+		s := obs.TakeSnapshot()
+		got := s.Counter("pool.morsels_submitter") + s.Counter("pool.morsels_stolen") -
+			before.Counter("pool.morsels_submitter") - before.Counter("pool.morsels_stolen")
+		return got == want
+	})
+	s := obs.TakeSnapshot()
+	if got := s.Gauge("pool.queue_depth"); got != 0 {
+		t.Fatalf("queue_depth after drain = %d, want 0", got)
+	}
+	if got := s.Gauge("pool.workers"); got != 4 {
+		t.Fatalf("workers gauge = %d, want 4", got)
+	}
 }
 
 func TestPositionBufferRecycling(t *testing.T) {

@@ -24,7 +24,18 @@ import (
 	"fmt"
 	"sync"
 
+	"hybridstore/internal/obs"
 	"hybridstore/internal/schema"
+)
+
+// Process-wide transaction counters, aggregated over every Manager and
+// Store (engines create one of each per table).
+var (
+	mBegins         = obs.NewCounter("tx.begins")
+	mCommits        = obs.NewCounter("tx.commits")
+	mConflicts      = obs.NewCounter("tx.conflicts")
+	mAborts         = obs.NewCounter("tx.aborts")
+	mVersionsPruned = obs.NewCounter("tx.versions_pruned")
 )
 
 // Transaction errors.
@@ -106,10 +117,14 @@ func (s *Store) Versions() int {
 func (s *Store) Prune(minTS uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var pruned int64
 	for row, v := range s.chains {
 		// Find the newest version visible at minTS; cut its tail.
 		for cur := v; cur != nil; cur = cur.next {
 			if cur.ts <= minTS {
+				for t := cur.next; t != nil; t = t.next {
+					pruned++
+				}
 				cur.next = nil
 				break
 			}
@@ -118,7 +133,11 @@ func (s *Store) Prune(minTS uint64) {
 		// can vanish.
 		if v.deleted && v.ts <= minTS && v.next == nil {
 			delete(s.chains, row)
+			pruned++
 		}
+	}
+	if pruned > 0 {
+		mVersionsPruned.Add(pruned)
 	}
 }
 
@@ -129,7 +148,14 @@ func (s *Store) Prune(minTS uint64) {
 func (s *Store) Forget(row uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var n int64
+	for v := s.chains[row]; v != nil; v = v.next {
+		n++
+	}
 	delete(s.chains, row)
+	if n > 0 {
+		mVersionsPruned.Add(n)
+	}
 }
 
 // Manager issues timestamps and transactions over any number of stores.
@@ -158,6 +184,7 @@ func (m *Manager) Begin() *Tx {
 		writes:  make(map[writeKey]writeVal),
 	}
 	m.active[t.id] = t.beginTS
+	mBegins.Inc()
 	return t
 }
 
@@ -279,6 +306,7 @@ func (t *Tx) Commit() error {
 		for _, k := range keys {
 			if v := s.chains[k.row]; v != nil && v.ts > t.beginTS {
 				s.mu.Unlock()
+				mConflicts.Inc()
 				return fmt.Errorf("%w: row %d written at ts %d after snapshot %d",
 					ErrConflict, k.row, v.ts, t.beginTS)
 			}
@@ -296,6 +324,7 @@ func (t *Tx) Commit() error {
 		}
 		s.mu.Unlock()
 	}
+	mCommits.Inc()
 	return nil
 }
 
@@ -309,4 +338,5 @@ func (t *Tx) Abort() {
 	t.m.mu.Lock()
 	defer t.m.mu.Unlock()
 	delete(t.m.active, t.id)
+	mAborts.Inc()
 }
