@@ -8,9 +8,13 @@
 // for real at a reduced scale and cross-check all answers against the
 // workload's closed forms.
 //
+// The extra "selectivity" panel executes the zone-map data-skipping
+// sweep for real: -panel selectivity prints it alone, and -json always
+// embeds it beside the four model panels.
+//
 // Usage:
 //
-//	htapbench [-panel 0-4] [-csv] [-json] [-verify] [-verify-rows N] [-metrics]
+//	htapbench [-panel 0-4|selectivity] [-csv] [-json] [-verify] [-verify-rows N] [-metrics]
 package main
 
 import (
@@ -18,13 +22,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"hybridstore"
 	"hybridstore/internal/figures"
 )
 
 func main() {
-	panel := flag.Int("panel", 0, "panel to regenerate (1-4), 0 = all")
+	panel := flag.String("panel", "0", "panel to regenerate (1-4 or \"selectivity\"), 0 = all model panels")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	jsonOut := flag.Bool("json", false, "also write panels+findings to BENCH_fig2.json for perf tracking")
 	verify := flag.Bool("verify", false, "also execute every configuration for real and cross-check answers")
@@ -33,22 +38,51 @@ func main() {
 	realRows := flag.Uint64("real-rows", 2_000_000, "largest row count for -real (sweep is 1/4, 1/2, 1x)")
 	metrics := flag.Bool("metrics", false, "run a mixed HTAP workload on the reference engine and report its observability snapshot (with -json, added as an \"obs\" section)")
 	metricsRows := flag.Uint64("metrics-rows", 40_000, "row count for the -metrics mixed workload (keep above one morsel, 16384, so scans exercise the shared pool)")
+	selRows := flag.Uint64("selectivity-rows", 640_000, "row count for the selectivity sweep (64 fragments)")
 	flag.Parse()
 
 	cfg := figures.Default()
-	panels, err := cfg.Panels(*panel)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	for i, p := range panels {
-		if i > 0 {
-			fmt.Println()
+	var sweep *figures.SelectivitySweep
+	runSweep := func() *figures.SelectivitySweep {
+		if sweep == nil {
+			s, err := figures.MeasureSelectivity(*selRows, 64, figures.DefaultSelectivities(), 3)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "selectivity sweep failed:", err)
+				os.Exit(1)
+			}
+			sweep = s
 		}
+		return sweep
+	}
+
+	var panels []figures.Panel
+	if *panel == "selectivity" {
+		s := runSweep()
 		if *csv {
-			fmt.Printf("# panel %d: %s\n%s", p.Number, p.Title, p.CSV())
+			fmt.Print(s.CSV())
 		} else {
-			fmt.Print(p.Render())
+			fmt.Print(s.Render())
+		}
+	} else {
+		n, err := strconv.Atoi(*panel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "htapbench: -panel wants 0-4 or \"selectivity\", got %q\n", *panel)
+			os.Exit(2)
+		}
+		panels, err = cfg.Panels(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for i, p := range panels {
+			if i > 0 {
+				fmt.Println()
+			}
+			if *csv {
+				fmt.Printf("# panel %d: %s\n%s", p.Number, p.Title, p.CSV())
+			} else {
+				fmt.Print(p.Render())
+			}
 		}
 	}
 
@@ -75,10 +109,11 @@ func main() {
 
 	if *jsonOut {
 		blob, err := json.MarshalIndent(struct {
-			Panels   []figures.Panel
-			Findings figures.Findings
-			Obs      *hybridstore.MetricsSnapshot `json:"obs,omitempty"`
-		}{panels, f, obsSnap}, "", "  ")
+			Panels      []figures.Panel
+			Findings    figures.Findings
+			Selectivity *figures.SelectivitySweep
+			Obs         *hybridstore.MetricsSnapshot `json:"obs,omitempty"`
+		}{panels, f, runSweep(), obsSnap}, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "json encoding failed:", err)
 			os.Exit(1)

@@ -171,6 +171,56 @@ func (t *Table) Materialize(positions []uint64) ([]Record, error) {
 	return t.t.Materialize(positions)
 }
 
+// FloatPred and IntPred are sargable predicates over float64 and int64
+// attributes: equality, open ranges and closed intervals. Engines
+// evaluate them with specialized fused scan kernels and use per-fragment
+// zone maps to skip fragments whose value envelope cannot match.
+type (
+	FloatPred = exec.Pred[float64]
+	IntPred   = exec.Pred[int64]
+)
+
+// Predicate constructors. The generic exec constructors are wrapped at
+// concrete types so callers never need type arguments.
+
+// EqFloat matches x == v.
+func EqFloat(v float64) FloatPred { return exec.Eq(v) }
+
+// LtFloat matches x < v.
+func LtFloat(v float64) FloatPred { return exec.Lt(v) }
+
+// GtFloat matches x > v.
+func GtFloat(v float64) FloatPred { return exec.Gt(v) }
+
+// BetweenFloat matches lo <= x <= hi.
+func BetweenFloat(lo, hi float64) FloatPred { return exec.Between(lo, hi) }
+
+// EqInt matches x == v.
+func EqInt(v int64) IntPred { return exec.Eq(v) }
+
+// LtInt matches x < v.
+func LtInt(v int64) IntPred { return exec.Lt(v) }
+
+// GtInt matches x > v.
+func GtInt(v int64) IntPred { return exec.Gt(v) }
+
+// BetweenInt matches lo <= x <= hi.
+func BetweenInt(lo, hi int64) IntPred { return exec.Between(lo, hi) }
+
+// SumFloat64Where computes SELECT SUM(col), COUNT(*) WHERE p over an
+// MVCC snapshot with one fused filter+aggregate pass, skipping fragments
+// whose zone maps rule the predicate out (device-resident fragments are
+// neither transferred nor reduced when pruned).
+func (t *Table) SumFloat64Where(col int, p FloatPred) (float64, int64, error) {
+	return t.t.SumFloat64Where(col, p)
+}
+
+// CountWhereFloat64 computes SELECT COUNT(*) WHERE p with the same
+// pruned fused pass.
+func (t *Table) CountWhereFloat64(col int, p FloatPred) (int64, error) {
+	return t.t.CountWhereFloat64(col, p)
+}
+
 // GroupResult is one group of a grouped aggregation.
 type GroupResult = exec.GroupResult
 

@@ -238,3 +238,55 @@ func TestGroupByAPI(t *testing.T) {
 		t.Fatalf("total = %v", total)
 	}
 }
+
+func TestPredicateAPI(t *testing.T) {
+	db := Open(Options{ChunkRows: 128, HotChunks: 1})
+	tbl, err := db.CreateTable("item", ItemSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Free()
+	const n = 600
+	for i := uint64(0); i < n; i++ {
+		tbl.Insert(Item(i))
+	}
+	// An update far outside the generated price domain must surface
+	// through the MVCC patch even when every base fragment is pruned.
+	if err := tbl.Update(42, ItemPriceColumn, FloatValue(500)); err != nil {
+		t.Fatal(err)
+	}
+	check := func(p FloatPred) {
+		t.Helper()
+		var wantSum float64
+		var wantN int64
+		for i := uint64(0); i < n; i++ {
+			x := workload.ItemPrice(i)
+			if i == 42 {
+				x = 500
+			}
+			if p.Match(x) {
+				wantSum += x
+				wantN++
+			}
+		}
+		sum, cnt, err := tbl.SumFloat64Where(ItemPriceColumn, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnt != wantN || math.Abs(sum-wantSum) > 1e-9 {
+			t.Fatalf("%v: got (%v, %d), want (%v, %d)", p, sum, cnt, wantSum, wantN)
+		}
+		gotN, err := tbl.CountWhereFloat64(ItemPriceColumn, p)
+		if err != nil || gotN != wantN {
+			t.Fatalf("%v: count = %d (%v), want %d", p, gotN, err, wantN)
+		}
+	}
+	check(GtFloat(100))         // only the updated outlier
+	check(LtFloat(3))           // a sliver of the base domain
+	check(BetweenFloat(2, 4.5)) // mid-range
+	check(EqFloat(workload.ItemPrice(7)))
+	check(BetweenFloat(20, 30)) // provably empty
+	if !EqInt(3).Match(3) || LtInt(3).Match(3) || GtInt(3).Match(3) || !BetweenInt(1, 3).Match(3) {
+		t.Fatal("int predicate constructors broken")
+	}
+}

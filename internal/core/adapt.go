@@ -120,6 +120,10 @@ func (t *Table) regroupChunk(c *chunk, groups [][]int) error {
 			}
 		}
 	}
+	// Regrouped fragments hold the same settled rows; re-seal their zones.
+	for _, f := range frags {
+		f.SealStats()
+	}
 	for _, f := range frags {
 		if err := t.olap.Add(f); err != nil {
 			freeAll(frags)

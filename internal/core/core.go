@@ -366,6 +366,12 @@ func (t *Table) freeze(c *chunk) error {
 			}
 		}
 	}
+	// The chunk is immutable under transactions from here on (updates go
+	// through the MVCC delta store): seal exact per-column bounds so
+	// predicate scans can prune it.
+	for _, f := range frags {
+		f.SealStats()
+	}
 	for _, f := range frags {
 		if err := t.olap.Add(f); err != nil {
 			freeAll(frags)

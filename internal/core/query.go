@@ -168,6 +168,114 @@ func (t *Table) SumFloat64(col int) (float64, error) {
 	return sum, nil
 }
 
+// SumFloat64Where aggregates (sum, count) of col over the rows matching
+// p, skipping base fragments whose zone maps prove them match-free.
+// Device-resident fragments decide before paying the kernel launch; host
+// fragments carry their zones into the fused bulk operator. The MVCC
+// patch stays exact under pruning because zones are conservative: a base
+// value that matches p always lives in a fragment whose zone admits p,
+// so it was part of the base scan and can be subtracted.
+func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, error) {
+	if col < 0 || col >= t.s.Arity() {
+		return 0, 0, fmt.Errorf("%w: col %d", layout.ErrOutOfRange, col)
+	}
+	if t.s.Attr(col).Kind != schema.Float64 {
+		return 0, 0, fmt.Errorf("%w: attribute %s is %s", exec.ErrBadColumn, t.s.Attr(col).Name, t.s.Attr(col).Kind)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	reader := t.txm.Begin()
+	defer reader.Abort()
+	t.mon.Observe(workload.Op{Kind: workload.ColumnScan, Cols: []int{col}})
+
+	rows := t.rel.Rows()
+	var sum float64
+	var n int64
+	var hostPieces []exec.Piece
+	for _, c := range t.chunks {
+		if c.rows.Begin >= rows {
+			break
+		}
+		frag, err := t.fragmentForCol(c, col)
+		if err != nil {
+			return 0, 0, err
+		}
+		v, err := frag.ColVector(col)
+		if err != nil {
+			return 0, 0, err
+		}
+		if frag.Space() == t.env.GPU.Allocator().Space() {
+			bytes := int64(v.Len) * int64(v.Size)
+			if !exec.ZoneAdmitsFloat64(frag.Stats(col), p) {
+				exec.NoteZoneDecision(false, bytes)
+				continue
+			}
+			exec.NoteZoneDecision(true, bytes)
+			lo, hi, ok := exec.ClosedFloat64(p)
+			if !ok {
+				continue
+			}
+			dv := device.Vec{Data: v.Data, Base: v.Base, Stride: v.Stride, Size: v.Size, Len: v.Len}
+			cfg := device.DefaultReduceConfig()
+			if v.Len < cfg.Blocks*2 {
+				cfg = device.LaunchConfig{Blocks: 8, ThreadsPerBlock: 64}
+			}
+			part, cnt, err := t.env.GPU.ReduceSumFloat64Where(dv, lo, hi, cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			sum += part
+			n += cnt
+			continue
+		}
+		hostPieces = append(hostPieces, exec.Piece{
+			Rows: layout.RowRange{Begin: c.rows.Begin, End: c.rows.Begin + uint64(v.Len)},
+			Vec:  v,
+			Zone: frag.Stats(col),
+		})
+	}
+	hostSum, hostN, err := exec.SumFloat64Where(t.cfg, hostPieces, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	sum += hostSum
+	n += hostN
+
+	// Patch the snapshot's visible versions over the base contribution.
+	for row := uint64(0); row < rows; row++ {
+		if t.deltas.LatestTS(row) == 0 {
+			continue
+		}
+		rec, err := reader.Read(t.deltas, row)
+		if err != nil {
+			if errors.Is(err, tx.ErrNotFound) {
+				continue
+			}
+			return 0, 0, err
+		}
+		base, err := t.baseValue(row, col)
+		if err != nil {
+			return 0, 0, err
+		}
+		if p.Match(base.F) {
+			sum -= base.F
+			n--
+		}
+		if p.Match(rec[col].F) {
+			sum += rec[col].F
+			n++
+		}
+	}
+	return sum, n, nil
+}
+
+// CountWhereFloat64 counts the rows matching p on col with the same
+// pruning as SumFloat64Where.
+func (t *Table) CountWhereFloat64(col int, p exec.Pred[float64]) (int64, error) {
+	_, n, err := t.SumFloat64Where(col, p)
+	return n, err
+}
+
 // fragmentForCol returns the base fragment storing (chunk, col).
 func (t *Table) fragmentForCol(c *chunk, col int) (*layout.Fragment, error) {
 	if c.state == hot {

@@ -331,6 +331,89 @@ func (g *GPU) ReduceSumInt64(v Vec, cfg LaunchConfig) (int64, error) {
 	return int64(total), nil
 }
 
+// ReduceSumFloat64Where fuses a closed-interval filter [lo, hi] into
+// the tree reduction: each thread loads its grid-stride elements, keeps
+// those inside the interval, and accumulates the running sum and the
+// match count in registers; the shared-memory tree then folds the
+// (sum, count) pairs exactly like the plain Harris reduction. The fused
+// form replaces a select → materialize → reduce chain with the same two
+// launches an unfiltered reduction costs, which is the operator-fusion
+// win the data-path-fusion literature reports for GPU scans. Strict
+// predicate bounds are normalized to closed intervals host-side (see
+// exec.ClosedFloat64), keeping the kernel branch-free of modes.
+func (g *GPU) ReduceSumFloat64Where(v Vec, lo, hi float64, cfg LaunchConfig) (float64, int64, error) {
+	if err := g.validate(cfg, true); err != nil {
+		return 0, 0, err
+	}
+	buf, err := v.check()
+	if err != nil {
+		return 0, 0, err
+	}
+	if v.Size != 8 {
+		return 0, 0, fmt.Errorf("%w: float64 reduction over %d-byte elements", ErrBadLaunch, v.Size)
+	}
+	load := func(i int) (float64, float64) {
+		x := math.Float64frombits(binary.LittleEndian.Uint64(buf[v.Base+i*v.Stride:]))
+		if lo <= x && x <= hi {
+			return x, 1
+		}
+		return 0, 0
+	}
+	sums, counts := g.blockReduce2(v.Len, cfg, load)
+	total := treeReduce(sums)
+	n := treeReduce(counts)
+	g.countKernels(2)
+	g.charge(g.prof.ReduceKernelNs(int64(v.Len), v.Size, v.Stride, cfg.Blocks, cfg.ThreadsPerBlock))
+	return total, int64(n), nil
+}
+
+// blockReduce2 is blockReduce over (sum, count) pairs: two shared-memory
+// images fold side by side, the way a fused kernel carries both
+// accumulators in registers.
+func (g *GPU) blockReduce2(n int, cfg LaunchConfig, load func(int) (float64, float64)) (sums, counts []float64) {
+	sums = make([]float64, cfg.Blocks)
+	counts = make([]float64, cfg.Blocks)
+	sem := make(chan struct{}, g.prof.SMs)
+	var wg sync.WaitGroup
+	perBlock := (n + cfg.Blocks - 1) / cfg.Blocks
+	for b := 0; b < cfg.Blocks; b++ {
+		begin := b * perBlock
+		if begin >= n {
+			break
+		}
+		end := begin + perBlock
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(b, begin, end int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sharedS := make([]float64, cfg.ThreadsPerBlock)
+			sharedC := make([]float64, cfg.ThreadsPerBlock)
+			for t := 0; t < cfg.ThreadsPerBlock; t++ {
+				var accS, accC float64
+				for i := begin + t; i < end; i += cfg.ThreadsPerBlock {
+					s, c := load(i)
+					accS += s
+					accC += c
+				}
+				sharedS[t], sharedC[t] = accS, accC
+			}
+			for s := cfg.ThreadsPerBlock / 2; s > 0; s >>= 1 {
+				for t := 0; t < s; t++ {
+					sharedS[t] += sharedS[t+s]
+					sharedC[t] += sharedC[t+s]
+				}
+			}
+			sums[b], counts[b] = sharedS[0], sharedC[0]
+		}(b, begin, end)
+	}
+	wg.Wait()
+	return sums, counts
+}
+
 // blockReduce computes per-block partial sums concurrently. Each block b
 // owns the grid-stride element range and reduces it tree-style over a
 // shared-memory image of ThreadsPerBlock slots.

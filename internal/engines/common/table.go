@@ -214,6 +214,90 @@ func (t *Table) SumInt64(col int) (int64, error) {
 	return exec.SumInt64(t.Cfg, pieces)
 }
 
+// SumFloat64Where aggregates (sum, count) of col over the rows matching
+// p, letting the executor prune fragments whose zone maps prove them
+// match-free (ColumnView attaches each fragment's zone to its piece).
+func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, error) {
+	l := t.LayoutForScan(col)
+	if l == nil {
+		return 0, 0, layout.ErrNoLayout
+	}
+	pieces, err := exec.ColumnView(l, col, t.Rel.Rows())
+	if err != nil {
+		return 0, 0, err
+	}
+	return exec.SumFloat64Where(t.Cfg, pieces, p)
+}
+
+// SumInt64Where is SumFloat64Where for int64 attributes.
+func (t *Table) SumInt64Where(col int, p exec.Pred[int64]) (int64, int64, error) {
+	l := t.LayoutForScan(col)
+	if l == nil {
+		return 0, 0, layout.ErrNoLayout
+	}
+	pieces, err := exec.ColumnView(l, col, t.Rel.Rows())
+	if err != nil {
+		return 0, 0, err
+	}
+	return exec.SumInt64Where(t.Cfg, pieces, p)
+}
+
+// CountWhereFloat64 counts the rows matching p on col with zone pruning.
+func (t *Table) CountWhereFloat64(col int, p exec.Pred[float64]) (int64, error) {
+	l := t.LayoutForScan(col)
+	if l == nil {
+		return 0, layout.ErrNoLayout
+	}
+	pieces, err := exec.ColumnView(l, col, t.Rel.Rows())
+	if err != nil {
+		return 0, err
+	}
+	return exec.CountWhereFloat64(t.Cfg, pieces, p)
+}
+
+// CountWhereInt64 is CountWhereFloat64 for int64 attributes.
+func (t *Table) CountWhereInt64(col int, p exec.Pred[int64]) (int64, error) {
+	l := t.LayoutForScan(col)
+	if l == nil {
+		return 0, layout.ErrNoLayout
+	}
+	pieces, err := exec.ColumnView(l, col, t.Rel.Rows())
+	if err != nil {
+		return 0, err
+	}
+	return exec.CountWhereInt64(t.Cfg, pieces, p)
+}
+
+// SelectFloat64 returns the sorted positions whose col value satisfies
+// an arbitrary predicate — the generic closure fallback for predicates
+// the sargable vocabulary cannot express (no pruning, no
+// specialization).
+func (t *Table) SelectFloat64(col int, pred func(float64) bool) ([]uint64, error) {
+	l := t.LayoutForScan(col)
+	if l == nil {
+		return nil, layout.ErrNoLayout
+	}
+	pieces, err := exec.ColumnView(l, col, t.Rel.Rows())
+	if err != nil {
+		return nil, err
+	}
+	return exec.SelectFloat64(t.Cfg, pieces, pred)
+}
+
+// SelectFloat64Where returns the sorted positions matching p on col as a
+// pooled selection vector (callers must Release it).
+func (t *Table) SelectFloat64Where(col int, p exec.Pred[float64]) (*exec.SelVec, error) {
+	l := t.LayoutForScan(col)
+	if l == nil {
+		return nil, layout.ErrNoLayout
+	}
+	pieces, err := exec.ColumnView(l, col, t.Rel.Rows())
+	if err != nil {
+		return nil, err
+	}
+	return exec.SelectFloat64Pred(t.Cfg, pieces, p)
+}
+
 // Materialize resolves the position list against the cheapest layout.
 func (t *Table) Materialize(positions []uint64) ([]schema.Record, error) {
 	for _, p := range positions {

@@ -21,6 +21,7 @@ import (
 
 	"hybridstore/internal/device"
 	"hybridstore/internal/engine"
+	"hybridstore/internal/exec"
 	"hybridstore/internal/layout"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/taxonomy"
@@ -274,6 +275,17 @@ func (t *Table) executeSet(set [][]TxOp) error {
 			if err := schema.EncodeValue(buf, a, op.Val); err != nil {
 				return fmt.Errorf("gputx: encoding update: %w", err)
 			}
+			// Scatter writes bypass Fragment.Set, so the column's zone
+			// would silently narrow; widen it here to keep it a
+			// conservative envelope.
+			if z := t.cols[op.Col].Stats(op.Col); z != nil {
+				switch a.Kind {
+				case schema.Int64:
+					z.WidenInt64(op.Val.I)
+				case schema.Float64:
+					z.WidenFloat64(op.Val.F)
+				}
+			}
 			ownWrites[cell{op.Row, op.Col}] = op.Val
 			u := pending[op.Col]
 			if u == nil {
@@ -350,6 +362,49 @@ func (t *Table) SumFloat64(col int) (float64, error) {
 		cfg = device.LaunchConfig{Blocks: 8, ThreadsPerBlock: 64}
 	}
 	return t.env.GPU.ReduceSumFloat64(dv, cfg)
+}
+
+// SumFloat64Where runs the fused filter+reduction kernel over the
+// device-resident column — unless the column's zone map proves the
+// predicate match-free, in which case no kernel launches at all.
+func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, error) {
+	if col < 0 || col >= t.s.Arity() {
+		return 0, 0, fmt.Errorf("%w: col %d", layout.ErrOutOfRange, col)
+	}
+	if t.s.Attr(col).Kind != schema.Float64 {
+		return 0, 0, fmt.Errorf("%w: attribute %s is %s", exec.ErrBadColumn, t.s.Attr(col).Name, t.s.Attr(col).Kind)
+	}
+	f := t.cols[col]
+	v, err := f.ColVector(col)
+	if err != nil {
+		return 0, 0, err
+	}
+	bytes := int64(v.Len) * int64(v.Size)
+	if !exec.ZoneAdmitsFloat64(f.Stats(col), p) {
+		exec.NoteZoneDecision(false, bytes)
+		return 0, 0, nil
+	}
+	exec.NoteZoneDecision(true, bytes)
+	lo, hi, ok := exec.ClosedFloat64(p)
+	if !ok {
+		return 0, 0, nil
+	}
+	if v.Len == 0 {
+		return 0, 0, nil
+	}
+	dv := device.Vec{Data: v.Data, Base: v.Base, Stride: v.Stride, Size: v.Size, Len: v.Len}
+	cfg := device.DefaultReduceConfig()
+	if v.Len < cfg.Blocks*2 {
+		cfg = device.LaunchConfig{Blocks: 8, ThreadsPerBlock: 64}
+	}
+	return t.env.GPU.ReduceSumFloat64Where(dv, lo, hi, cfg)
+}
+
+// CountWhereFloat64 counts the rows matching p on col with the same
+// device-side pruning as SumFloat64Where.
+func (t *Table) CountWhereFloat64(col int, p exec.Pred[float64]) (int64, error) {
+	_, n, err := t.SumFloat64Where(col, p)
+	return n, err
 }
 
 // Materialize gathers a position list into the host result pool format.

@@ -303,6 +303,12 @@ func (t *Table) fuse(run []*chunk) (*chunk, error) {
 			}
 		}
 	}
+	// A compaction-produced chunk is frozen: seal exact per-vector bounds
+	// so predicate scans can prune it (a later in-place Update widens the
+	// zone and clears the seal).
+	for _, v := range fused.vectors {
+		v.SealStats()
+	}
 	if err := t.attach(fused); err != nil {
 		fused.free()
 		return nil, err

@@ -18,7 +18,9 @@
 package lstore
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 
 	"hybridstore/internal/compress"
 	"hybridstore/internal/engine"
@@ -26,6 +28,7 @@ import (
 	"hybridstore/internal/layout"
 	"hybridstore/internal/mem"
 	"hybridstore/internal/schema"
+	"hybridstore/internal/stats"
 	"hybridstore/internal/taxonomy"
 )
 
@@ -63,6 +66,7 @@ type tailEntry struct {
 // inserts, and the append-only tail with its lineage arena.
 type column struct {
 	sealed  *compress.Column // rows [0, sealedRows); nil before first Merge
+	zone    *stats.Zone      // sealed-region bounds, built by Merge; nil for non-numeric attrs
 	active  *layout.Fragment // rows [sealedRows, ...)
 	tail    *layout.Fragment
 	lineage []tailEntry
@@ -379,6 +383,7 @@ func (t *Table) Merge() error {
 			return fmt.Errorf("lstore: sealing column %d: %w", col, err)
 		}
 		c.sealed = sealed
+		c.zone = sealZone(image, int(t.rows), t.s.Attr(col))
 		// Reset the appendable and tail regions.
 		fresh, err := layout.NewFragment(t.env.Host, t.s, []int{col},
 			layout.RowRange{Begin: t.rows, End: t.rows + 64}, layout.Direct)
@@ -404,6 +409,108 @@ func (t *Table) Merge() error {
 	t.sealedRows = t.rows
 	t.merges++
 	return nil
+}
+
+// sealZone computes the sealed-region zone map from the settled column
+// image — the merge pass is the base region's freeze point, so the
+// bounds are exact and marked sealed. Non-8-byte and non-numeric
+// attributes get no zone (their scans never prune).
+func sealZone(image []byte, n int, a schema.Attribute) *stats.Zone {
+	var z *stats.Zone
+	switch {
+	case a.Kind == schema.Int64 && a.Size == 8:
+		z = stats.NewZone(stats.Int64)
+	case a.Kind == schema.Float64 && a.Size == 8:
+		z = stats.NewZone(stats.Float64)
+	default:
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		bits := binary.LittleEndian.Uint64(image[i*8:])
+		if z.Kind() == stats.Int64 {
+			z.ObserveInt64(int64(bits))
+		} else {
+			z.ObserveFloat64(math.Float64frombits(bits))
+		}
+	}
+	z.MarkSealed()
+	return z
+}
+
+// SumFloat64Where aggregates (sum, count) of col over the rows matching
+// p. When the sealed region's zone proves it match-free the compressed
+// image is never decompressed — the pruning win compounds with the
+// compression win. Tail patching stays exact under pruning because the
+// zone is conservative: a base value matching p implies the sealed
+// region was scanned.
+func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, error) {
+	if col < 0 || col >= t.s.Arity() {
+		return 0, 0, fmt.Errorf("%w: col %d", layout.ErrOutOfRange, col)
+	}
+	if t.s.Attr(col).Kind != schema.Float64 {
+		return 0, 0, fmt.Errorf("%w: attribute %s is %s", exec.ErrBadColumn, t.s.Attr(col).Name, t.s.Attr(col).Kind)
+	}
+	c := t.cols[col]
+	size := t.s.Attr(col).Size
+	var pieces []exec.Piece
+	if c.sealed != nil && t.sealedRows > 0 {
+		sealedBytes := int64(t.sealedRows) * int64(size)
+		if !exec.ZoneAdmitsFloat64(c.zone, p) {
+			exec.NoteZoneDecision(false, sealedBytes)
+		} else {
+			exec.NoteZoneDecision(true, sealedBytes)
+			image := c.sealed.Decompress()
+			pieces = append(pieces, exec.Piece{
+				Rows: layout.RowRange{Begin: 0, End: t.sealedRows},
+				Vec:  layout.ColVector{Data: image, Stride: size, Size: size, Len: int(t.sealedRows)},
+				Zone: c.zone,
+			})
+		}
+	}
+	v, err := c.active.ColVector(col)
+	if err != nil {
+		return 0, 0, err
+	}
+	pieces = append(pieces, exec.Piece{
+		Rows: layout.RowRange{Begin: t.sealedRows, End: t.sealedRows + uint64(v.Len)},
+		Vec:  v,
+		Zone: c.active.Stats(col),
+	})
+	sum, n, err := exec.SumFloat64Where(t.cfg, pieces, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Patch rows whose newest value lives in a tail page.
+	for row := uint64(0); row < t.rows; row++ {
+		li := t.dict[row][col]
+		if li < 0 {
+			continue
+		}
+		baseV, err := t.baseValue(row, col)
+		if err != nil {
+			return 0, 0, err
+		}
+		tailV, err := c.tail.Get(c.lineage[li].slot, col)
+		if err != nil {
+			return 0, 0, err
+		}
+		if p.Match(baseV.F) {
+			sum -= baseV.F
+			n--
+		}
+		if p.Match(tailV.F) {
+			sum += tailV.F
+			n++
+		}
+	}
+	return sum, n, nil
+}
+
+// CountWhereFloat64 counts the rows matching p on col with the same
+// pruning as SumFloat64Where.
+func (t *Table) CountWhereFloat64(col int, p exec.Pred[float64]) (int64, error) {
+	_, n, err := t.SumFloat64Where(col, p)
+	return n, err
 }
 
 // Snapshot digests the live structure. The sealed, appendable and tail

@@ -33,6 +33,7 @@ import (
 	"hybridstore/internal/layout"
 	"hybridstore/internal/obs"
 	"hybridstore/internal/perfmodel"
+	"hybridstore/internal/stats"
 )
 
 // Operator observability: each operator reports a per-policy invocation
@@ -192,6 +193,10 @@ type Piece struct {
 	Rows layout.RowRange
 	// Vec is the raw strided access to the fields.
 	Vec layout.ColVector
+	// Zone is the owning fragment's zone map for this column, or nil.
+	// The fragment-wide envelope is a superset of any clipped piece's
+	// value range, so pruning against it stays conservative.
+	Zone *stats.Zone
 }
 
 // ColumnView assembles the pieces covering attribute col for rows
@@ -225,7 +230,7 @@ func ColumnView(l *layout.Layout, col int, rows uint64) ([]Piece, error) {
 		if v.Len < 0 {
 			v.Len = 0
 		}
-		out = append(out, Piece{Rows: layout.RowRange{Begin: begin, End: begin + uint64(v.Len)}, Vec: v})
+		out = append(out, Piece{Rows: layout.RowRange{Begin: begin, End: begin + uint64(v.Len)}, Vec: v, Zone: f.Stats(col)})
 		if uint64(v.Len) < end-begin {
 			return nil, fmt.Errorf("%w: rows [%d,%d) allocated but not filled",
 				ErrGap, begin+uint64(v.Len), end)

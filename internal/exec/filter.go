@@ -23,8 +23,8 @@ func SelectFloat64(cfg Config, pieces []Piece, pred func(float64) bool) ([]uint6
 		}
 	}
 	ot := obsSelect.start(cfg.Policy)
-	out := selectPositions(cfg, pieces, func(v layout.ColVector, off int) bool {
-		return pred(math.Float64frombits(binary.LittleEndian.Uint64(v.Data[off:])))
+	out := selectPositions(cfg, pieces, func(buf []uint64, gFrom, gTo int) []uint64 {
+		return scanMatchesF64(buf, pieces, gFrom, gTo, pred)
 	})
 	cfg.chargeScan(pieces)
 	ot.end()
@@ -39,22 +39,35 @@ func SelectInt64(cfg Config, pieces []Piece, pred func(int64) bool) ([]uint64, e
 		}
 	}
 	ot := obsSelect.start(cfg.Policy)
-	out := selectPositions(cfg, pieces, func(v layout.ColVector, off int) bool {
-		return pred(int64(binary.LittleEndian.Uint64(v.Data[off:])))
+	out := selectPositions(cfg, pieces, func(buf []uint64, gFrom, gTo int) []uint64 {
+		return scanMatchesI64(buf, pieces, gFrom, gTo, pred)
 	})
 	cfg.chargeScan(pieces)
 	ot.end()
 	return out, nil
 }
 
-// scanMatches appends the global positions in pieces' local range
-// [gFrom, gTo) whose field matches, reusing buf's capacity.
-func scanMatches(buf []uint64, pieces []Piece, gFrom, gTo int, match func(v layout.ColVector, off int) bool) []uint64 {
+// scanMatchesF64 appends the global positions in pieces' local range
+// [gFrom, gTo) whose float64 field satisfies pred, reusing buf's
+// capacity. The contiguous stride-8 case re-slices to a dense byte run
+// and decodes inline, so only the caller's predicate — not an
+// additional per-row decode closure — runs per element.
+func scanMatchesF64(buf []uint64, pieces []Piece, gFrom, gTo int, pred func(float64) bool) []uint64 {
 	eachRange(pieces, gFrom, gTo, func(p Piece, from, to int) {
 		v := p.Vec
+		if v.Stride == 8 {
+			data := v.Data[v.Base+from*8 : v.Base+to*8]
+			base := p.Rows.Begin + uint64(from)
+			for i := 0; i+8 <= len(data); i += 8 {
+				if pred(math.Float64frombits(binary.LittleEndian.Uint64(data[i:]))) {
+					buf = append(buf, base+uint64(i>>3))
+				}
+			}
+			return
+		}
 		off := v.Base + from*v.Stride
 		for i := from; i < to; i++ {
-			if match(v, off) {
+			if pred(math.Float64frombits(binary.LittleEndian.Uint64(v.Data[off:]))) {
 				buf = append(buf, p.Rows.Begin+uint64(i))
 			}
 			off += v.Stride
@@ -63,13 +76,38 @@ func scanMatches(buf []uint64, pieces []Piece, gFrom, gTo int, match func(v layo
 	return buf
 }
 
-// selectPositions runs the selection under the configured policy. The
-// parallel paths partition the global position space (blockwise or in
-// morsels), collect per-partition matches into recycled buffers, and
-// merge them into one exactly-sized output; partitions are in global
-// order, so the concatenation is already sorted and no extra sort pass
-// is needed.
-func selectPositions(cfg Config, pieces []Piece, match func(v layout.ColVector, off int) bool) []uint64 {
+// scanMatchesI64 is scanMatchesF64 for int64 columns.
+func scanMatchesI64(buf []uint64, pieces []Piece, gFrom, gTo int, pred func(int64) bool) []uint64 {
+	eachRange(pieces, gFrom, gTo, func(p Piece, from, to int) {
+		v := p.Vec
+		if v.Stride == 8 {
+			data := v.Data[v.Base+from*8 : v.Base+to*8]
+			base := p.Rows.Begin + uint64(from)
+			for i := 0; i+8 <= len(data); i += 8 {
+				if pred(int64(binary.LittleEndian.Uint64(data[i:]))) {
+					buf = append(buf, base+uint64(i>>3))
+				}
+			}
+			return
+		}
+		off := v.Base + from*v.Stride
+		for i := from; i < to; i++ {
+			if pred(int64(binary.LittleEndian.Uint64(v.Data[off:]))) {
+				buf = append(buf, p.Rows.Begin+uint64(i))
+			}
+			off += v.Stride
+		}
+	})
+	return buf
+}
+
+// selectPositionsInto runs a selection under the configured policy and
+// returns the matches in a pooled buffer (the caller owns it and must
+// eventually PutPositions or wrap it in a SelVec). The parallel paths
+// partition the global position space (blockwise or in morsels),
+// collect per-partition matches into recycled buffers, and merge them
+// in global order, so the concatenation is already sorted.
+func selectPositionsInto(cfg Config, pieces []Piece, scan func(buf []uint64, gFrom, gTo int) []uint64) []uint64 {
 	total := totalLen(pieces)
 	if total == 0 {
 		return nil
@@ -78,18 +116,18 @@ func selectPositions(cfg Config, pieces []Piece, match func(v layout.ColVector, 
 	case MorselDriven:
 		msize := pool.MorselSize()
 		if total <= msize {
-			return scanMatches(nil, pieces, 0, total, match)
+			return scan(pool.GetPositions(), 0, total)
 		}
 		slots := pool.Slots()
 		parts := make([][]uint64, pool.Morsels(total, msize))
 		pool.Run(total, msize, slots, func(_, from, to int) {
-			parts[from/msize] = scanMatches(pool.GetPositions(), pieces, from, to, match)
+			parts[from/msize] = scan(pool.GetPositions(), from, to)
 		})
 		return mergeParts(parts)
 	case MultiThreaded:
 		th := cfg.threads()
 		if th == 1 {
-			return scanMatches(nil, pieces, 0, total, match)
+			return scan(pool.GetPositions(), 0, total)
 		}
 		parts := make([][]uint64, th)
 		var wg sync.WaitGroup
@@ -101,18 +139,37 @@ func selectPositions(cfg Config, pieces []Piece, match func(v layout.ColVector, 
 			wg.Add(1)
 			go func(w, gFrom, gTo int) {
 				defer wg.Done()
-				parts[w] = scanMatches(pool.GetPositions(), pieces, gFrom, gTo, match)
+				parts[w] = scan(pool.GetPositions(), gFrom, gTo)
 			}(w, gFrom, gTo)
 		}
 		wg.Wait()
 		return mergeParts(parts)
 	default:
-		return scanMatches(nil, pieces, 0, total, match)
+		return scan(pool.GetPositions(), 0, total)
 	}
 }
 
+// selectPositions is selectPositionsInto for callers that hand the
+// position list to the user: the result is an exactly-sized private
+// slice and the (possibly append-grown, oversized) scan buffer goes
+// back to the pool. Previously the single-threaded path returned the
+// scan buffer itself, so a high-selectivity scan stranded up to 2× its
+// match count in unreachable capacity and the pool never saw the grown
+// buffer again.
+func selectPositions(cfg Config, pieces []Piece, scan func(buf []uint64, gFrom, gTo int) []uint64) []uint64 {
+	buf := selectPositionsInto(cfg, pieces, scan)
+	if len(buf) == 0 {
+		pool.PutPositions(buf)
+		return nil
+	}
+	out := make([]uint64, len(buf))
+	copy(out, buf)
+	pool.PutPositions(buf)
+	return out
+}
+
 // mergeParts concatenates ordered per-partition position lists into one
-// exactly-sized slice and recycles the partition buffers.
+// pooled buffer and recycles the partition buffers.
 func mergeParts(parts [][]uint64) []uint64 {
 	n := 0
 	for _, p := range parts {
@@ -124,7 +181,7 @@ func mergeParts(parts [][]uint64) []uint64 {
 		}
 		return nil
 	}
-	out := make([]uint64, 0, n)
+	out := pool.GetPositionsCap(n)
 	for _, p := range parts {
 		out = append(out, p...)
 		pool.PutPositions(p)

@@ -357,6 +357,19 @@ func GetPositions() []uint64 {
 	return (*positionsPool.Get().(*[]uint64))[:0]
 }
 
+// GetPositionsCap returns an empty position-list buffer with capacity
+// for at least n entries. A fetched buffer that is too small goes back
+// to the pool for smaller callers — the same re-pool discipline as
+// GetFloat64s — so sizing up never strands the small buffer.
+func GetPositionsCap(n int) []uint64 {
+	s := GetPositions()
+	if cap(s) < n {
+		PutPositions(s)
+		return make([]uint64, 0, n)
+	}
+	return s
+}
+
 // PutPositions recycles a position-list buffer. The contents become
 // invalid; callers must copy results out first.
 func PutPositions(s []uint64) {

@@ -1,0 +1,679 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"hybridstore/internal/exec/pool"
+	"hybridstore/internal/layout"
+	"hybridstore/internal/obs"
+	"hybridstore/internal/stats"
+)
+
+// This file is the data-skipping and kernel-specialization layer: a
+// small sargable predicate vocabulary (Pred), per-operator zone-map
+// pruning over the fragment statistics of internal/stats, and fused
+// scan kernels whose inner loops decode aligned 8-byte strides directly
+// — no per-row closure, one comparison branch per element. The generic
+// closure-based Select*/Count* operators in filter.go remain the
+// fallback for predicates this vocabulary cannot express.
+
+// Zone-map observability. Counters track pruned/scanned pieces
+// process-wide; the gauge reports the bytes skipped by the most recent
+// pruned operator (a per-query figure by construction, since operators
+// under one query run back to back); the span family records prune
+// decisions for the adaptation layer's diagnostics.
+var (
+	mZonePruned      = obs.NewCounter("exec.zonemap.pruned")
+	mZoneScanned     = obs.NewCounter("exec.zonemap.scanned")
+	mZonePrunedBytes = obs.NewCounter("exec.zonemap.pruned_bytes_total")
+	gZonePrunedBytes = obs.NewGauge("exec.zonemap.last_pruned_bytes")
+	sfPrune          = obs.NewSpanFamily("exec.zonemap.prune")
+)
+
+// Fused-operator families (registered per policy like the others).
+var (
+	obsSumWhere   = newOpObs("sumwhere")
+	obsCountWhere = newOpObs("countwhere")
+	obsSelectPred = newOpObs("selectpred")
+)
+
+// Op is the comparison of a Pred.
+type Op uint8
+
+// Predicate comparisons.
+const (
+	// OpEQ selects x == Lo.
+	OpEQ Op = iota
+	// OpLT selects x < Hi (strict).
+	OpLT
+	// OpGT selects x > Lo (strict).
+	OpGT
+	// OpBetween selects Lo <= x <= Hi (inclusive).
+	OpBetween
+)
+
+// String names the comparison.
+func (o Op) String() string {
+	switch o {
+	case OpEQ:
+		return "eq"
+	case OpLT:
+		return "lt"
+	case OpGT:
+		return "gt"
+	case OpBetween:
+		return "between"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Number is the element domain of sargable predicates: the two 8-byte
+// numeric kinds the zone maps cover.
+type Number interface {
+	~int64 | ~float64
+}
+
+// Pred is a sargable predicate over one 8-byte numeric column: an
+// equality or range comparison the executor can both specialize (tight
+// decode-and-compare loops) and prune (zone-map overlap tests). Lo
+// carries the bound of OpEQ/OpGT and the lower bound of OpBetween; Hi
+// carries the bound of OpLT and the upper bound of OpBetween.
+type Pred[T Number] struct {
+	// Op is the comparison.
+	Op Op
+	// Lo is the lower/equality bound (OpEQ, OpGT, OpBetween).
+	Lo T
+	// Hi is the upper bound (OpLT, OpBetween).
+	Hi T
+}
+
+// Eq returns the predicate x == v.
+func Eq[T Number](v T) Pred[T] { return Pred[T]{Op: OpEQ, Lo: v, Hi: v} }
+
+// Lt returns the predicate x < v.
+func Lt[T Number](v T) Pred[T] { return Pred[T]{Op: OpLT, Hi: v} }
+
+// Gt returns the predicate x > v.
+func Gt[T Number](v T) Pred[T] { return Pred[T]{Op: OpGT, Lo: v} }
+
+// Between returns the predicate lo <= x <= hi (inclusive both sides).
+func Between[T Number](lo, hi T) Pred[T] { return Pred[T]{Op: OpBetween, Lo: lo, Hi: hi} }
+
+// Match evaluates the predicate on one value.
+func (p Pred[T]) Match(x T) bool {
+	switch p.Op {
+	case OpEQ:
+		return x == p.Lo
+	case OpLT:
+		return x < p.Hi
+	case OpGT:
+		return x > p.Lo
+	case OpBetween:
+		return p.Lo <= x && x <= p.Hi
+	default:
+		return false
+	}
+}
+
+// admits reports whether a column whose values all lie in [min, max]
+// can contain a match. This is the zone-map overlap test: false means
+// the fragment is provably match-free and can be skipped.
+func (p Pred[T]) admits(min, max T) bool {
+	switch p.Op {
+	case OpEQ:
+		return min <= p.Lo && p.Lo <= max
+	case OpLT:
+		return min < p.Hi
+	case OpGT:
+		return max > p.Lo
+	case OpBetween:
+		return max >= p.Lo && min <= p.Hi
+	default:
+		return true
+	}
+}
+
+// String renders the predicate.
+func (p Pred[T]) String() string {
+	switch p.Op {
+	case OpEQ:
+		return fmt.Sprintf("x == %v", p.Lo)
+	case OpLT:
+		return fmt.Sprintf("x < %v", p.Hi)
+	case OpGT:
+		return fmt.Sprintf("x > %v", p.Lo)
+	case OpBetween:
+		return fmt.Sprintf("%v <= x <= %v", p.Lo, p.Hi)
+	default:
+		return p.Op.String()
+	}
+}
+
+// ClosedFloat64 normalizes a float64 predicate to the closed interval
+// [lo, hi] with identical match semantics (strict bounds step to the
+// adjacent representable double). ok is false for an empty interval.
+// The device's fused filter kernel consumes this form.
+func ClosedFloat64(p Pred[float64]) (lo, hi float64, ok bool) {
+	switch p.Op {
+	case OpEQ:
+		return p.Lo, p.Lo, true
+	case OpLT:
+		return math.Inf(-1), math.Nextafter(p.Hi, math.Inf(-1)), !math.IsInf(p.Hi, -1)
+	case OpGT:
+		return math.Nextafter(p.Lo, math.Inf(1)), math.Inf(1), !math.IsInf(p.Lo, 1)
+	case OpBetween:
+		return p.Lo, p.Hi, p.Lo <= p.Hi
+	default:
+		return 0, 0, false
+	}
+}
+
+// ClosedInt64 is ClosedFloat64 for int64 predicates.
+func ClosedInt64(p Pred[int64]) (lo, hi int64, ok bool) {
+	switch p.Op {
+	case OpEQ:
+		return p.Lo, p.Lo, true
+	case OpLT:
+		return math.MinInt64, p.Hi - 1, p.Hi != math.MinInt64
+	case OpGT:
+		return p.Lo + 1, math.MaxInt64, p.Lo != math.MaxInt64
+	case OpBetween:
+		return p.Lo, p.Hi, p.Lo <= p.Hi
+	default:
+		return 0, 0, false
+	}
+}
+
+// zoneAdmitsFloat64 reports whether the piece's zone map allows a
+// match. A nil, invalid or foreign-kind zone admits everything — the
+// scan falls back to touching the bytes.
+func zoneAdmitsFloat64(z *stats.Zone, p Pred[float64]) bool {
+	min, max, ok := z.Float64Bounds()
+	if !ok {
+		return true
+	}
+	return p.admits(min, max)
+}
+
+// zoneAdmitsInt64 is zoneAdmitsFloat64 for int64 predicates.
+func zoneAdmitsInt64(z *stats.Zone, p Pred[int64]) bool {
+	min, max, ok := z.Int64Bounds()
+	if !ok {
+		return true
+	}
+	return p.admits(min, max)
+}
+
+// ZoneAdmitsFloat64 exposes the zone-overlap test to engine code that
+// prunes outside the host operators — the device paths decide before
+// paying the transfer or the kernel launch. A nil, invalid or
+// foreign-kind zone admits everything.
+func ZoneAdmitsFloat64(z *stats.Zone, p Pred[float64]) bool { return zoneAdmitsFloat64(z, p) }
+
+// ZoneAdmitsInt64 is ZoneAdmitsFloat64 for int64 predicates.
+func ZoneAdmitsInt64(z *stats.Zone, p Pred[int64]) bool { return zoneAdmitsInt64(z, p) }
+
+// NoteZoneDecision records one zone consultation made outside the host
+// operators (bytes is the fragment size the decision covered), keeping
+// the pruned/scanned counters whole-system figures.
+func NoteZoneDecision(admitted bool, bytes int64) {
+	if admitted {
+		mZoneScanned.Inc()
+		return
+	}
+	mZonePruned.Inc()
+	mZonePrunedBytes.Add(bytes)
+}
+
+// pruneByZone partitions pieces into the survivors of the zone test and
+// accounts the decision: counters for pruned/scanned pieces, the
+// per-query pruned-bytes gauge, a prune-decision span when anything was
+// skipped, and — when the config carries a clock — the (tiny) cost of
+// consulting one zone per piece. Survivors alias the input slice when
+// nothing was pruned, so the common all-survive case allocates nothing.
+func pruneByZone(cfg Config, pieces []Piece, admits func(z *stats.Zone) bool) (kept []Piece, prunedBytes int64) {
+	pruned := 0
+	for i, p := range pieces {
+		if admits(p.Zone) {
+			if pruned > 0 {
+				kept = append(kept, p)
+			}
+			continue
+		}
+		if pruned == 0 {
+			kept = append(kept, pieces[:i]...)
+		}
+		pruned++
+		prunedBytes += int64(p.Vec.Len) * int64(p.Vec.Size)
+	}
+	if pruned == 0 {
+		kept = pieces
+	}
+	mZoneScanned.Add(int64(len(kept)))
+	gZonePrunedBytes.Set(prunedBytes)
+	if pruned > 0 {
+		sp := sfPrune.Start()
+		mZonePruned.Add(int64(pruned))
+		mZonePrunedBytes.Add(prunedBytes)
+		sp.EndWith(fmt.Sprintf("pruned %d/%d pieces, %d bytes", pruned, len(pieces), prunedBytes))
+	}
+	if cfg.Clock != nil && len(pieces) > 0 {
+		cfg.Clock.Advance(cfg.Host.ZoneCheckNs(len(pieces)))
+	}
+	return kept, prunedBytes
+}
+
+// checkSize8 rejects views whose fields are not 8 bytes wide.
+func checkSize8(pieces []Piece, what string) error {
+	for _, p := range pieces {
+		if p.Vec.Size != 8 {
+			return fmt.Errorf("%w: %s over %d-byte fields", ErrBadColumn, what, p.Vec.Size)
+		}
+	}
+	return nil
+}
+
+// --- Specialized kernels -------------------------------------------------
+//
+// One loop per (type, comparison) pair, chosen once outside the loop.
+// The contiguous stride-8 case re-slices the vector to a dense byte run
+// so the element load is a single bounds-check-friendly 8-byte decode;
+// the strided (NSM) case steps by the tuplet width. Both compare inline
+// — the branch predictor sees one well-behaved branch per element.
+
+// sumWhereF64 returns the sum and count of matching elements in
+// v[from:to).
+func sumWhereF64(v layout.ColVector, from, to int, p Pred[float64]) (float64, int64) {
+	var sum float64
+	var n int64
+	if v.Stride == 8 {
+		data := v.Data[v.Base+from*8 : v.Base+to*8]
+		switch p.Op {
+		case OpEQ:
+			for i := 0; i+8 <= len(data); i += 8 {
+				if x := math.Float64frombits(binary.LittleEndian.Uint64(data[i:])); x == p.Lo {
+					sum += x
+					n++
+				}
+			}
+		case OpLT:
+			for i := 0; i+8 <= len(data); i += 8 {
+				if x := math.Float64frombits(binary.LittleEndian.Uint64(data[i:])); x < p.Hi {
+					sum += x
+					n++
+				}
+			}
+		case OpGT:
+			for i := 0; i+8 <= len(data); i += 8 {
+				if x := math.Float64frombits(binary.LittleEndian.Uint64(data[i:])); x > p.Lo {
+					sum += x
+					n++
+				}
+			}
+		case OpBetween:
+			for i := 0; i+8 <= len(data); i += 8 {
+				if x := math.Float64frombits(binary.LittleEndian.Uint64(data[i:])); p.Lo <= x && x <= p.Hi {
+					sum += x
+					n++
+				}
+			}
+		}
+		return sum, n
+	}
+	off := v.Base + from*v.Stride
+	for i := from; i < to; i++ {
+		if x := math.Float64frombits(binary.LittleEndian.Uint64(v.Data[off:])); p.Match(x) {
+			sum += x
+			n++
+		}
+		off += v.Stride
+	}
+	return sum, n
+}
+
+// sumWhereI64 is sumWhereF64 for int64 columns.
+func sumWhereI64(v layout.ColVector, from, to int, p Pred[int64]) (int64, int64) {
+	var sum, n int64
+	if v.Stride == 8 {
+		data := v.Data[v.Base+from*8 : v.Base+to*8]
+		switch p.Op {
+		case OpEQ:
+			for i := 0; i+8 <= len(data); i += 8 {
+				if x := int64(binary.LittleEndian.Uint64(data[i:])); x == p.Lo {
+					sum += x
+					n++
+				}
+			}
+		case OpLT:
+			for i := 0; i+8 <= len(data); i += 8 {
+				if x := int64(binary.LittleEndian.Uint64(data[i:])); x < p.Hi {
+					sum += x
+					n++
+				}
+			}
+		case OpGT:
+			for i := 0; i+8 <= len(data); i += 8 {
+				if x := int64(binary.LittleEndian.Uint64(data[i:])); x > p.Lo {
+					sum += x
+					n++
+				}
+			}
+		case OpBetween:
+			for i := 0; i+8 <= len(data); i += 8 {
+				if x := int64(binary.LittleEndian.Uint64(data[i:])); p.Lo <= x && x <= p.Hi {
+					sum += x
+					n++
+				}
+			}
+		}
+		return sum, n
+	}
+	off := v.Base + from*v.Stride
+	for i := from; i < to; i++ {
+		if x := int64(binary.LittleEndian.Uint64(v.Data[off:])); p.Match(x) {
+			sum += x
+			n++
+		}
+		off += v.Stride
+	}
+	return sum, n
+}
+
+// appendWhereF64 appends the global positions of matching elements in
+// v[from:to) (whose global position base is rowBase+from) to buf.
+func appendWhereF64(buf []uint64, rowBase uint64, v layout.ColVector, from, to int, p Pred[float64]) []uint64 {
+	if v.Stride == 8 {
+		data := v.Data[v.Base+from*8 : v.Base+to*8]
+		base := rowBase + uint64(from)
+		switch p.Op {
+		case OpEQ:
+			for i := 0; i+8 <= len(data); i += 8 {
+				if x := math.Float64frombits(binary.LittleEndian.Uint64(data[i:])); x == p.Lo {
+					buf = append(buf, base+uint64(i>>3))
+				}
+			}
+		case OpLT:
+			for i := 0; i+8 <= len(data); i += 8 {
+				if x := math.Float64frombits(binary.LittleEndian.Uint64(data[i:])); x < p.Hi {
+					buf = append(buf, base+uint64(i>>3))
+				}
+			}
+		case OpGT:
+			for i := 0; i+8 <= len(data); i += 8 {
+				if x := math.Float64frombits(binary.LittleEndian.Uint64(data[i:])); x > p.Lo {
+					buf = append(buf, base+uint64(i>>3))
+				}
+			}
+		case OpBetween:
+			for i := 0; i+8 <= len(data); i += 8 {
+				if x := math.Float64frombits(binary.LittleEndian.Uint64(data[i:])); p.Lo <= x && x <= p.Hi {
+					buf = append(buf, base+uint64(i>>3))
+				}
+			}
+		}
+		return buf
+	}
+	off := v.Base + from*v.Stride
+	for i := from; i < to; i++ {
+		if x := math.Float64frombits(binary.LittleEndian.Uint64(v.Data[off:])); p.Match(x) {
+			buf = append(buf, rowBase+uint64(i))
+		}
+		off += v.Stride
+	}
+	return buf
+}
+
+// appendWhereI64 is appendWhereF64 for int64 columns.
+func appendWhereI64(buf []uint64, rowBase uint64, v layout.ColVector, from, to int, p Pred[int64]) []uint64 {
+	if v.Stride == 8 {
+		data := v.Data[v.Base+from*8 : v.Base+to*8]
+		base := rowBase + uint64(from)
+		switch p.Op {
+		case OpEQ:
+			for i := 0; i+8 <= len(data); i += 8 {
+				if x := int64(binary.LittleEndian.Uint64(data[i:])); x == p.Lo {
+					buf = append(buf, base+uint64(i>>3))
+				}
+			}
+		case OpLT:
+			for i := 0; i+8 <= len(data); i += 8 {
+				if x := int64(binary.LittleEndian.Uint64(data[i:])); x < p.Hi {
+					buf = append(buf, base+uint64(i>>3))
+				}
+			}
+		case OpGT:
+			for i := 0; i+8 <= len(data); i += 8 {
+				if x := int64(binary.LittleEndian.Uint64(data[i:])); x > p.Lo {
+					buf = append(buf, base+uint64(i>>3))
+				}
+			}
+		case OpBetween:
+			for i := 0; i+8 <= len(data); i += 8 {
+				if x := int64(binary.LittleEndian.Uint64(data[i:])); p.Lo <= x && x <= p.Hi {
+					buf = append(buf, base+uint64(i>>3))
+				}
+			}
+		}
+		return buf
+	}
+	off := v.Base + from*v.Stride
+	for i := from; i < to; i++ {
+		if x := int64(binary.LittleEndian.Uint64(v.Data[off:])); p.Match(x) {
+			buf = append(buf, rowBase+uint64(i))
+		}
+		off += v.Stride
+	}
+	return buf
+}
+
+// --- Fused operators -----------------------------------------------------
+
+// SumFloat64Where computes SUM(col), COUNT(*) WHERE p in one fused scan:
+// no position list is materialized, pieces whose zone maps exclude the
+// predicate are never touched, and only scanned bytes are charged to
+// the platform model.
+func SumFloat64Where(cfg Config, pieces []Piece, p Pred[float64]) (float64, int64, error) {
+	if err := checkSize8(pieces, "fused float64 sum"); err != nil {
+		return 0, 0, err
+	}
+	ot := obsSumWhere.start(cfg.Policy)
+	kept, _ := pruneByZone(cfg, pieces, func(z *stats.Zone) bool { return zoneAdmitsFloat64(z, p) })
+	sum, n := parallelSumCount(cfg, kept, func(v layout.ColVector, from, to int) (float64, int64) {
+		return sumWhereF64(v, from, to, p)
+	})
+	cfg.chargeScan(kept)
+	ot.end()
+	return sum, n, nil
+}
+
+// SumInt64Where is SumFloat64Where for int64 columns.
+func SumInt64Where(cfg Config, pieces []Piece, p Pred[int64]) (int64, int64, error) {
+	if err := checkSize8(pieces, "fused int64 sum"); err != nil {
+		return 0, 0, err
+	}
+	ot := obsSumWhere.start(cfg.Policy)
+	kept, _ := pruneByZone(cfg, pieces, func(z *stats.Zone) bool { return zoneAdmitsInt64(z, p) })
+	sum, n := parallelSumCount(cfg, kept, func(v layout.ColVector, from, to int) (float64, int64) {
+		s, c := sumWhereI64(v, from, to, p)
+		return float64(s), c
+	})
+	cfg.chargeScan(kept)
+	ot.end()
+	return int64(sum), n, nil
+}
+
+// CountWhereFloat64 counts matches in one fused scan with zone-map
+// pruning; the generic CountFloat64 remains the fallback for arbitrary
+// predicates.
+func CountWhereFloat64(cfg Config, pieces []Piece, p Pred[float64]) (int64, error) {
+	if err := checkSize8(pieces, "fused float64 count"); err != nil {
+		return 0, err
+	}
+	ot := obsCountWhere.start(cfg.Policy)
+	kept, _ := pruneByZone(cfg, pieces, func(z *stats.Zone) bool { return zoneAdmitsFloat64(z, p) })
+	_, n := parallelSumCount(cfg, kept, func(v layout.ColVector, from, to int) (float64, int64) {
+		return sumWhereF64(v, from, to, p)
+	})
+	cfg.chargeScan(kept)
+	ot.end()
+	return n, nil
+}
+
+// CountWhereInt64 is CountWhereFloat64 for int64 columns.
+func CountWhereInt64(cfg Config, pieces []Piece, p Pred[int64]) (int64, error) {
+	if err := checkSize8(pieces, "fused int64 count"); err != nil {
+		return 0, err
+	}
+	ot := obsCountWhere.start(cfg.Policy)
+	kept, _ := pruneByZone(cfg, pieces, func(z *stats.Zone) bool { return zoneAdmitsInt64(z, p) })
+	_, n := parallelSumCount(cfg, kept, func(v layout.ColVector, from, to int) (float64, int64) {
+		s, c := sumWhereI64(v, from, to, p)
+		return float64(s), c
+	})
+	cfg.chargeScan(kept)
+	ot.end()
+	return n, nil
+}
+
+// SelVec is a compact selection vector: the sorted global row positions
+// a selection produced, backed by a pooled buffer. Callers that are done
+// with the positions should Release the vector so high-selectivity
+// results recycle instead of stranding their allocation.
+type SelVec struct {
+	pos []uint64
+}
+
+// Positions returns the sorted matching positions. The slice is invalid
+// after Release.
+func (s *SelVec) Positions() []uint64 {
+	if s == nil {
+		return nil
+	}
+	return s.pos
+}
+
+// Len returns the number of selected positions.
+func (s *SelVec) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.pos)
+}
+
+// Release returns the backing buffer to the shared pool. The vector is
+// empty afterwards; Release is idempotent.
+func (s *SelVec) Release() {
+	if s == nil || s.pos == nil {
+		return
+	}
+	pool.PutPositions(s.pos)
+	s.pos = nil
+}
+
+// SelectFloat64Pred scans a float64 column view with a specialized
+// predicate kernel and returns the selection vector of matching global
+// positions. Pieces excluded by their zone maps are skipped entirely.
+func SelectFloat64Pred(cfg Config, pieces []Piece, p Pred[float64]) (*SelVec, error) {
+	if err := checkSize8(pieces, "float64 predicate selection"); err != nil {
+		return nil, err
+	}
+	ot := obsSelectPred.start(cfg.Policy)
+	kept, _ := pruneByZone(cfg, pieces, func(z *stats.Zone) bool { return zoneAdmitsFloat64(z, p) })
+	out := selectPositionsInto(cfg, kept, func(buf []uint64, gFrom, gTo int) []uint64 {
+		eachRange(kept, gFrom, gTo, func(pc Piece, from, to int) {
+			buf = appendWhereF64(buf, pc.Rows.Begin, pc.Vec, from, to, p)
+		})
+		return buf
+	})
+	cfg.chargeScan(kept)
+	ot.end()
+	return &SelVec{pos: out}, nil
+}
+
+// SelectInt64Pred is SelectFloat64Pred for int64 columns.
+func SelectInt64Pred(cfg Config, pieces []Piece, p Pred[int64]) (*SelVec, error) {
+	if err := checkSize8(pieces, "int64 predicate selection"); err != nil {
+		return nil, err
+	}
+	ot := obsSelectPred.start(cfg.Policy)
+	kept, _ := pruneByZone(cfg, pieces, func(z *stats.Zone) bool { return zoneAdmitsInt64(z, p) })
+	out := selectPositionsInto(cfg, kept, func(buf []uint64, gFrom, gTo int) []uint64 {
+		eachRange(kept, gFrom, gTo, func(pc Piece, from, to int) {
+			buf = appendWhereI64(buf, pc.Rows.Begin, pc.Vec, from, to, p)
+		})
+		return buf
+	})
+	cfg.chargeScan(kept)
+	ot.end()
+	return &SelVec{pos: out}, nil
+}
+
+// parallelSumCount folds pieces into a (sum, count) pair under the
+// configured policy; the partial kernel returns its range's partials.
+// It mirrors parallelSum with a second pooled partials array for the
+// counts (exact in float64 up to 2^53, far beyond any fragment).
+func parallelSumCount(cfg Config, pieces []Piece, kernel func(v layout.ColVector, from, to int) (float64, int64)) (float64, int64) {
+	total := totalLen(pieces)
+	if total == 0 {
+		return 0, 0
+	}
+	foldInto := func(sums, counts []float64, slot, gFrom, gTo int) {
+		eachRange(pieces, gFrom, gTo, func(p Piece, from, to int) {
+			s, c := kernel(p.Vec, from, to)
+			sums[slot] += s
+			counts[slot] += float64(c)
+		})
+	}
+	reduce := func(sums, counts []float64) (float64, int64) {
+		var sum, cnt float64
+		for i := range sums {
+			sum += sums[i]
+			cnt += counts[i]
+		}
+		pool.PutFloat64s(sums)
+		pool.PutFloat64s(counts)
+		return sum, int64(cnt)
+	}
+	switch cfg.Policy {
+	case MorselDriven:
+		slots := pool.Slots()
+		sums, counts := pool.GetFloat64s(slots), pool.GetFloat64s(slots)
+		pool.Run(total, pool.MorselSize(), slots, func(slot, from, to int) {
+			foldInto(sums, counts, slot, from, to)
+		})
+		return reduce(sums, counts)
+	case MultiThreaded:
+		th := cfg.threads()
+		if th > 1 {
+			sums, counts := pool.GetFloat64s(th), pool.GetFloat64s(th)
+			var wg sync.WaitGroup
+			for w := 0; w < th; w++ {
+				gFrom, gTo := blockRange(w, th, total)
+				if gFrom >= gTo {
+					break
+				}
+				wg.Add(1)
+				go func(w, gFrom, gTo int) {
+					defer wg.Done()
+					foldInto(sums, counts, w, gFrom, gTo)
+				}(w, gFrom, gTo)
+			}
+			wg.Wait()
+			return reduce(sums, counts)
+		}
+		fallthrough
+	default:
+		var sum float64
+		var cnt int64
+		for _, p := range pieces {
+			s, c := kernel(p.Vec, 0, p.Vec.Len)
+			sum += s
+			cnt += c
+		}
+		return sum, cnt
+	}
+}

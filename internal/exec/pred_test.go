@@ -1,0 +1,303 @@
+package exec
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hybridstore/internal/layout"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/stats"
+)
+
+// randPredF64 draws a predicate over roughly the buildLayout price
+// domain [0.25, 100.25], including out-of-range and empty shapes.
+func randPredF64(r *rand.Rand) Pred[float64] {
+	switch r.Intn(5) {
+	case 0:
+		return Eq(float64(r.Intn(110)) + 0.25)
+	case 1:
+		return Lt(r.Float64() * 120)
+	case 2:
+		return Gt(r.Float64() * 120)
+	case 3:
+		lo := r.Float64() * 110
+		return Between(lo, lo+r.Float64()*20)
+	default:
+		hi := r.Float64() * 100
+		return Between(hi+1, hi) // empty interval
+	}
+}
+
+// TestPredMatchAdmitsConsistency is the sargability invariant: whenever
+// any value in [min, max] matches, the zone test must admit the range
+// (the converse may not hold — admission is allowed to be conservative).
+func TestPredMatchAdmitsConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		p := randPredF64(r)
+		min := r.Float64() * 100
+		max := min + r.Float64()*10
+		admit := p.admits(min, max)
+		for j := 0; j < 16; j++ {
+			x := min + r.Float64()*(max-min)
+			if p.Match(x) && !admit {
+				t.Fatalf("%v matched %v inside rejected zone [%v,%v]", p, x, min, max)
+			}
+		}
+		// Endpoints are part of the zone.
+		if (p.Match(min) || p.Match(max)) && !admit {
+			t.Fatalf("%v matched an endpoint of rejected zone [%v,%v]", p, min, max)
+		}
+	}
+}
+
+// TestClosedIntervalEquivalence pins the closed-interval normalization
+// the device kernel consumes to Match exactly, including the strict
+// bounds stepping to adjacent representable values.
+func TestClosedIntervalEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 5000; i++ {
+		p := randPredF64(r)
+		lo, hi, ok := ClosedFloat64(p)
+		probes := []float64{p.Lo, p.Hi,
+			math.Nextafter(p.Lo, math.Inf(-1)), math.Nextafter(p.Lo, math.Inf(1)),
+			math.Nextafter(p.Hi, math.Inf(-1)), math.Nextafter(p.Hi, math.Inf(1)),
+			r.Float64() * 120,
+		}
+		for _, x := range probes {
+			closed := ok && lo <= x && x <= hi
+			if closed != p.Match(x) {
+				t.Fatalf("%v: closed [%v,%v] ok=%v disagrees with Match at %v", p, lo, hi, ok, x)
+			}
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		var p Pred[int64]
+		switch r.Intn(4) {
+		case 0:
+			p = Eq(int64(r.Intn(200)) - 100)
+		case 1:
+			p = Lt(int64(r.Intn(200)) - 100)
+		case 2:
+			p = Gt(int64(r.Intn(200)) - 100)
+		default:
+			p = Between(int64(r.Intn(200))-100, int64(r.Intn(200))-100)
+		}
+		lo, hi, ok := ClosedInt64(p)
+		for x := int64(-120); x <= 120; x += 7 {
+			closed := ok && lo <= x && x <= hi
+			if closed != p.Match(x) {
+				t.Fatalf("%v: closed [%d,%d] ok=%v disagrees with Match at %d", p, lo, hi, ok, x)
+			}
+		}
+	}
+}
+
+// TestFusedWhereMatchesGenericAllPolicies checks the specialized fused
+// operators against the closure-based baselines over both strided (NSM)
+// and contiguous (thin DSM) views under every policy.
+func TestFusedWhereMatchesGenericAllPolicies(t *testing.T) {
+	const n = 700
+	for _, vertical := range []bool{false, true} {
+		l, _ := buildLayout(t, layout.NSM, vertical, n)
+		defer l.Free()
+		pieces, err := ColumnView(l, 3, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(21))
+		for _, cfg := range []Config{Single(), Multi(), MultiN(3), Morsel()} {
+			for i := 0; i < 12; i++ {
+				p := randPredF64(r)
+				wantN, err := CountFloat64(cfg, pieces, p.Match)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var wantSum float64
+				for j := uint64(0); j < n; j++ {
+					if x := float64(j%101) + 0.25; p.Match(x) {
+						wantSum += x
+					}
+				}
+				sum, cnt, err := SumFloat64Where(cfg, pieces, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cnt != wantN || math.Abs(sum-wantSum) > 1e-9 {
+					t.Fatalf("vertical=%v %v %v: fused (%v,%d), want (%v,%d)",
+						vertical, cfg.Policy, p, sum, cnt, wantSum, wantN)
+				}
+				gotN, err := CountWhereFloat64(cfg, pieces, p)
+				if err != nil || gotN != wantN {
+					t.Fatalf("CountWhereFloat64 = %d, %v; want %d", gotN, err, wantN)
+				}
+			}
+		}
+	}
+}
+
+// TestSumInt64WhereMatchesLoop checks the int64 fused kernels.
+func TestSumInt64WhereMatchesLoop(t *testing.T) {
+	const n = 500
+	l, _ := buildLayout(t, layout.NSM, false, n)
+	defer l.Free()
+	pieces, err := ColumnView(l, 0, n) // id(i) = i
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{Single(), Multi(), Morsel()} {
+		for _, p := range []Pred[int64]{Eq[int64](42), Lt[int64](100), Gt[int64](450), Between[int64](100, 199), Between[int64](600, 700)} {
+			var wantSum, wantN int64
+			for i := int64(0); i < n; i++ {
+				if p.Match(i) {
+					wantSum += i
+					wantN++
+				}
+			}
+			sum, cnt, err := SumInt64Where(cfg, pieces, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum != wantSum || cnt != wantN {
+				t.Fatalf("%v %v: (%d,%d), want (%d,%d)", cfg.Policy, p, sum, cnt, wantSum, wantN)
+			}
+			gotN, err := CountWhereInt64(cfg, pieces, p)
+			if err != nil || gotN != wantN {
+				t.Fatalf("CountWhereInt64 = %d, %v; want %d", gotN, err, wantN)
+			}
+		}
+	}
+}
+
+// TestSelectPredMatchesClosure pins the specialized selection to the
+// closure path bit-for-bit and exercises SelVec's pooled lifecycle.
+func TestSelectPredMatchesClosure(t *testing.T) {
+	const n = 600
+	l, _ := buildLayout(t, layout.NSM, true, n)
+	defer l.Free()
+	pieces, err := ColumnView(l, 3, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(31))
+	for _, cfg := range []Config{Single(), Multi(), Morsel()} {
+		for i := 0; i < 10; i++ {
+			p := randPredF64(r)
+			sv, err := SelectFloat64Pred(cfg, pieces, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := SelectFloat64(cfg, pieces, p.Match)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := sv.Positions()
+			if len(got) != len(want) {
+				t.Fatalf("%v %v: %d positions, want %d", cfg.Policy, p, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("%v: position[%d] = %d, want %d", p, j, got[j], want[j])
+				}
+			}
+			sv.Release()
+			sv.Release() // idempotent
+			if sv.Len() != 0 || sv.Positions() != nil {
+				t.Fatal("released SelVec still exposes positions")
+			}
+		}
+	}
+}
+
+// TestPruneByZoneSkipsAndStaysExact attaches synthetic zones to pieces
+// so some are provably match-free: results must equal the unpruned run
+// and the counters must record the skips.
+func TestPruneByZoneSkipsAndStaysExact(t *testing.T) {
+	const n = 800
+	s := itemSchema()
+	l, err := layout.Horizontal(host(), "chunks", s, n, 100, layout.NSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Free()
+	// price(i) = i: monotone, so each 100-row chunk has a narrow zone.
+	for i := uint64(0); i < n; i++ {
+		for _, f := range l.Fragments() {
+			if f.Rows().Contains(i) {
+				f.AppendTuplet([]schema.Value{
+					schema.IntValue(int64(i)), schema.Int32Value(0),
+					schema.CharValue("x"), schema.FloatValue(float64(i)),
+				})
+			}
+		}
+	}
+	pieces, err := ColumnView(l, 3, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pieces) != 8 {
+		t.Fatalf("pieces = %d, want 8", len(pieces))
+	}
+	for _, pc := range pieces {
+		if pc.Zone == nil {
+			t.Fatal("ColumnView did not attach fragment zones")
+		}
+	}
+	p := Between[float64](250, 349) // matches span chunks [200,300) and [300,400)
+	kept, prunedBytes := pruneByZone(Single(), pieces, func(z *stats.Zone) bool { return zoneAdmitsFloat64(z, p) })
+	if len(kept) != 2 || kept[0].Rows.Begin != 200 || kept[1].Rows.Begin != 300 {
+		t.Fatalf("kept %d pieces starting at %v", len(kept), func() (b []uint64) {
+			for _, k := range kept {
+				b = append(b, k.Rows.Begin)
+			}
+			return
+		}())
+	}
+	if prunedBytes != 6*100*8 {
+		t.Fatalf("prunedBytes = %d, want %d", prunedBytes, 6*100*8)
+	}
+	sum, cnt, err := SumFloat64Where(Single(), pieces, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i := 250; i <= 349; i++ {
+		want += float64(i)
+	}
+	if cnt != 100 || sum != want {
+		t.Fatalf("pruned sum = (%v,%d), want (%v,100)", sum, cnt, want)
+	}
+	// All-survive case aliases the input (no allocation, no prune span).
+	kept, prunedBytes = pruneByZone(Single(), pieces, func(*stats.Zone) bool { return true })
+	if len(kept) != len(pieces) || &kept[0] != &pieces[0] || prunedBytes != 0 {
+		t.Fatal("all-survive prune did not alias the input")
+	}
+}
+
+// TestWhereValidation covers the error paths of the fused operators.
+func TestWhereValidation(t *testing.T) {
+	l, _ := buildLayout(t, layout.NSM, false, 10)
+	defer l.Free()
+	pieces, err := ColumnView(l, 1, 10) // int32: 4-byte fields
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SumFloat64Where(Single(), pieces, Gt[float64](0)); !errors.Is(err, ErrBadColumn) {
+		t.Fatalf("err = %v, want ErrBadColumn", err)
+	}
+	if _, _, err := SumInt64Where(Single(), pieces, Gt[int64](0)); !errors.Is(err, ErrBadColumn) {
+		t.Fatalf("err = %v, want ErrBadColumn", err)
+	}
+	if _, err := CountWhereFloat64(Single(), pieces, Gt[float64](0)); !errors.Is(err, ErrBadColumn) {
+		t.Fatalf("err = %v, want ErrBadColumn", err)
+	}
+	if _, err := SelectFloat64Pred(Single(), pieces, Gt[float64](0)); !errors.Is(err, ErrBadColumn) {
+		t.Fatalf("err = %v, want ErrBadColumn", err)
+	}
+	sum, cnt, err := SumFloat64Where(Single(), nil, Gt[float64](0))
+	if err != nil || sum != 0 || cnt != 0 {
+		t.Fatalf("empty view: (%v,%d,%v)", sum, cnt, err)
+	}
+}

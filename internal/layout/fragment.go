@@ -17,11 +17,14 @@
 package layout
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 
 	"hybridstore/internal/mem"
 	"hybridstore/internal/schema"
+	"hybridstore/internal/stats"
 )
 
 // Linearization is the physical order of tuplets inside one fragment.
@@ -101,10 +104,11 @@ type Fragment struct {
 	rows   RowRange
 	lin    Linearization
 	block  *mem.Block
-	n      int   // tuplets stored
-	width  int   // bytes per tuplet
-	offs   []int // per-col byte offset inside an NSM tuplet
-	colOff []int // per-col byte offset of the column region under DSM
+	n      int           // tuplets stored
+	width  int           // bytes per tuplet
+	offs   []int         // per-col byte offset inside an NSM tuplet
+	colOff []int         // per-col byte offset of the column region under DSM
+	zones  []*stats.Zone // per-col zone maps (nil for non-8-byte-numeric columns)
 }
 
 // NewFragment allocates a fragment for the given region of a relation with
@@ -165,6 +169,16 @@ func NewFragment(alloc *mem.Allocator, rel *schema.Schema, cols []int, rows RowR
 		return nil, fmt.Errorf("layout: allocating fragment: %w", err)
 	}
 	f.block = block
+	f.zones = make([]*stats.Zone, len(cols))
+	for i, c := range cols {
+		a := rel.Attr(c)
+		switch {
+		case a.Kind == schema.Int64 && a.Size == 8:
+			f.zones[i] = stats.NewZone(stats.Int64)
+		case a.Kind == schema.Float64 && a.Size == 8:
+			f.zones[i] = stats.NewZone(stats.Float64)
+		}
+	}
 	return f, nil
 }
 
@@ -274,7 +288,20 @@ func (f *Fragment) Set(i int, c int, v schema.Value) error {
 		return fmt.Errorf("%w: tuplet %d of %d", ErrOutOfRange, i, f.n)
 	}
 	off := f.fieldOffset(i, p)
-	return schema.EncodeValue(f.block.Bytes()[off:], f.rel.Attr(c), v)
+	if err := schema.EncodeValue(f.block.Bytes()[off:], f.rel.Attr(c), v); err != nil {
+		return err
+	}
+	if z := f.zones[p]; z != nil {
+		// In-place overwrite: the envelope can only widen (the old value
+		// may survive in the bounds), which keeps pruning conservative.
+		switch z.Kind() {
+		case stats.Int64:
+			z.WidenInt64(v.I)
+		case stats.Float64:
+			z.WidenFloat64(v.F)
+		}
+	}
+	return nil
 }
 
 // AppendTuplet appends one tuplet. vals must align positionally with the
@@ -293,6 +320,17 @@ func (f *Fragment) AppendTuplet(vals []schema.Value) error {
 		if err := schema.EncodeValue(f.block.Bytes()[off:], f.rel.Attr(c), vals[p]); err != nil {
 			f.n-- // roll back the reservation
 			return fmt.Errorf("layout: appending tuplet: %w", err)
+		}
+	}
+	// All fields landed; fold the tuplet into the zone maps.
+	for p := range f.cols {
+		if z := f.zones[p]; z != nil {
+			switch z.Kind() {
+			case stats.Int64:
+				z.ObserveInt64(vals[p].I)
+			case stats.Float64:
+				z.ObserveFloat64(vals[p].F)
+			}
 		}
 	}
 	return nil
@@ -385,6 +423,13 @@ func (f *Fragment) Relinearize(alloc *mem.Allocator, lin Linearization) (*Fragme
 			return nil, err
 		}
 	}
+	// The rebuild re-observed every value, so the new zones are exact;
+	// carry over the sealed flag where the source had tight bounds.
+	for p, z := range f.zones {
+		if z != nil && z.Sealed() && nf.zones[p] != nil {
+			nf.zones[p].MarkSealed()
+		}
+	}
 	f.Free()
 	return nf, nil
 }
@@ -399,6 +444,11 @@ func (f *Fragment) CloneTo(alloc *mem.Allocator) (*Fragment, error) {
 	}
 	copy(nf.block.Bytes(), f.block.Bytes())
 	nf.n = f.n
+	for p, z := range f.zones {
+		if z != nil {
+			nf.zones[p] = z.Clone()
+		}
+	}
 	return nf, nil
 }
 
@@ -407,13 +457,63 @@ func (f *Fragment) CloneTo(alloc *mem.Allocator) (*Fragment, error) {
 func (f *Fragment) Raw() []byte { return f.block.Bytes() }
 
 // SetLen is used by engine code that fills fragment bytes wholesale (e.g.
-// after a device transfer). n must not exceed capacity.
+// after a device transfer). n must not exceed capacity. Because the
+// bytes bypassed the typed append path, the zone maps cannot vouch for
+// them: a shrink to zero resets the zones, anything else invalidates
+// them until the next SealStats.
 func (f *Fragment) SetLen(n int) error {
 	if n < 0 || n > f.Cap() {
 		return fmt.Errorf("%w: len %d, capacity %d", ErrOutOfRange, n, f.Cap())
 	}
 	f.n = n
+	for _, z := range f.zones {
+		if z == nil {
+			continue
+		}
+		if n == 0 {
+			z.Reset()
+		} else {
+			z.Invalidate()
+		}
+	}
 	return nil
+}
+
+// Stats returns the zone map of relation attribute c, or nil when the
+// column carries none (non-8-byte or non-numeric kinds). The returned
+// zone aliases fragment state; callers must hold the same locks they
+// would for reading the fragment.
+func (f *Fragment) Stats(c int) *stats.Zone {
+	p := f.colPos(c)
+	if p < 0 {
+		return nil
+	}
+	return f.zones[p]
+}
+
+// SealStats recomputes every zone map exactly from the stored bytes and
+// marks them sealed. Engines call this at their freeze points — the
+// paper's hot→cold transitions — where a fragment's contents become
+// (mostly) immutable and tight bounds pay off for the rest of its life.
+func (f *Fragment) SealStats() {
+	for p, z := range f.zones {
+		if z == nil {
+			continue
+		}
+		z.Reset()
+		b := f.block.Bytes()
+		switch z.Kind() {
+		case stats.Int64:
+			for i := 0; i < f.n; i++ {
+				z.ObserveInt64(int64(binary.LittleEndian.Uint64(b[f.fieldOffset(i, p):])))
+			}
+		case stats.Float64:
+			for i := 0; i < f.n; i++ {
+				z.ObserveFloat64(math.Float64frombits(binary.LittleEndian.Uint64(b[f.fieldOffset(i, p):])))
+			}
+		}
+		z.MarkSealed()
+	}
 }
 
 // String summarizes the fragment.

@@ -38,6 +38,11 @@ func (f *Fragment) Grow(alloc *mem.Allocator, newCap int) (*Fragment, error) {
 		}
 	}
 	nf.n = f.n
+	for p, z := range f.zones {
+		if z != nil {
+			nf.zones[p] = z.Clone()
+		}
+	}
 	f.Free()
 	return nf, nil
 }

@@ -72,6 +72,17 @@ type HostProfile struct {
 	// MorselRows is the positions-per-morsel granularity the model
 	// assumes for morsel-driven execution.
 	MorselRows int64
+	// ZoneCheckNsPerFragment is the cost of consulting one fragment's
+	// zone map during data skipping: two comparisons against a small
+	// resident struct. Charged per candidate fragment whether or not it
+	// survives, so pruning is honestly priced.
+	ZoneCheckNsPerFragment float64
+}
+
+// ZoneCheckNs prices the zone-map overlap tests of one pruned operator
+// call over the given candidate fragment count.
+func (h HostProfile) ZoneCheckNs(fragments int) float64 {
+	return float64(fragments) * h.ZoneCheckNsPerFragment
 }
 
 // DeviceProfile models a discrete GPU platform.
@@ -118,6 +129,8 @@ func DefaultHost() HostProfile {
 		PoolWakeNs:       2_000, // futex wake of resident workers
 		MorselDispatchNs: 150,   // atomic claim + queue scan per morsel
 		MorselRows:       16 << 10,
+
+		ZoneCheckNsPerFragment: 6, // two compares on an L1-resident struct
 	}
 }
 

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPruneZoneObserveAndBounds(t *testing.T) {
+	z := NewZone(Float64)
+	if _, _, ok := z.Float64Bounds(); ok {
+		t.Fatal("empty zone must not expose bounds")
+	}
+	for _, x := range []float64{3, -1, 7, 2} {
+		z.ObserveFloat64(x)
+	}
+	min, max, ok := z.Float64Bounds()
+	if !ok || min != -1 || max != 7 {
+		t.Fatalf("bounds = (%g,%g,%v), want (-1,7,true)", min, max, ok)
+	}
+	if z.Count() != 4 {
+		t.Fatalf("count = %d, want 4", z.Count())
+	}
+	if _, _, ok := z.Int64Bounds(); ok {
+		t.Fatal("float64 zone must not answer int64 bounds")
+	}
+
+	zi := NewZone(Int64)
+	for _, x := range []int64{5, -9, 5} {
+		zi.ObserveInt64(x)
+	}
+	imin, imax, ok := zi.Int64Bounds()
+	if !ok || imin != -9 || imax != 5 {
+		t.Fatalf("int bounds = (%d,%d,%v), want (-9,5,true)", imin, imax, ok)
+	}
+}
+
+func TestPruneZoneSealAndWiden(t *testing.T) {
+	z := NewZone(Int64)
+	z.ObserveInt64(1)
+	z.ObserveInt64(10)
+	z.MarkSealed()
+	if !z.Sealed() {
+		t.Fatal("zone should be sealed")
+	}
+	// Widening outside the envelope clears the sealed flag but keeps
+	// conservative bounds.
+	z.ObserveInt64(42)
+	if z.Sealed() {
+		t.Fatal("widening must unseal")
+	}
+	min, max, ok := z.Int64Bounds()
+	if !ok || min != 1 || max != 42 {
+		t.Fatalf("bounds = (%d,%d,%v), want (1,42,true)", min, max, ok)
+	}
+}
+
+func TestPruneZoneInvalidate(t *testing.T) {
+	z := NewZone(Float64)
+	z.ObserveFloat64(1)
+	z.Invalidate()
+	if z.Valid() {
+		t.Fatal("invalidated zone reports valid")
+	}
+	if _, _, ok := z.Float64Bounds(); ok {
+		t.Fatal("invalid zone must not expose bounds")
+	}
+	z.Reset()
+	if !z.Valid() || z.Count() != 0 {
+		t.Fatal("reset must restore an empty valid zone")
+	}
+}
+
+func TestPruneZoneNaNInvalidates(t *testing.T) {
+	z := NewZone(Float64)
+	z.ObserveFloat64(1)
+	z.ObserveFloat64(math.NaN())
+	if _, _, ok := z.Float64Bounds(); ok {
+		t.Fatal("NaN observation must invalidate the envelope")
+	}
+}
+
+func TestPruneZoneClone(t *testing.T) {
+	z := NewZone(Int64)
+	z.ObserveInt64(3)
+	z.MarkSealed()
+	c := z.Clone()
+	c.ObserveInt64(100)
+	if min, max, _ := z.Int64Bounds(); min != 3 || max != 3 {
+		t.Fatalf("clone mutated original: (%d,%d)", min, max)
+	}
+	if !z.Sealed() || c.Sealed() {
+		t.Fatal("sealed flags should be independent")
+	}
+	var nilZone *Zone
+	if nilZone.Clone() != nil {
+		t.Fatal("nil clone should be nil")
+	}
+	if _, _, ok := nilZone.Int64Bounds(); ok {
+		t.Fatal("nil zone must not expose bounds")
+	}
+}
