@@ -9,12 +9,14 @@
 // workload's closed forms.
 //
 // The extra "selectivity" panel executes the zone-map data-skipping
-// sweep for real: -panel selectivity prints it alone, and -json always
-// embeds it beside the four model panels.
+// sweep for real, and the "devicecache" panel the device-resident
+// fragment-cache sweep (warm scans cost zero bus bytes; a write re-ships
+// one fragment): -panel <name> prints one alone, and -json always embeds
+// both beside the four model panels.
 //
 // Usage:
 //
-//	htapbench [-panel 0-4|selectivity] [-csv] [-json] [-verify] [-verify-rows N] [-metrics]
+//	htapbench [-panel 0-4|selectivity|devicecache] [-csv] [-json] [-verify] [-verify-rows N] [-metrics]
 package main
 
 import (
@@ -29,7 +31,7 @@ import (
 )
 
 func main() {
-	panel := flag.String("panel", "0", "panel to regenerate (1-4 or \"selectivity\"), 0 = all model panels")
+	panel := flag.String("panel", "0", "panel to regenerate (1-4, \"selectivity\" or \"devicecache\"), 0 = all model panels")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	jsonOut := flag.Bool("json", false, "also write panels+findings to BENCH_fig2.json for perf tracking")
 	verify := flag.Bool("verify", false, "also execute every configuration for real and cross-check answers")
@@ -39,6 +41,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "run a mixed HTAP workload on the reference engine and report its observability snapshot (with -json, added as an \"obs\" section)")
 	metricsRows := flag.Uint64("metrics-rows", 40_000, "row count for the -metrics mixed workload (keep above one morsel, 16384, so scans exercise the shared pool)")
 	selRows := flag.Uint64("selectivity-rows", 640_000, "row count for the selectivity sweep (64 fragments)")
+	cacheRows := flag.Uint64("devicecache-rows", 262_144, "row count for the devicecache sweep (64 fragments)")
 	flag.Parse()
 
 	cfg := figures.Default()
@@ -54,19 +57,39 @@ func main() {
 		}
 		return sweep
 	}
+	var cacheSweep *figures.DeviceCacheSweep
+	runCacheSweep := func() *figures.DeviceCacheSweep {
+		if cacheSweep == nil {
+			s, err := figures.MeasureDeviceCache(*cacheRows, 64, 3, 4)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "devicecache sweep failed:", err)
+				os.Exit(1)
+			}
+			cacheSweep = s
+		}
+		return cacheSweep
+	}
 
 	var panels []figures.Panel
-	if *panel == "selectivity" {
+	switch *panel {
+	case "selectivity":
 		s := runSweep()
 		if *csv {
 			fmt.Print(s.CSV())
 		} else {
 			fmt.Print(s.Render())
 		}
-	} else {
+	case "devicecache":
+		s := runCacheSweep()
+		if *csv {
+			fmt.Print(s.CSV())
+		} else {
+			fmt.Print(s.Render())
+		}
+	default:
 		n, err := strconv.Atoi(*panel)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "htapbench: -panel wants 0-4 or \"selectivity\", got %q\n", *panel)
+			fmt.Fprintf(os.Stderr, "htapbench: -panel wants 0-4, \"selectivity\" or \"devicecache\", got %q\n", *panel)
 			os.Exit(2)
 		}
 		panels, err = cfg.Panels(n)
@@ -112,8 +135,9 @@ func main() {
 			Panels      []figures.Panel
 			Findings    figures.Findings
 			Selectivity *figures.SelectivitySweep
+			DeviceCache *figures.DeviceCacheSweep
 			Obs         *hybridstore.MetricsSnapshot `json:"obs,omitempty"`
-		}{panels, f, runSweep(), obsSnap}, "", "  ")
+		}{panels, f, runSweep(), runCacheSweep(), obsSnap}, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "json encoding failed:", err)
 			os.Exit(1)

@@ -22,6 +22,7 @@ import (
 	"io"
 
 	"hybridstore/internal/core"
+	"hybridstore/internal/device"
 	"hybridstore/internal/engine"
 	"hybridstore/internal/exec"
 	"hybridstore/internal/obs"
@@ -92,6 +93,12 @@ type Options struct {
 	// DevicePlacement enables moving scan-hot columns to the simulated
 	// GPU.
 	DevicePlacement bool
+	// DeviceCache routes cold-region analytic scans through the device
+	// fragment cache: column images are shipped once, kept resident, and
+	// reused until a write invalidates them, so repeated scans over
+	// unchanged data cost zero bus bytes. Independent of DevicePlacement,
+	// which moves fragments instead of caching images.
+	DeviceCache bool
 	// Policy is the host execution policy for analytic operators
 	// (default SingleThreaded).
 	Policy ExecPolicy
@@ -115,8 +122,20 @@ func Open(opts Options) *DB {
 			HotChunks:       opts.HotChunks,
 			Affinity:        opts.Affinity,
 			DevicePlacement: opts.DevicePlacement,
+			DeviceCache:     opts.DeviceCache,
 		}),
 	}
+}
+
+// DeviceCacheStats is a snapshot of the device fragment cache's meters:
+// hits, misses, evictions, resident and pinned bytes, live entries.
+type DeviceCacheStats = device.FragCacheStats
+
+// DeviceCacheStats returns the device fragment cache's meters. The cache
+// populates only when Options.DeviceCache is on; with it off the counts
+// stay zero.
+func (db *DB) DeviceCacheStats() DeviceCacheStats {
+	return db.env.Cache.Stats()
 }
 
 // SimulatedSeconds returns the simulated platform time consumed so far

@@ -132,6 +132,7 @@ func (t *Table) regroupChunk(c *chunk, groups [][]int) error {
 	}
 	for _, f := range c.frags {
 		t.olap.Remove(f)
+		t.invalidateFrag(f)
 		f.Free()
 	}
 	c.groups = groups
@@ -288,6 +289,7 @@ func (t *Table) placeChunkColumn(c *chunk, col int) error {
 		df.Free()
 		return err
 	}
+	t.invalidateFrag(f)
 	f.Free()
 	c.frags[gi] = df
 	return nil
@@ -308,6 +310,7 @@ func (t *Table) unplaceChunkColumn(c *chunk, col int) error {
 		hf.Free()
 		return err
 	}
+	t.invalidateFrag(f)
 	f.Free()
 	c.frags[gi] = hf
 	return nil

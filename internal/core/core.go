@@ -55,6 +55,13 @@ type Options struct {
 	Affinity float64
 	// DevicePlacement enables moving scan-hot cold columns to the GPU.
 	DevicePlacement bool
+	// DeviceCache routes cold-region analytic scans through the device
+	// fragment cache (engine.Env.Cache): host-resident cold fragments are
+	// shipped once, kept device-resident, and reused by later scans until
+	// a write bumps the fragment version — so a repeated scan over
+	// unchanged data costs zero bus bytes. Independent of
+	// DevicePlacement, which *moves* fragments instead of caching images.
+	DeviceCache bool
 }
 
 // withDefaults fills unset options.
@@ -244,8 +251,20 @@ func (t *Table) PendingVersions() int { return t.deltas.Versions() }
 func (t *Table) Free() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.env.Cache != nil {
+		t.env.Cache.InvalidateTable(t.rel.Name())
+	}
 	t.rel.Free()
 	t.chunks = nil
+}
+
+// invalidateFrag retires any device-cached images of f. Called wherever a
+// fragment's backing store is freed or replaced wholesale; in-place
+// writes are covered by fragment version bumps instead.
+func (t *Table) invalidateFrag(f *layout.Fragment) {
+	if t.env.Cache != nil && f != nil {
+		t.env.Cache.InvalidateFrag(t.rel.Name(), f.ID())
+	}
 }
 
 // ErrFrozen is returned by operations that require a hot chunk.
@@ -379,6 +398,7 @@ func (t *Table) freeze(c *chunk) error {
 		}
 	}
 	t.oltp.Remove(c.nsm)
+	t.invalidateFrag(c.nsm)
 	c.nsm.Free()
 	c.nsm = nil
 	c.state = cold

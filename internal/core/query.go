@@ -110,7 +110,7 @@ func (t *Table) SumFloat64(col int) (float64, error) {
 
 	rows := t.rel.Rows()
 	var sum float64
-	var hostPieces []exec.Piece
+	var hostPieces, cachePieces []exec.Piece
 	for _, c := range t.chunks {
 		if c.rows.Begin >= rows {
 			break
@@ -136,10 +136,26 @@ func (t *Table) SumFloat64(col int) (float64, error) {
 			sum += part
 			continue
 		}
-		hostPieces = append(hostPieces, exec.Piece{
-			Rows: layout.RowRange{Begin: c.rows.Begin, End: c.rows.Begin + uint64(v.Len)},
-			Vec:  v,
-		})
+		piece := exec.Piece{
+			Rows:   layout.RowRange{Begin: c.rows.Begin, End: c.rows.Begin + uint64(v.Len)},
+			Vec:    v,
+			FragID: frag.ID(), FragVersion: frag.Version(),
+		}
+		// See SumFloat64Where: cold fragments ride the device cache, hot
+		// chunks stay on the host operator.
+		if t.eng.opts.DeviceCache && t.env.Cache != nil && c.state == cold {
+			cachePieces = append(cachePieces, piece)
+			continue
+		}
+		hostPieces = append(hostPieces, piece)
+	}
+	if len(cachePieces) > 0 {
+		ds := exec.DeviceScan{GPU: t.env.GPU, Cache: t.env.Cache, Table: t.rel.Name()}
+		devSum, err := ds.SumFloat64(col, cachePieces)
+		if err != nil {
+			return 0, err
+		}
+		sum += devSum
 	}
 	hostSum, err := exec.SumFloat64(t.cfg, hostPieces)
 	if err != nil {
@@ -189,9 +205,10 @@ func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, 
 	t.mon.Observe(workload.Op{Kind: workload.ColumnScan, Cols: []int{col}})
 
 	rows := t.rel.Rows()
+	_, _, closed := exec.ClosedFloat64(p)
 	var sum float64
 	var n int64
-	var hostPieces []exec.Piece
+	var hostPieces, cachePieces []exec.Piece
 	for _, c := range t.chunks {
 		if c.rows.Begin >= rows {
 			break
@@ -228,11 +245,31 @@ func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, 
 			n += cnt
 			continue
 		}
-		hostPieces = append(hostPieces, exec.Piece{
-			Rows: layout.RowRange{Begin: c.rows.Begin, End: c.rows.Begin + uint64(v.Len)},
-			Vec:  v,
-			Zone: frag.Stats(col),
-		})
+		piece := exec.Piece{
+			Rows:   layout.RowRange{Begin: c.rows.Begin, End: c.rows.Begin + uint64(v.Len)},
+			Vec:    v,
+			Zone:   frag.Stats(col),
+			FragID: frag.ID(), FragVersion: frag.Version(),
+		}
+		// Cold host fragments scan on the device through the fragment
+		// cache when enabled: the first scan ships the column image, later
+		// scans over unchanged fragments reuse it for zero bus bytes. Hot
+		// chunks stay on the host operator — every insert would invalidate
+		// their image, so caching them only thrashes the bus.
+		if t.eng.opts.DeviceCache && t.env.Cache != nil && c.state == cold && closed {
+			cachePieces = append(cachePieces, piece)
+			continue
+		}
+		hostPieces = append(hostPieces, piece)
+	}
+	if len(cachePieces) > 0 {
+		ds := exec.DeviceScan{GPU: t.env.GPU, Cache: t.env.Cache, Table: t.rel.Name()}
+		devSum, devN, err := ds.SumFloat64Where(col, cachePieces, p)
+		if err != nil {
+			return 0, 0, err
+		}
+		sum += devSum
+		n += devN
 	}
 	hostSum, hostN, err := exec.SumFloat64Where(t.cfg, hostPieces, p)
 	if err != nil {
@@ -357,6 +394,11 @@ func (t *Table) Merge() error {
 	rows := t.rel.Rows()
 	reader := t.txm.Begin()
 	defer reader.Abort()
+	// Cold fragments rewritten below already stop validating through their
+	// version bumps; collecting them lets the device cache release the
+	// stale images' memory eagerly rather than waiting for capacity
+	// pressure.
+	touched := make(map[*layout.Fragment]bool)
 	for row := uint64(0); row < rows; row++ {
 		if t.deltas.LatestTS(row) == 0 || t.deltas.LatestTS(row) > minTS {
 			continue
@@ -386,11 +428,15 @@ func (t *Table) Merge() error {
 						return err
 					}
 				}
+				touched[f] = true
 			}
 		}
 		// The base now carries the settled value; the chain is redundant
 		// for every snapshot at or after minTS.
 		t.deltas.Forget(row)
+	}
+	for f := range touched {
+		t.invalidateFrag(f)
 	}
 	t.deltas.Prune(minTS)
 	return nil

@@ -1,0 +1,321 @@
+package device
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"hybridstore/internal/mem"
+	"hybridstore/internal/obs"
+)
+
+// Process-wide cache counters, aggregated across every FragCache the run
+// creates (mirrors the device.* transfer counters above).
+var (
+	mCacheHits      = obs.NewCounter("device.cache.hits")
+	mCacheMisses    = obs.NewCounter("device.cache.misses")
+	mCacheEvictions = obs.NewCounter("device.cache.evictions")
+	mCachePinned    = obs.NewGauge("device.cache.pinned_bytes")
+	mCacheResident  = obs.NewGauge("device.cache.resident_bytes")
+)
+
+// ErrCachePinned is returned when eviction cannot make room because every
+// resident image is pinned by an in-flight scan.
+var ErrCachePinned = errors.New("device: cache full of pinned fragments")
+
+// FragKey identifies one cached column image: a (table, fragment, column)
+// coordinate plus the [Row0, Row0+Rows) clip of the fragment the image
+// covers. The clip is part of the key because exec.ColumnView hands scans
+// clipped vectors (MVCC patching, zone pruning); two different clips of
+// the same column are distinct device images.
+//
+// Versions are deliberately NOT part of the key: the cache stores the
+// version a resident image was uploaded at and treats a lookup with a
+// newer version as a miss that eagerly retires the stale image. Keying by
+// version instead would leave every stale image resident until capacity
+// pressure found it.
+type FragKey struct {
+	Table string
+	Frag  uint64
+	Col   int
+	Row0  int
+	Rows  int
+}
+
+// fragRef is the invalidation coordinate: every clip/column image of one
+// fragment dies together when the fragment is written.
+type fragRef struct {
+	Table string
+	Frag  uint64
+}
+
+type cacheEntry struct {
+	key     FragKey
+	version uint64
+	buf     *Buffer
+	size    int64
+	pins    int
+	// dead marks an entry invalidated while pinned: it is already
+	// unlinked from the lookup maps, and the last Release frees it.
+	dead bool
+	elem *list.Element // nil while pinned (pinned entries leave the LRU)
+}
+
+// FragCacheStats is a snapshot of one cache's meters.
+type FragCacheStats struct {
+	Hits, Misses, Evictions int64
+	ResidentBytes           int64
+	PinnedBytes             int64
+	Entries                 int
+}
+
+// FragCache keeps device-resident images of fragment columns so repeated
+// scans over unchanged data cost zero bus bytes — the caching column
+// manager of CoGaDB and the hot/cold placement of HyPer, reduced to its
+// storage-engine core (paper Section IV-C: "mixed data location"). Images
+// are keyed by (table, fragment, column, clip) and stamped with the
+// fragment version they were uploaded at; any write to the fragment bumps
+// the version (layout.Fragment), so the next lookup misses and re-ships
+// exactly that fragment. Capacity comes from the device's own
+// mem.Allocator: when an upload hits mem.ErrOutOfMemory the cache evicts
+// least-recently-used unpinned images until the allocation fits.
+//
+// Acquire pins the returned image (refcounted) so concurrent eviction or
+// invalidation cannot free a buffer mid-kernel; callers must Release.
+// All methods are safe for concurrent use.
+type FragCache struct {
+	gpu *GPU
+
+	mu      sync.Mutex
+	entries map[FragKey]*cacheEntry
+	byFrag  map[fragRef]map[FragKey]*cacheEntry
+	lru     *list.List // unpinned entries only; front = most recent
+
+	resident int64 // bytes of live images (pinned + unpinned)
+	pinned   int64 // bytes of pinned images
+
+	hits, misses, evictions obs.Counter
+}
+
+// NewFragCache creates a cache over the GPU's global memory.
+func NewFragCache(g *GPU) *FragCache {
+	return &FragCache{
+		gpu:     g,
+		entries: make(map[FragKey]*cacheEntry),
+		byFrag:  make(map[fragRef]map[FragKey]*cacheEntry),
+		lru:     list.New(),
+	}
+}
+
+// GPU returns the device this cache populates.
+func (c *FragCache) GPU() *GPU { return c.gpu }
+
+// Acquire returns a pinned device image of the keyed column clip at the
+// given version. On a hit the image is reused as-is (zero bus bytes); on
+// a miss — absent, or resident at an older version — the stale image is
+// retired, size bytes are allocated (evicting LRU unpinned images on
+// memory pressure), and fill is called once to upload the data. A fill
+// that wants transfer/compute overlap can enqueue its copy on a Stream.
+//
+// The returned release closure must be called (once) after the kernel
+// consuming the image completes. It is bound to the pinned entry, not
+// the key: an image invalidated mid-scan is unlinked from the lookup
+// maps immediately but stays alive until its release, so a key-based
+// unpin could never reach it.
+func (c *FragCache) Acquire(key FragKey, version uint64, size int, fill func(*Buffer) error) (*Buffer, func(), bool, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if e.version == version {
+			c.pin(e)
+			c.mu.Unlock()
+			c.hits.Inc()
+			mCacheHits.Inc()
+			return e.buf, c.releaser(e), true, nil
+		}
+		// Stale image: retire it now rather than letting capacity
+		// pressure find it.
+		c.retireLocked(e)
+	}
+	c.mu.Unlock()
+	c.misses.Inc()
+	mCacheMisses.Inc()
+
+	buf, err := c.allocEvicting(size)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if err := fill(buf); err != nil {
+		buf.Free()
+		return nil, nil, false, fmt.Errorf("device: cache fill: %w", err)
+	}
+
+	e := &cacheEntry{key: key, version: version, buf: buf, size: int64(size), pins: 1}
+	c.mu.Lock()
+	if prev, ok := c.entries[key]; ok {
+		// A concurrent miss on the same key uploaded first; keep the
+		// resident image and drop ours.
+		if prev.version == version {
+			c.pin(prev)
+			c.mu.Unlock()
+			buf.Free()
+			return prev.buf, c.releaser(prev), true, nil
+		}
+		c.retireLocked(prev)
+	}
+	c.entries[key] = e
+	ref := fragRef{Table: key.Table, Frag: key.Frag}
+	if c.byFrag[ref] == nil {
+		c.byFrag[ref] = make(map[FragKey]*cacheEntry)
+	}
+	c.byFrag[ref][key] = e
+	c.resident += e.size
+	c.pinned += e.size
+	mCacheResident.Add(e.size)
+	mCachePinned.Add(e.size)
+	c.mu.Unlock()
+	return buf, c.releaser(e), false, nil
+}
+
+// releaser binds one pin of e to an idempotent unpin closure.
+func (c *FragCache) releaser(e *cacheEntry) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			c.unpinLocked(e)
+			c.mu.Unlock()
+		})
+	}
+}
+
+// pin increments the refcount and removes the entry from the LRU (pinned
+// images are not eviction candidates). Caller holds c.mu.
+func (c *FragCache) pin(e *cacheEntry) {
+	if e.pins == 0 {
+		if e.elem != nil {
+			c.lru.Remove(e.elem)
+			e.elem = nil
+		}
+		c.pinned += e.size
+		mCachePinned.Add(e.size)
+	}
+	e.pins++
+}
+
+// unpinLocked drops one pin from e, returning it to the LRU as the most
+// recently used entry when the last pin goes. Releasing the last pin of
+// an invalidated (dead) image frees it. Caller holds c.mu.
+func (c *FragCache) unpinLocked(e *cacheEntry) {
+	e.pins--
+	if e.pins > 0 {
+		return
+	}
+	c.pinned -= e.size
+	mCachePinned.Add(-e.size)
+	if e.dead {
+		e.buf.Free()
+		return
+	}
+	e.elem = c.lru.PushFront(e)
+}
+
+// retireLocked unlinks e from the lookup maps and frees it if unpinned;
+// a pinned entry is marked dead and freed by its last Release. Caller
+// holds c.mu.
+func (c *FragCache) retireLocked(e *cacheEntry) {
+	delete(c.entries, e.key)
+	ref := fragRef{Table: e.key.Table, Frag: e.key.Frag}
+	if m := c.byFrag[ref]; m != nil {
+		delete(m, e.key)
+		if len(m) == 0 {
+			delete(c.byFrag, ref)
+		}
+	}
+	c.resident -= e.size
+	mCacheResident.Add(-e.size)
+	if e.pins > 0 {
+		e.dead = true
+		return
+	}
+	if e.elem != nil {
+		c.lru.Remove(e.elem)
+		e.elem = nil
+	}
+	e.buf.Free()
+}
+
+// allocEvicting allocates size device bytes, evicting LRU unpinned images
+// until the allocation fits. ErrCachePinned is returned when nothing
+// evictable remains; other allocator errors pass through.
+func (c *FragCache) allocEvicting(size int) (*Buffer, error) {
+	for {
+		buf, err := c.gpu.Alloc(size)
+		if err == nil {
+			return buf, nil
+		}
+		if !errors.Is(err, mem.ErrOutOfMemory) {
+			return nil, err
+		}
+		c.mu.Lock()
+		back := c.lru.Back()
+		if back == nil {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("%w: need %d bytes", ErrCachePinned, size)
+		}
+		victim := back.Value.(*cacheEntry)
+		c.retireLocked(victim)
+		c.evictions.Inc()
+		mCacheEvictions.Inc()
+		c.mu.Unlock()
+	}
+}
+
+// InvalidateFrag retires every cached image of one fragment — all columns
+// and clips. Write paths call this when a fragment's backing store is
+// replaced or freed outright (freeze/regroup, delta merge, compaction);
+// in-place writes need no call because they bump the fragment version and
+// versions are checked on every Acquire.
+func (c *FragCache) InvalidateFrag(table string, frag uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.byFrag[fragRef{Table: table, Frag: frag}] {
+		c.retireLocked(e)
+	}
+}
+
+// InvalidateTable retires every cached image of one table (drop table,
+// bulk load).
+func (c *FragCache) InvalidateTable(table string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for ref, m := range c.byFrag {
+		if ref.Table != table {
+			continue
+		}
+		for _, e := range m {
+			c.retireLocked(e)
+		}
+	}
+}
+
+// Flush retires every unpinned image, returning its device memory.
+func (c *FragCache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		if e.pins == 0 {
+			c.retireLocked(e)
+		}
+	}
+}
+
+// Stats snapshots the cache meters.
+func (c *FragCache) Stats() FragCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return FragCacheStats{
+		Hits: c.hits.Load(), Misses: c.misses.Load(), Evictions: c.evictions.Load(),
+		ResidentBytes: c.resident, PinnedBytes: c.pinned, Entries: len(c.entries),
+	}
+}

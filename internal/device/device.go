@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"hybridstore/internal/mem"
 	"hybridstore/internal/obs"
@@ -144,11 +145,20 @@ func (g *GPU) ChargeTransfer(n int64, toDevice bool) {
 	g.countTransfer(n, toDevice)
 }
 
-// Buffer is a device-global-memory allocation.
+// Buffer is a device-global-memory allocation. Free may race with
+// in-flight kernels reading the buffer: the freed flag is atomic, so a
+// concurrent kernel either observes the buffer live (and reads bytes the
+// block still backs — mem.Block.Free is sync.Once-guarded and only nils
+// its slice after the flag flips) or fails cleanly with ErrBufferFreed.
 type Buffer struct {
 	gpu   *GPU
 	block *mem.Block
-	freed bool
+	// data is the backing store captured once at allocation: kernels read
+	// it through bytes() without touching the block again, so a
+	// concurrent Free (which nils the block's slice) cannot race with an
+	// in-flight kernel's loads.
+	data  []byte
+	freed atomic.Bool
 }
 
 // Alloc reserves n bytes of device global memory.
@@ -157,61 +167,82 @@ func (g *GPU) Alloc(n int) (*Buffer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Buffer{gpu: g, block: b}, nil
+	return &Buffer{gpu: g, block: b, data: b.Bytes()}, nil
 }
 
 // Len returns the buffer size in bytes.
 func (b *Buffer) Len() int {
-	if b.freed {
+	if b.freed.Load() {
 		return 0
 	}
-	return b.block.Len()
+	return len(b.data)
 }
 
-// Free releases the buffer's device memory. Idempotent.
+// Free releases the buffer's device memory. Idempotent and safe to call
+// concurrently with kernels using the buffer (they fail with
+// ErrBufferFreed instead of racing).
 func (b *Buffer) Free() {
-	if !b.freed {
+	if b.freed.CompareAndSwap(false, true) {
 		b.block.Free()
-		b.freed = true
 	}
 }
 
 // bytes returns the backing store or an error if freed.
 func (b *Buffer) bytes() ([]byte, error) {
-	if b.freed {
+	if b.freed.Load() {
 		return nil, ErrBufferFreed
 	}
-	return b.block.Bytes(), nil
+	return b.data, nil
 }
 
 // CopyToDevice copies src into the buffer at offset off, charging bus time.
 func (g *GPU) CopyToDevice(dst *Buffer, off int, src []byte) error {
-	buf, err := dst.bytes()
+	ns, err := g.copyToDevice(dst, off, src)
 	if err != nil {
 		return err
 	}
+	g.charge(ns)
+	return nil
+}
+
+// copyToDevice performs the copy and returns its priced duration without
+// advancing the clock.
+func (g *GPU) copyToDevice(dst *Buffer, off int, src []byte) (float64, error) {
+	buf, err := dst.bytes()
+	if err != nil {
+		return 0, err
+	}
 	if off < 0 || off+len(src) > len(buf) {
-		return fmt.Errorf("%w: copy [%d,%d) into %d-byte buffer", ErrShortBuffer, off, off+len(src), len(buf))
+		return 0, fmt.Errorf("%w: copy [%d,%d) into %d-byte buffer", ErrShortBuffer, off, off+len(src), len(buf))
 	}
 	copy(buf[off:], src)
-	g.charge(g.prof.TransferNs(int64(len(src))))
 	g.countTransfer(int64(len(src)), true)
-	return nil
+	return g.prof.TransferNs(int64(len(src))), nil
 }
 
 // CopyToHost copies the buffer region [off, off+len(dst)) back to the host.
 func (g *GPU) CopyToHost(dst []byte, src *Buffer, off int) error {
-	buf, err := src.bytes()
+	ns, err := g.copyToHost(dst, src, off)
 	if err != nil {
 		return err
 	}
+	g.charge(ns)
+	return nil
+}
+
+// copyToHost performs the copy and returns its priced duration without
+// advancing the clock.
+func (g *GPU) copyToHost(dst []byte, src *Buffer, off int) (float64, error) {
+	buf, err := src.bytes()
+	if err != nil {
+		return 0, err
+	}
 	if off < 0 || off+len(dst) > len(buf) {
-		return fmt.Errorf("%w: copy [%d,%d) from %d-byte buffer", ErrShortBuffer, off, off+len(dst), len(buf))
+		return 0, fmt.Errorf("%w: copy [%d,%d) from %d-byte buffer", ErrShortBuffer, off, off+len(dst), len(buf))
 	}
 	copy(dst, buf[off:])
-	g.charge(g.prof.TransferNs(int64(len(dst))))
 	g.countTransfer(int64(len(dst)), false)
-	return nil
+	return g.prof.TransferNs(int64(len(dst))), nil
 }
 
 // LaunchConfig is the kernel grid geometry: Blocks thread blocks of
@@ -256,10 +287,14 @@ type Vec struct {
 	Len    int
 }
 
-// check validates the vector against its backing store.
+// check validates the vector against its backing store, enforcing the
+// documented invariant that exactly one of Buf and Data is set.
 func (v Vec) check() ([]byte, error) {
 	buf := v.Data
 	if v.Buf != nil {
+		if buf != nil {
+			return nil, fmt.Errorf("%w: vec sets both Buf and Data", ErrBadLaunch)
+		}
 		var err error
 		if buf, err = v.Buf.bytes(); err != nil {
 			return nil, err
@@ -286,15 +321,26 @@ func (v Vec) check() ([]byte, error) {
 // partials — the structure of the Harris reduction kernel the paper used.
 // Blocks execute concurrently.
 func (g *GPU) ReduceSumFloat64(v Vec, cfg LaunchConfig) (float64, error) {
-	if err := g.validate(cfg, true); err != nil {
-		return 0, err
-	}
-	buf, err := v.check()
+	total, ns, err := g.reduceSumFloat64(v, cfg)
 	if err != nil {
 		return 0, err
 	}
+	g.charge(ns)
+	return total, nil
+}
+
+// reduceSumFloat64 runs the reduction and returns its priced duration
+// without advancing the clock (streams charge an overlapped total at Wait).
+func (g *GPU) reduceSumFloat64(v Vec, cfg LaunchConfig) (float64, float64, error) {
+	if err := g.validate(cfg, true); err != nil {
+		return 0, 0, err
+	}
+	buf, err := v.check()
+	if err != nil {
+		return 0, 0, err
+	}
 	if v.Size != 8 {
-		return 0, fmt.Errorf("%w: float64 reduction over %d-byte elements", ErrBadLaunch, v.Size)
+		return 0, 0, fmt.Errorf("%w: float64 reduction over %d-byte elements", ErrBadLaunch, v.Size)
 	}
 	load := func(i int) float64 {
 		return math.Float64frombits(binary.LittleEndian.Uint64(buf[v.Base+i*v.Stride:]))
@@ -303,21 +349,31 @@ func (g *GPU) ReduceSumFloat64(v Vec, cfg LaunchConfig) (float64, error) {
 	// Final pass: one block reduces the per-block partials.
 	total := treeReduce(partials)
 	g.countKernels(2)
-	g.charge(g.prof.ReduceKernelNs(int64(v.Len), v.Size, v.Stride, cfg.Blocks, cfg.ThreadsPerBlock))
-	return total, nil
+	return total, g.prof.ReduceKernelNs(int64(v.Len), v.Size, v.Stride, cfg.Blocks, cfg.ThreadsPerBlock), nil
 }
 
 // ReduceSumInt64 is ReduceSumFloat64 for int64 elements.
 func (g *GPU) ReduceSumInt64(v Vec, cfg LaunchConfig) (int64, error) {
-	if err := g.validate(cfg, true); err != nil {
-		return 0, err
-	}
-	buf, err := v.check()
+	total, ns, err := g.reduceSumInt64(v, cfg)
 	if err != nil {
 		return 0, err
 	}
+	g.charge(ns)
+	return total, nil
+}
+
+// reduceSumInt64 runs the reduction and returns its priced duration
+// without advancing the clock.
+func (g *GPU) reduceSumInt64(v Vec, cfg LaunchConfig) (int64, float64, error) {
+	if err := g.validate(cfg, true); err != nil {
+		return 0, 0, err
+	}
+	buf, err := v.check()
+	if err != nil {
+		return 0, 0, err
+	}
 	if v.Size != 8 {
-		return 0, fmt.Errorf("%w: int64 reduction over %d-byte elements", ErrBadLaunch, v.Size)
+		return 0, 0, fmt.Errorf("%w: int64 reduction over %d-byte elements", ErrBadLaunch, v.Size)
 	}
 	load := func(i int) float64 {
 		return float64(int64(binary.LittleEndian.Uint64(buf[v.Base+i*v.Stride:])))
@@ -327,8 +383,7 @@ func (g *GPU) ReduceSumInt64(v Vec, cfg LaunchConfig) (int64, error) {
 	partials := g.blockReduce(v.Len, cfg, load)
 	total := treeReduce(partials)
 	g.countKernels(2)
-	g.charge(g.prof.ReduceKernelNs(int64(v.Len), v.Size, v.Stride, cfg.Blocks, cfg.ThreadsPerBlock))
-	return int64(total), nil
+	return int64(total), g.prof.ReduceKernelNs(int64(v.Len), v.Size, v.Stride, cfg.Blocks, cfg.ThreadsPerBlock), nil
 }
 
 // ReduceSumFloat64Where fuses a closed-interval filter [lo, hi] into
@@ -342,15 +397,26 @@ func (g *GPU) ReduceSumInt64(v Vec, cfg LaunchConfig) (int64, error) {
 // predicate bounds are normalized to closed intervals host-side (see
 // exec.ClosedFloat64), keeping the kernel branch-free of modes.
 func (g *GPU) ReduceSumFloat64Where(v Vec, lo, hi float64, cfg LaunchConfig) (float64, int64, error) {
-	if err := g.validate(cfg, true); err != nil {
-		return 0, 0, err
-	}
-	buf, err := v.check()
+	total, n, ns, err := g.reduceSumFloat64Where(v, lo, hi, cfg)
 	if err != nil {
 		return 0, 0, err
 	}
+	g.charge(ns)
+	return total, n, nil
+}
+
+// reduceSumFloat64Where runs the fused filter+reduction and returns its
+// priced duration without advancing the clock.
+func (g *GPU) reduceSumFloat64Where(v Vec, lo, hi float64, cfg LaunchConfig) (float64, int64, float64, error) {
+	if err := g.validate(cfg, true); err != nil {
+		return 0, 0, 0, err
+	}
+	buf, err := v.check()
+	if err != nil {
+		return 0, 0, 0, err
+	}
 	if v.Size != 8 {
-		return 0, 0, fmt.Errorf("%w: float64 reduction over %d-byte elements", ErrBadLaunch, v.Size)
+		return 0, 0, 0, fmt.Errorf("%w: float64 reduction over %d-byte elements", ErrBadLaunch, v.Size)
 	}
 	load := func(i int) (float64, float64) {
 		x := math.Float64frombits(binary.LittleEndian.Uint64(buf[v.Base+i*v.Stride:]))
@@ -363,8 +429,7 @@ func (g *GPU) ReduceSumFloat64Where(v Vec, lo, hi float64, cfg LaunchConfig) (fl
 	total := treeReduce(sums)
 	n := treeReduce(counts)
 	g.countKernels(2)
-	g.charge(g.prof.ReduceKernelNs(int64(v.Len), v.Size, v.Stride, cfg.Blocks, cfg.ThreadsPerBlock))
-	return total, int64(n), nil
+	return total, int64(n), g.prof.ReduceKernelNs(int64(v.Len), v.Size, v.Stride, cfg.Blocks, cfg.ThreadsPerBlock), nil
 }
 
 // blockReduce2 is blockReduce over (sum, count) pairs: two shared-memory
@@ -507,23 +572,38 @@ func (g *GPU) Gather(src *Buffer, recordWidth int, positions []int) ([]byte, err
 
 // Scatter writes vals[i] (elemSize bytes each, concatenated) to element
 // positions[i] of the strided vector v. It is the device-side bulk-update
-// primitive GPUTx's transaction batches compile into.
+// primitive GPUTx's transaction batches compile into. The value bytes
+// travel host→device before the kernel runs, so the call counts and
+// prices the bus crossing exactly like CopyToDevice (the D2H mirror of
+// what Gather charges for its result delivery).
 func (g *GPU) Scatter(v Vec, positions []int, vals []byte) error {
-	buf, err := v.check()
+	ns, err := g.scatter(v, positions, vals)
 	if err != nil {
 		return err
 	}
+	g.charge(ns)
+	return nil
+}
+
+// scatter performs the scatter and returns its priced duration without
+// advancing the clock (streams charge an overlapped total at Wait).
+func (g *GPU) scatter(v Vec, positions []int, vals []byte) (float64, error) {
+	buf, err := v.check()
+	if err != nil {
+		return 0, err
+	}
 	if len(vals) != len(positions)*v.Size {
-		return fmt.Errorf("%w: %d values bytes for %d positions of size %d",
+		return 0, fmt.Errorf("%w: %d values bytes for %d positions of size %d",
 			ErrShortBuffer, len(vals), len(positions), v.Size)
 	}
 	for i, p := range positions {
 		if p < 0 || p >= v.Len {
-			return fmt.Errorf("%w: scatter position %d of %d", ErrShortBuffer, p, v.Len)
+			return 0, fmt.Errorf("%w: scatter position %d of %d", ErrShortBuffer, p, v.Len)
 		}
 		copy(buf[v.Base+p*v.Stride:v.Base+p*v.Stride+v.Size], vals[i*v.Size:(i+1)*v.Size])
 	}
 	g.countKernels(1)
-	g.charge(g.prof.KernelLaunchNs + float64(len(positions))*4)
-	return nil
+	g.countTransfer(int64(len(vals)), true)
+	return g.prof.TransferNs(int64(len(vals))) +
+		g.prof.ScatterKernelNs(int64(len(positions)), v.Size), nil
 }

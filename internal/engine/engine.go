@@ -54,18 +54,24 @@ type Env struct {
 	// bulk operators with: SingleThreaded (the zero value), blockwise
 	// MultiThreaded, or MorselDriven on the shared resident pool.
 	ExecPolicy exec.Policy
+	// Cache keeps device-resident fragment images so repeated device
+	// scans over unchanged data skip the bus (paper Section IV-C, "mixed
+	// data location"). Engines treat a nil cache as "re-ship every scan".
+	Cache *device.FragCache
 }
 
 // NewEnv builds a default environment: unlimited host and disk, a device
 // with the paper's profile, one shared clock.
 func NewEnv() *Env {
 	clk := &perfmodel.Clock{}
+	gpu := device.New(perfmodel.DefaultDevice(), clk)
 	return &Env{
 		Host:        mem.NewAllocator(mem.Host, 0),
 		Disk:        mem.NewAllocator(mem.Secondary, 0),
-		GPU:         device.New(perfmodel.DefaultDevice(), clk),
+		GPU:         gpu,
 		HostProfile: perfmodel.DefaultHost(),
 		Clock:       clk,
+		Cache:       device.NewFragCache(gpu),
 	}
 }
 

@@ -27,12 +27,22 @@ import (
 const (
 	placeCPU = "cpu"
 	placeGPU = "gpu"
+	// placeGPUCache is the device path through the fragment cache: no
+	// standing replica, but the scan's column image is kept device-
+	// resident by engine.Env.Cache and reused while the column is
+	// unchanged — CoGaDB's caching column manager, as opposed to the
+	// explicit Place/Evict replication above.
+	placeGPUCache = "gpu-cache"
 )
 
 // Engine is the CoGaDB storage engine.
 type Engine struct {
 	env     *engine.Env
 	epsilon float64
+	// DeviceCache offers HyPE the cache-backed GPU placement for scans
+	// over columns without a standing device replica. Off by default so
+	// replica-focused behavior (and its tests) is unchanged.
+	DeviceCache bool
 }
 
 // New creates the engine; epsilon is the HyPE exploration rate (0 uses
@@ -107,6 +117,11 @@ func (t *Table) appendRecord(row uint64, rec schema.Record) error {
 			}
 			if err := hostLay.Replace(f, grown); err != nil {
 				return err
+			}
+			// The old backing store is gone; retire any device-cached
+			// images of it eagerly.
+			if t.Env.Cache != nil {
+				t.Env.Cache.InvalidateFrag(t.Rel.Name(), f.ID())
 			}
 			t.hostCols[c] = grown
 			f = grown
@@ -203,6 +218,8 @@ func (t *Table) SumFloat64(col int) (float64, error) {
 	placements := []string{placeCPU}
 	if _, ok := t.replicas[col]; ok {
 		placements = append(placements, placeGPU)
+	} else if t.cacheEnabled() {
+		placements = append(placements, placeGPUCache)
 	}
 	choice := t.hype.Choose("sum", n, placements)
 
@@ -212,10 +229,14 @@ func (t *Table) SumFloat64(col int) (float64, error) {
 	}
 	var sum float64
 	var err error
-	if choice == placeGPU {
+	switch choice {
+	case placeGPU:
 		t.gpuRuns++
 		sum, err = t.deviceSum(col)
-	} else {
+	case placeGPUCache:
+		t.gpuRuns++
+		sum, err = t.cachedDeviceSum(col)
+	default:
 		t.cpuRuns++
 		sum, err = t.hostSum(col)
 	}
@@ -237,6 +258,108 @@ func (t *Table) hostSum(col int) (float64, error) {
 	}
 	pieces := []exec.Piece{{Rows: layout.RowRange{Begin: 0, End: uint64(v.Len)}, Vec: v}}
 	return exec.SumFloat64(t.Cfg, pieces)
+}
+
+// cacheEnabled reports whether the cache-backed GPU placement is on.
+func (t *Table) cacheEnabled() bool { return t.eng.DeviceCache && t.Env.Cache != nil }
+
+// hostPiece wraps the host column in an exec piece carrying the fragment
+// identity the device cache keys on.
+func (t *Table) hostPiece(col int) (exec.Piece, error) {
+	f := t.hostCols[col]
+	v, err := f.ColVector(col)
+	if err != nil {
+		return exec.Piece{}, err
+	}
+	return exec.Piece{
+		Rows: layout.RowRange{Begin: 0, End: uint64(v.Len)},
+		Vec:  v, Zone: f.Stats(col),
+		FragID: f.ID(), FragVersion: f.Version(),
+	}, nil
+}
+
+// deviceScan builds the cache-backed device scan configuration.
+func (t *Table) deviceScan() exec.DeviceScan {
+	return exec.DeviceScan{GPU: t.Env.GPU, Cache: t.Env.Cache, Table: t.Rel.Name()}
+}
+
+// cachedDeviceSum runs the reduction kernel over a cache-resident image
+// of the host column: the first scan ships the column, repeats are free
+// of bus traffic until a write bumps the column fragment's version.
+func (t *Table) cachedDeviceSum(col int) (float64, error) {
+	piece, err := t.hostPiece(col)
+	if err != nil {
+		return 0, err
+	}
+	return t.deviceScan().SumFloat64(col, []exec.Piece{piece})
+}
+
+// SumFloat64Where overrides the host-only fused scan with a HyPE choice
+// among the host operator, the device replica, and the cache-backed
+// device path. Predicates without a closed-interval form stay on the
+// host (the device kernel is branch-free of comparison modes).
+func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, error) {
+	if col < 0 || col >= len(t.hostCols) {
+		return 0, 0, fmt.Errorf("%w: col %d", layout.ErrOutOfRange, col)
+	}
+	lo, hi, closed := exec.ClosedFloat64(p)
+	placements := []string{placeCPU}
+	if closed {
+		if _, ok := t.replicas[col]; ok {
+			placements = append(placements, placeGPU)
+		} else if t.cacheEnabled() {
+			placements = append(placements, placeGPUCache)
+		}
+	}
+	if len(placements) == 1 {
+		return t.Table.SumFloat64Where(col, p)
+	}
+	n := int64(t.Rel.Rows())
+	choice := t.hype.Choose("sumwhere", n, placements)
+	var before float64
+	if t.Env.Clock != nil {
+		before = t.Env.Clock.ElapsedNs()
+	}
+	var sum float64
+	var cnt int64
+	var err error
+	switch choice {
+	case placeGPU:
+		t.gpuRuns++
+		sum, cnt, err = t.deviceSumWhere(col, lo, hi)
+	case placeGPUCache:
+		t.gpuRuns++
+		piece, perr := t.hostPiece(col)
+		if perr != nil {
+			return 0, 0, perr
+		}
+		sum, cnt, err = t.deviceScan().SumFloat64Where(col, []exec.Piece{piece}, p)
+	default:
+		t.cpuRuns++
+		sum, cnt, err = t.Table.SumFloat64Where(col, p)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	if t.Env.Clock != nil {
+		t.hype.Observe("sumwhere", choice, n, t.Env.Clock.ElapsedNs()-before)
+	}
+	return sum, cnt, nil
+}
+
+// deviceSumWhere runs the fused filter+reduction over the device replica.
+func (t *Table) deviceSumWhere(col int, lo, hi float64) (float64, int64, error) {
+	r := t.replicas[col]
+	v, err := r.ColVector(col)
+	if err != nil {
+		return 0, 0, err
+	}
+	dv := device.Vec{Data: v.Data, Base: v.Base, Stride: v.Stride, Size: v.Size, Len: v.Len}
+	cfg := device.DefaultReduceConfig()
+	if v.Len < cfg.Blocks*2 {
+		cfg = device.LaunchConfig{Blocks: 8, ThreadsPerBlock: 64}
+	}
+	return t.Env.GPU.ReduceSumFloat64Where(dv, lo, hi, cfg)
 }
 
 // deviceSum runs the reduction kernel over the device replica.

@@ -296,6 +296,11 @@ func (t *Table) executeSet(set [][]TxOp) error {
 			u.vals = append(u.vals, buf...)
 		}
 	}
+	// All per-column scatters of the set go down one stream: each column's
+	// value bytes overlap the bus with the previous column's scatter
+	// kernel, and one Wait settles the overlapped total.
+	s := t.env.GPU.NewStream()
+	defer s.Wait()
 	for col, u := range pending {
 		f := t.cols[col]
 		v, err := f.ColVector(col)
@@ -303,9 +308,12 @@ func (t *Table) executeSet(set [][]TxOp) error {
 			return err
 		}
 		dv := device.Vec{Data: v.Data, Base: v.Base, Stride: v.Stride, Size: v.Size, Len: f.Len()}
-		if err := t.env.GPU.Scatter(dv, u.positions, u.vals); err != nil {
+		if err := s.Scatter(dv, u.positions, u.vals); err != nil {
 			return fmt.Errorf("gputx: scatter on column %d: %w", col, err)
 		}
+		// Scatter writes bypass Fragment.Set; bump the version by hand so
+		// device-cached images of the column stop validating.
+		f.BumpVersion()
 	}
 	return nil
 }

@@ -37,6 +37,12 @@ const DefaultChunkRows = 1024
 type Engine struct {
 	env       *engine.Env
 	chunkRows uint64
+	// DeviceScan routes predicate scans over frozen (compaction-produced,
+	// immutable-until-updated) chunks through the device fragment cache:
+	// the hot/cold split HyPer's compaction already maintains decides
+	// what is worth keeping device-resident. Off by default — the
+	// surveyed HyPer is CPU-only, and its Table-1 row must stay that way.
+	DeviceScan bool
 }
 
 // New creates the engine with the given chunk capacity (0 uses
@@ -89,13 +95,15 @@ type Table struct {
 	// detached holds chunks that were replaced (by COW or compaction)
 	// while snapshots still reference them.
 	detached []*chunk
+	// deviceScan mirrors Engine.DeviceScan at creation time.
+	deviceScan bool
 }
 
 // Create makes an empty relation.
 func (e *Engine) Create(name string, s *schema.Schema) (engine.Table, error) {
 	rel := layout.NewRelation(name, s)
 	rel.AddLayout(layout.NewLayout("chunks", s))
-	t := &Table{Table: common.NewTable(e.env, rel), chunkRows: e.chunkRows}
+	t := &Table{Table: common.NewTable(e.env, rel), chunkRows: e.chunkRows, deviceScan: e.DeviceScan}
 	t.Append = t.appendRecord
 	return t, nil
 }
@@ -135,6 +143,13 @@ func (t *Table) detach(c *chunk) {
 	l, _ := t.Rel.Primary()
 	for _, v := range c.vectors {
 		l.Remove(v)
+	}
+	// The chunk's vectors leave the live layout (COW replacement or
+	// compaction); retire any device-cached images of them eagerly.
+	if t.Env.Cache != nil {
+		for _, v := range c.vectors {
+			t.Env.Cache.InvalidateFrag(t.Rel.Name(), v.ID())
+		}
 	}
 	if c.refs > 0 {
 		t.detached = append(t.detached, c)
@@ -317,6 +332,58 @@ func (t *Table) fuse(run []*chunk) (*chunk, error) {
 		t.detach(c)
 	}
 	return fused, nil
+}
+
+// SumFloat64Where overrides the host fused scan when device scanning is
+// enabled: frozen chunks — immutable until an update unfreezes them — go
+// to the GPU through the fragment cache, so repeated analytics over the
+// cold region cost zero bus bytes; unfrozen (hot) chunks stay on the
+// host operator, where every write would otherwise invalidate their
+// cached image.
+func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, error) {
+	_, _, closed := exec.ClosedFloat64(p)
+	if !t.deviceScan || t.Env.Cache == nil || !closed ||
+		col < 0 || col >= t.Rel.Schema().Arity() || t.Rel.Schema().Attr(col).Kind != schema.Float64 {
+		return t.Table.SumFloat64Where(col, p)
+	}
+	rows := t.Rel.Rows()
+	var hostPieces, devPieces []exec.Piece
+	for _, c := range t.chunks {
+		if c.rows.Begin >= rows {
+			break
+		}
+		f := c.vectors[col]
+		v, err := f.ColVector(col)
+		if err != nil {
+			return 0, 0, err
+		}
+		piece := exec.Piece{
+			Rows: layout.RowRange{Begin: c.rows.Begin, End: c.rows.Begin + uint64(v.Len)},
+			Vec:  v, Zone: f.Stats(col),
+			FragID: f.ID(), FragVersion: f.Version(),
+		}
+		if c.frozen {
+			devPieces = append(devPieces, piece)
+		} else {
+			hostPieces = append(hostPieces, piece)
+		}
+	}
+	var sum float64
+	var n int64
+	if len(devPieces) > 0 {
+		ds := exec.DeviceScan{GPU: t.Env.GPU, Cache: t.Env.Cache, Table: t.Rel.Name()}
+		devSum, devN, err := ds.SumFloat64Where(col, devPieces, p)
+		if err != nil {
+			return 0, 0, err
+		}
+		sum += devSum
+		n += devN
+	}
+	hostSum, hostN, err := exec.SumFloat64Where(t.Cfg, hostPieces, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	return sum + hostSum, n + hostN, nil
 }
 
 // AnalyticSnapshot pins the current state for long-running analytics.

@@ -1,0 +1,191 @@
+// Device-side column scans backed by the fragment cache. This is the
+// exec-layer face of the paper's "mixed data location" design point
+// (Section IV-C): the same Piece lists the host operators scan can be
+// shipped to the simulated GPU, and — when a device.FragCache is
+// configured — repeated scans over unchanged fragments reuse the resident
+// images and cost zero bus bytes. Uploads and kernels run on a Stream, so
+// a cold multi-piece scan overlaps each fragment's H2D copy with the
+// previous fragment's reduction kernel.
+package exec
+
+import (
+	"fmt"
+
+	"hybridstore/internal/device"
+	"hybridstore/internal/layout"
+	"hybridstore/internal/obs"
+)
+
+var obsDeviceScan = obs.NewSpanFamily("exec.device_scan")
+
+// DeviceScan configures device-side scans over exec Pieces.
+type DeviceScan struct {
+	// GPU is the executing card. Required.
+	GPU *device.GPU
+	// Cache, when non-nil, keeps uploaded column images device-resident
+	// keyed by (Table, fragment, column, clip, version). Nil re-ships
+	// every piece on every scan (the pre-cache behavior, and the cold
+	// baseline the devicecache panel measures against).
+	Cache *device.FragCache
+	// Table namespaces cache keys (the owning relation's name).
+	Table string
+	// Launch overrides the reduction geometry; the zero value picks the
+	// paper's 1024×512 grid, falling back to a small grid for inputs
+	// shorter than two elements per block.
+	Launch device.LaunchConfig
+	// Stages overrides the stream pipeline depth (0 = double buffering).
+	Stages int
+}
+
+// launchFor picks the kernel geometry for an n-element reduction.
+func (d DeviceScan) launchFor(n int) device.LaunchConfig {
+	if d.Launch.Blocks > 0 {
+		return d.Launch
+	}
+	cfg := device.DefaultReduceConfig()
+	if n < cfg.Blocks*2 {
+		cfg = device.LaunchConfig{Blocks: 8, ThreadsPerBlock: 64}
+	}
+	return cfg
+}
+
+// denseBytes returns the dense byte image of a column clip, packing
+// strided (NSM) vectors into a contiguous run — the host-side pack real
+// engines perform before shipping a column image over the bus.
+func denseBytes(v layout.ColVector) []byte {
+	if v.Contiguous() {
+		return v.Data[v.Base : v.Base+v.Len*v.Size]
+	}
+	out := make([]byte, v.Len*v.Size)
+	off := v.Base
+	for i := 0; i < v.Len; i++ {
+		copy(out[i*v.Size:], v.Data[off:off+v.Size])
+		off += v.Stride
+	}
+	return out
+}
+
+// acquirePiece returns a device-resident image of the piece's column
+// clip: from the cache when the piece is cacheable (hit = zero bus
+// bytes), uploading through the stream otherwise. release returns the
+// image (unpins, or frees a transient upload); it must be called after
+// the consuming kernel's Wait.
+func (d DeviceScan) acquirePiece(s *device.Stream, col int, p Piece) (vec device.Vec, release func(), err error) {
+	n := p.Vec.Len
+	size := n * p.Vec.Size
+	upload := func(buf *device.Buffer) error { return s.CopyToDevice(buf, 0, denseBytes(p.Vec)) }
+
+	if d.Cache != nil && p.FragID != 0 {
+		key := device.FragKey{Table: d.Table, Frag: p.FragID, Col: col, Row0: int(p.Rows.Begin), Rows: n}
+		buf, unpin, _, err := d.Cache.Acquire(key, p.FragVersion, size, upload)
+		if err != nil {
+			return device.Vec{}, nil, err
+		}
+		return device.Vec{Buf: buf, Stride: p.Vec.Size, Size: p.Vec.Size, Len: n}, unpin, nil
+	}
+
+	buf, err := d.GPU.Alloc(size)
+	if err != nil {
+		return device.Vec{}, nil, err
+	}
+	if err := upload(buf); err != nil {
+		buf.Free()
+		return device.Vec{}, nil, err
+	}
+	return device.Vec{Buf: buf, Stride: p.Vec.Size, Size: p.Vec.Size, Len: n}, buf.Free, nil
+}
+
+// SumFloat64Where computes SUM(col), COUNT(*) WHERE p over the pieces on
+// the device with the fused filter+reduction kernel. Pieces whose zone
+// maps exclude the predicate are pruned before any bus traffic (the
+// decision is accounted via NoteZoneDecision); surviving pieces are
+// acquired through the fragment cache and reduced on a stream. Only
+// predicates normalizable to a closed interval run on the device (the
+// kernel is branch-free of comparison modes); others fail with
+// ErrBadColumn and the caller falls back to the host path.
+func (d DeviceScan) SumFloat64Where(col int, pieces []Piece, p Pred[float64]) (float64, int64, error) {
+	if err := checkSize8(pieces, "device fused float64 sum"); err != nil {
+		return 0, 0, err
+	}
+	lo, hi, ok := ClosedFloat64(p)
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: predicate %v has no closed-interval form for the device kernel", ErrBadColumn, p.Op)
+	}
+	sp := obsDeviceScan.Start()
+	s := d.newStream()
+	var sum float64
+	var count int64
+	var releases []func()
+	defer func() {
+		s.Wait()
+		for _, r := range releases {
+			r()
+		}
+		sp.End()
+	}()
+	for _, pc := range pieces {
+		if pc.Vec.Len == 0 {
+			continue
+		}
+		admit := zoneAdmitsFloat64(pc.Zone, p)
+		NoteZoneDecision(admit, int64(pc.Vec.Len*pc.Vec.Size))
+		if !admit {
+			continue
+		}
+		vec, release, err := d.acquirePiece(s, col, pc)
+		if err != nil {
+			return 0, 0, err
+		}
+		releases = append(releases, release)
+		r, c, err := s.ReduceSumFloat64Where(vec, lo, hi, d.launchFor(vec.Len))
+		if err != nil {
+			return 0, 0, err
+		}
+		sum += r
+		count += c
+	}
+	return sum, count, nil
+}
+
+// SumFloat64 is the unfiltered device reduction over the pieces, with the
+// same cache-backed residency.
+func (d DeviceScan) SumFloat64(col int, pieces []Piece) (float64, error) {
+	if err := checkSize8(pieces, "device float64 sum"); err != nil {
+		return 0, err
+	}
+	sp := obsDeviceScan.Start()
+	s := d.newStream()
+	var sum float64
+	var releases []func()
+	defer func() {
+		s.Wait()
+		for _, r := range releases {
+			r()
+		}
+		sp.End()
+	}()
+	for _, pc := range pieces {
+		if pc.Vec.Len == 0 {
+			continue
+		}
+		vec, release, err := d.acquirePiece(s, col, pc)
+		if err != nil {
+			return 0, err
+		}
+		releases = append(releases, release)
+		r, err := s.ReduceSumFloat64(vec, d.launchFor(vec.Len))
+		if err != nil {
+			return 0, err
+		}
+		sum += r
+	}
+	return sum, nil
+}
+
+// newStream opens the scan's command stream at the configured depth.
+func (d DeviceScan) newStream() *device.Stream {
+	if d.Stages > 0 {
+		return d.GPU.NewStreamDepth(d.Stages)
+	}
+	return d.GPU.NewStream()
+}

@@ -197,6 +197,13 @@ type Piece struct {
 	// The fragment-wide envelope is a superset of any clipped piece's
 	// value range, so pruning against it stays conservative.
 	Zone *stats.Zone
+	// FragID and FragVersion identify the owning fragment and the write
+	// version its bytes were read at; together with the clip they key
+	// device-resident images (device.FragCache). A zero FragID marks a
+	// piece with no stable owner — synthetic or engine-private vectors —
+	// which the device cache treats as uncacheable.
+	FragID      uint64
+	FragVersion uint64
 }
 
 // ColumnView assembles the pieces covering attribute col for rows
@@ -230,7 +237,11 @@ func ColumnView(l *layout.Layout, col int, rows uint64) ([]Piece, error) {
 		if v.Len < 0 {
 			v.Len = 0
 		}
-		out = append(out, Piece{Rows: layout.RowRange{Begin: begin, End: begin + uint64(v.Len)}, Vec: v, Zone: f.Stats(col)})
+		out = append(out, Piece{
+			Rows: layout.RowRange{Begin: begin, End: begin + uint64(v.Len)},
+			Vec:  v, Zone: f.Stats(col),
+			FragID: f.ID(), FragVersion: f.Version(),
+		})
 		if uint64(v.Len) < end-begin {
 			return nil, fmt.Errorf("%w: rows [%d,%d) allocated but not filled",
 				ErrGap, begin+uint64(v.Len), end)

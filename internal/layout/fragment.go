@@ -21,11 +21,15 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"hybridstore/internal/mem"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/stats"
 )
+
+// fragIDs hands out process-unique fragment identities; see Fragment.ID.
+var fragIDs atomic.Uint64
 
 // Linearization is the physical order of tuplets inside one fragment.
 type Linearization uint8
@@ -109,6 +113,14 @@ type Fragment struct {
 	offs   []int         // per-col byte offset inside an NSM tuplet
 	colOff []int         // per-col byte offset of the column region under DSM
 	zones  []*stats.Zone // per-col zone maps (nil for non-8-byte-numeric columns)
+
+	// id is a process-unique identity and version a monotone write
+	// counter; together they key device-resident images of this fragment
+	// (device.FragCache), so any mutation makes every cached image of the
+	// old bytes unreachable. version is atomic because placement decisions
+	// read it outside the engine locks that serialize writes.
+	id      uint64
+	version atomic.Uint64
 }
 
 // NewFragment allocates a fragment for the given region of a relation with
@@ -129,6 +141,7 @@ func NewFragment(alloc *mem.Allocator, rel *schema.Schema, cols []int, rows RowR
 	}
 	seen := make(map[int]bool, len(cols))
 	f := &Fragment{
+		id:     fragIDs.Add(1),
 		rel:    rel,
 		cols:   append([]int(nil), cols...),
 		rows:   rows,
@@ -184,6 +197,23 @@ func NewFragment(alloc *mem.Allocator, rel *schema.Schema, cols []int, rows RowR
 
 // Schema returns the relation schema the fragment belongs to.
 func (f *Fragment) Schema() *schema.Schema { return f.rel }
+
+// ID returns the fragment's process-unique identity. Rebuilds that
+// replace the backing store (Relinearize, CloneTo) produce fragments with
+// fresh IDs, so an ID never outlives the bytes it names.
+func (f *Fragment) ID() uint64 { return f.id }
+
+// Version returns the fragment's write version. It starts at zero and is
+// bumped by every mutation (Set, AppendTuplet, SetLen, BumpVersion), so a
+// device-resident image uploaded at version v is bytewise current iff the
+// fragment still reports v.
+func (f *Fragment) Version() uint64 { return f.version.Load() }
+
+// BumpVersion records an out-of-band mutation of the fragment's bytes —
+// writes that bypass the typed Set path, such as a device scatter into
+// the fragment's block. Engines performing raw writes must call this so
+// cached images of the old bytes stop validating.
+func (f *Fragment) BumpVersion() { f.version.Add(1) }
 
 // Cols returns the covered attribute indexes (copy).
 func (f *Fragment) Cols() []int { return append([]int(nil), f.cols...) }
@@ -291,6 +321,7 @@ func (f *Fragment) Set(i int, c int, v schema.Value) error {
 	if err := schema.EncodeValue(f.block.Bytes()[off:], f.rel.Attr(c), v); err != nil {
 		return err
 	}
+	f.version.Add(1)
 	if z := f.zones[p]; z != nil {
 		// In-place overwrite: the envelope can only widen (the old value
 		// may survive in the bounds), which keeps pruning conservative.
@@ -322,6 +353,7 @@ func (f *Fragment) AppendTuplet(vals []schema.Value) error {
 			return fmt.Errorf("layout: appending tuplet: %w", err)
 		}
 	}
+	f.version.Add(1)
 	// All fields landed; fold the tuplet into the zone maps.
 	for p := range f.cols {
 		if z := f.zones[p]; z != nil {
@@ -466,6 +498,7 @@ func (f *Fragment) SetLen(n int) error {
 		return fmt.Errorf("%w: len %d, capacity %d", ErrOutOfRange, n, f.Cap())
 	}
 	f.n = n
+	f.version.Add(1)
 	for _, z := range f.zones {
 		if z == nil {
 			continue

@@ -360,6 +360,43 @@ func (d DeviceProfile) GatherKernelNs(k, n int64, recordWidth int) float64 {
 	return d.KernelLaunchNs + float64(k)*perRecord
 }
 
+// ScatterKernelNs prices a device scatter of k elements of elemSize bytes
+// to random positions of a device-resident vector: the write-side mirror
+// of GatherKernelNs. Each element dirties one coalescing segment (random
+// writes rarely share segments), and the uncoalesced stores add a latency
+// share the SMs cannot hide.
+func (d DeviceProfile) ScatterKernelNs(k int64, elemSize int) float64 {
+	segs := float64((elemSize + d.CoalesceSegment - 1) / d.CoalesceSegment)
+	perElem := segs * float64(d.CoalesceSegment) / d.GlobalBandwidth * 1e9
+	perElem += 350 / float64(d.SMs)
+	return d.KernelLaunchNs + float64(k)*perElem
+}
+
+// OverlapNs prices a pipelined device phase in which the copy engine
+// moves transferNs worth of bus traffic while the SMs execute computeNs
+// worth of kernels, double-buffered over the given number of pipeline
+// stages (chunks): the engines run concurrently, so the steady state
+// costs the maximum of the two lanes, plus a fill/drain bubble of one
+// stage of the shorter lane. With one stage (or fewer) nothing overlaps
+// and the phases serialize — exactly the sum the synchronous paths
+// charge.
+func (d DeviceProfile) OverlapNs(transferNs, computeNs float64, stages int) float64 {
+	if transferNs <= 0 {
+		return computeNs
+	}
+	if computeNs <= 0 {
+		return transferNs
+	}
+	if stages <= 1 {
+		return transferNs + computeNs
+	}
+	longer, shorter := transferNs, computeNs
+	if shorter > longer {
+		longer, shorter = shorter, longer
+	}
+	return longer + shorter/float64(stages)
+}
+
 // Clock is a deterministic simulated clock. Engines and the harness
 // advance it with model-priced durations; Elapsed converts to wall-clock
 // units for reporting. The zero value is ready to use; Clock is safe for

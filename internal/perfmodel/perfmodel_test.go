@@ -266,3 +266,63 @@ func TestDefaultProfilesMatchPaperFootnote(t *testing.T) {
 		t.Error("device execution resources do not match footnote 4")
 	}
 }
+
+// Scatter pricing: random single-element writes each dirty a full
+// coalescing segment, so the per-element cost is flat in elemSize up to
+// the segment width and the total is linear in k above the launch cost.
+func TestScatterKernelNs(t *testing.T) {
+	d := DefaultDevice()
+	if got := d.ScatterKernelNs(0, 8); got != d.KernelLaunchNs {
+		t.Errorf("empty scatter = %.0fns, want bare launch %.0fns", got, d.KernelLaunchNs)
+	}
+	one := d.ScatterKernelNs(1, 8) - d.KernelLaunchNs
+	k := int64(100_000)
+	total := d.ScatterKernelNs(k, 8) - d.KernelLaunchNs
+	if diff := total - float64(k)*one; diff > 1e-6*total || diff < -1e-6*total {
+		t.Errorf("scatter not linear in k: %.0fns vs %d*%.2fns", total, k, one)
+	}
+	// 8-byte and 32-byte elements land in the same coalescing segment.
+	if a, b := d.ScatterKernelNs(k, 8), d.ScatterKernelNs(k, d.CoalesceSegment); a != b {
+		t.Errorf("sub-segment scatter widths priced differently: %.0f vs %.0f", a, b)
+	}
+	// Wider-than-segment elements cost more.
+	if a, b := d.ScatterKernelNs(k, d.CoalesceSegment), d.ScatterKernelNs(k, 4*d.CoalesceSegment); b <= a {
+		t.Errorf("4-segment scatter %.0fns not dearer than 1-segment %.0fns", b, a)
+	}
+}
+
+// Overlap pricing: one empty lane costs the other lane alone; one stage
+// serializes; deep pipelines approach max(transfer, compute).
+func TestOverlapNs(t *testing.T) {
+	d := DefaultDevice()
+	if got := d.OverlapNs(0, 700, 2); got != 700 {
+		t.Errorf("no transfer: %.0f, want 700", got)
+	}
+	if got := d.OverlapNs(500, 0, 2); got != 500 {
+		t.Errorf("no compute: %.0f, want 500", got)
+	}
+	if got := d.OverlapNs(500, 700, 1); got != 1200 {
+		t.Errorf("one stage: %.0f, want serial 1200", got)
+	}
+	if got := d.OverlapNs(500, 700, 2); got != 700+250 {
+		t.Errorf("two stages: %.0f, want 950", got)
+	}
+	// Symmetric in the lanes.
+	if a, b := d.OverlapNs(500, 700, 2), d.OverlapNs(700, 500, 2); a != b {
+		t.Errorf("overlap not symmetric: %.0f vs %.0f", a, b)
+	}
+	f := func(tRaw, cRaw uint16, stagesRaw uint8) bool {
+		tr, cp := float64(tRaw)+1, float64(cRaw)+1
+		stages := int(stagesRaw)%8 + 2
+		got := d.OverlapNs(tr, cp, stages)
+		longer := tr
+		if cp > longer {
+			longer = cp
+		}
+		// Bounded by [max, sum], and deeper pipelines never cost more.
+		return got >= longer && got <= tr+cp && d.OverlapNs(tr, cp, stages+1) <= got
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
