@@ -9,14 +9,16 @@
 // workload's closed forms.
 //
 // The extra "selectivity" panel executes the zone-map data-skipping
-// sweep for real, and the "devicecache" panel the device-resident
+// sweep for real, the "devicecache" panel the device-resident
 // fragment-cache sweep (warm scans cost zero bus bytes; a write re-ships
-// one fragment): -panel <name> prints one alone, and -json always embeds
-// both beside the four model panels.
+// one fragment), and the "compression" panel the compressed-domain
+// execution sweep (four data shapes at their achieved ratios, host and
+// device, dense and compressed): -panel <name> prints one alone, and
+// -json always embeds all three beside the four model panels.
 //
 // Usage:
 //
-//	htapbench [-panel 0-4|selectivity|devicecache] [-csv] [-json] [-verify] [-verify-rows N] [-metrics]
+//	htapbench [-panel 0-4|selectivity|devicecache|compression] [-csv] [-json] [-verify] [-verify-rows N] [-metrics]
 package main
 
 import (
@@ -31,7 +33,7 @@ import (
 )
 
 func main() {
-	panel := flag.String("panel", "0", "panel to regenerate (1-4, \"selectivity\" or \"devicecache\"), 0 = all model panels")
+	panel := flag.String("panel", "0", "panel to regenerate (1-4, \"selectivity\", \"devicecache\" or \"compression\"), 0 = all model panels")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	jsonOut := flag.Bool("json", false, "also write panels+findings to BENCH_fig2.json for perf tracking")
 	verify := flag.Bool("verify", false, "also execute every configuration for real and cross-check answers")
@@ -42,6 +44,7 @@ func main() {
 	metricsRows := flag.Uint64("metrics-rows", 40_000, "row count for the -metrics mixed workload (keep above one morsel, 16384, so scans exercise the shared pool)")
 	selRows := flag.Uint64("selectivity-rows", 640_000, "row count for the selectivity sweep (64 fragments)")
 	cacheRows := flag.Uint64("devicecache-rows", 262_144, "row count for the devicecache sweep (64 fragments)")
+	compRows := flag.Uint64("compression-rows", 4_194_304, "row count for the compression sweep (64 fragments; keep fragments large enough to amortize the decode kernel)")
 	flag.Parse()
 
 	cfg := figures.Default()
@@ -69,6 +72,18 @@ func main() {
 		}
 		return cacheSweep
 	}
+	var compSweep *figures.CompressionSweep
+	runCompSweep := func() *figures.CompressionSweep {
+		if compSweep == nil {
+			s, err := figures.MeasureCompression(*compRows, 64)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "compression sweep failed:", err)
+				os.Exit(1)
+			}
+			compSweep = s
+		}
+		return compSweep
+	}
 
 	var panels []figures.Panel
 	switch *panel {
@@ -86,10 +101,17 @@ func main() {
 		} else {
 			fmt.Print(s.Render())
 		}
+	case "compression":
+		s := runCompSweep()
+		if *csv {
+			fmt.Print(s.CSV())
+		} else {
+			fmt.Print(s.Render())
+		}
 	default:
 		n, err := strconv.Atoi(*panel)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "htapbench: -panel wants 0-4, \"selectivity\" or \"devicecache\", got %q\n", *panel)
+			fmt.Fprintf(os.Stderr, "htapbench: -panel wants 0-4, \"selectivity\", \"devicecache\" or \"compression\", got %q\n", *panel)
 			os.Exit(2)
 		}
 		panels, err = cfg.Panels(n)
@@ -136,8 +158,9 @@ func main() {
 			Findings    figures.Findings
 			Selectivity *figures.SelectivitySweep
 			DeviceCache *figures.DeviceCacheSweep
+			Compression *figures.CompressionSweep
 			Obs         *hybridstore.MetricsSnapshot `json:"obs,omitempty"`
-		}{panels, f, runSweep(), runCacheSweep(), obsSnap}, "", "  ")
+		}{panels, f, runSweep(), runCacheSweep(), runCompSweep(), obsSnap}, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "json encoding failed:", err)
 			os.Exit(1)

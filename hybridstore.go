@@ -99,6 +99,13 @@ type Options struct {
 	// unchanged data cost zero bus bytes. Independent of DevicePlacement,
 	// which moves fragments instead of caching images.
 	DeviceCache bool
+	// Compress seals side-car compressed images (RLE, dictionary, or
+	// frame-of-reference — whichever fits best) of cold numeric columns at
+	// the freeze point. Analytic scans over the cold region then evaluate
+	// predicates in the compressed domain, and — combined with DeviceCache
+	// — ship the compressed image over the bus, so transfer cost and cache
+	// footprint shrink by the compression ratio.
+	Compress bool
 	// Policy is the host execution policy for analytic operators
 	// (default SingleThreaded).
 	Policy ExecPolicy
@@ -123,6 +130,7 @@ func Open(opts Options) *DB {
 			Affinity:        opts.Affinity,
 			DevicePlacement: opts.DevicePlacement,
 			DeviceCache:     opts.DeviceCache,
+			Compress:        opts.Compress,
 		}),
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Encoding enumerates the schemes.
@@ -79,6 +80,11 @@ type Column struct {
 	base    int64    // FOR: frame base
 	width   int      // FOR: delta bytes (1, 2, 4)
 	deltas  []byte   // FOR: packed deltas
+	// lastRun memoizes the most recent findRun hit so sequential access
+	// patterns skip the binary search; atomic so concurrent readers stay
+	// race-free (the memo is advisory — any stale value only costs the
+	// search).
+	lastRun atomic.Int32
 }
 
 // Encoding returns the scheme in use.
@@ -89,6 +95,10 @@ func (c *Column) Len() int { return c.n }
 
 // ElementSize returns the element width in bytes.
 func (c *Column) ElementSize() int { return c.size }
+
+// Runs returns the run count of an RLE column (0 for other encodings),
+// the granularity its compressed-domain predicate evaluation works at.
+func (c *Column) Runs() int { return len(c.runEnds) }
 
 // CompressedBytes returns the encoded payload size.
 func (c *Column) CompressedBytes() int {
@@ -263,22 +273,24 @@ func (c *Column) At(i int, dst []byte) ([]byte, error) {
 		code := int(c.codes[i])
 		copy(dst, c.dict[code*c.size:(code+1)*c.size])
 	case FOR:
-		var d uint64
-		switch c.width {
-		case 1:
-			d = uint64(c.deltas[i])
-		case 2:
-			d = uint64(binary.LittleEndian.Uint16(c.deltas[i*2:]))
-		case 4:
-			d = uint64(binary.LittleEndian.Uint32(c.deltas[i*4:]))
-		}
-		binary.LittleEndian.PutUint64(dst, uint64(c.base+int64(d)))
+		binary.LittleEndian.PutUint64(dst, uint64(c.base+int64(c.delta(i))))
 	}
 	return dst[:c.size], nil
 }
 
-// findRun binary-searches the run containing element i.
+// findRun locates the run containing element i: first against the
+// memoized last hit (and its successor, the sequential-access case),
+// then by binary search.
 func (c *Column) findRun(i uint32) int {
+	if m := int(c.lastRun.Load()); m >= 0 && m < len(c.runEnds) {
+		if i < c.runEnds[m] && (m == 0 || i >= c.runEnds[m-1]) {
+			return m
+		}
+		if m+1 < len(c.runEnds) && i >= c.runEnds[m] && i < c.runEnds[m+1] {
+			c.lastRun.Store(int32(m + 1))
+			return m + 1
+		}
+	}
 	lo, hi := 0, len(c.runEnds)-1
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -288,18 +300,63 @@ func (c *Column) findRun(i uint32) int {
 			hi = mid
 		}
 	}
+	c.lastRun.Store(int32(lo))
 	return lo
 }
 
 // Decompress materializes the full column.
 func (c *Column) Decompress() []byte {
 	out := make([]byte, c.n*c.size)
-	tmp := make([]byte, c.size)
-	for i := 0; i < c.n; i++ {
-		v, _ := c.At(i, tmp)
-		copy(out[i*c.size:], v)
-	}
+	c.DecompressInto(out)
 	return out
+}
+
+// DecompressInto bulk-decodes the column into dst, which must hold at
+// least Len()*ElementSize() bytes, and returns the filled prefix. Each
+// encoding takes its natural bulk path — straight copy for Raw, run
+// fills for RLE, dictionary gathers for Dict and delta widening for FOR
+// — instead of the per-element At loop.
+func (c *Column) DecompressInto(dst []byte) ([]byte, error) {
+	total := c.n * c.size
+	if len(dst) < total {
+		return nil, fmt.Errorf("%w: %d-byte buffer for %d-byte column", ErrBadInput, len(dst), total)
+	}
+	dst = dst[:total]
+	switch c.enc {
+	case Raw:
+		copy(dst, c.raw)
+	case RLE:
+		start := uint32(0)
+		for k, end := range c.runEnds {
+			val := c.runVals[k*c.size : (k+1)*c.size]
+			for i := int(start); i < int(end); i++ {
+				copy(dst[i*c.size:], val)
+			}
+			start = end
+		}
+	case Dict:
+		for i, code := range c.codes {
+			copy(dst[i*c.size:], c.dict[int(code)*c.size:(int(code)+1)*c.size])
+		}
+	case FOR:
+		for i := 0; i < c.n; i++ {
+			binary.LittleEndian.PutUint64(dst[i*8:], uint64(c.base+int64(c.delta(i))))
+		}
+	}
+	return dst, nil
+}
+
+// delta returns FOR delta i widened to uint64.
+func (c *Column) delta(i int) uint64 {
+	switch c.width {
+	case 1:
+		return uint64(c.deltas[i])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(c.deltas[i*2:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(c.deltas[i*4:]))
+	}
+	return 0
 }
 
 // ForEach streams every element in order without allocating per element.
@@ -357,12 +414,20 @@ func (c *Column) SumFloat64() (float64, error) {
 			sum += math.Float64frombits(binary.LittleEndian.Uint64(c.dict[code*8:])) * float64(n)
 		}
 		return sum, nil
+	case FOR:
+		var sum float64
+		for i := 0; i < c.n; i++ {
+			sum += math.Float64frombits(uint64(c.base + int64(c.delta(i))))
+		}
+		return sum, nil
 	default:
 		var sum float64
-		tmp := make([]byte, 8)
+		var tmp [8]byte
 		for i := 0; i < c.n; i++ {
-			v, _ := c.At(i, tmp)
-			sum += math.Float64frombits(binary.LittleEndian.Uint64(v))
+			if _, err := c.At(i, tmp[:]); err != nil {
+				return 0, err
+			}
+			sum += math.Float64frombits(binary.LittleEndian.Uint64(tmp[:]))
 		}
 		return sum, nil
 	}
@@ -378,14 +443,7 @@ func (c *Column) SumInt64() (int64, error) {
 	case FOR:
 		var ds uint64
 		for i := 0; i < c.n; i++ {
-			switch c.width {
-			case 1:
-				ds += uint64(c.deltas[i])
-			case 2:
-				ds += uint64(binary.LittleEndian.Uint16(c.deltas[i*2:]))
-			case 4:
-				ds += uint64(binary.LittleEndian.Uint32(c.deltas[i*4:]))
-			}
+			ds += c.delta(i)
 		}
 		return c.base*int64(c.n) + int64(ds), nil
 	case RLE:
@@ -415,10 +473,12 @@ func (c *Column) SumInt64() (int64, error) {
 		return sum, nil
 	default:
 		var sum int64
-		tmp := make([]byte, 8)
+		var tmp [8]byte
 		for i := 0; i < c.n; i++ {
-			v, _ := c.At(i, tmp)
-			sum += int64(binary.LittleEndian.Uint64(v))
+			if _, err := c.At(i, tmp[:]); err != nil {
+				return 0, err
+			}
+			sum += int64(binary.LittleEndian.Uint64(tmp[:]))
 		}
 		return sum, nil
 	}

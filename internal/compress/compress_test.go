@@ -319,3 +319,93 @@ func TestQuickRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// testShapes builds one representative column image per encoding.
+func testShapes() map[Encoding][]byte {
+	runny := make([]int64, 300)
+	for i := range runny {
+		runny[i] = int64(i / 50)
+	}
+	lowCard := make([]int64, 300)
+	for i := range lowCard {
+		lowCard[i] = int64((i * 7) % 5)
+	}
+	narrow := make([]int64, 300)
+	for i := range narrow {
+		narrow[i] = 1_000_000 + int64(i%200)
+	}
+	distinct := make([]int64, 300)
+	for i := range distinct {
+		distinct[i] = int64(i)*1_000_003 + 17
+	}
+	return map[Encoding][]byte{
+		RLE:  encodeInts(runny),
+		Dict: encodeInts(lowCard),
+		FOR:  encodeInts(narrow),
+		Raw:  encodeInts(distinct),
+	}
+}
+
+// TestCompressedCodecRoundTrip checks the wire frame: Marshal produces
+// exactly MarshaledBytes, Decode reconstructs a column whose dense
+// bytes are bit-identical, and truncated frames are rejected.
+func TestCompressedCodecRoundTrip(t *testing.T) {
+	for enc, img := range testShapes() {
+		c, err := CompressAs(enc, img, len(img)/8, 8)
+		if err != nil {
+			t.Fatalf("%v: %v", enc, err)
+		}
+		wire := c.Marshal()
+		if len(wire) != c.MarshaledBytes() {
+			t.Errorf("%v: Marshal length %d, MarshaledBytes %d", enc, len(wire), c.MarshaledBytes())
+		}
+		d, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("%v: Decode: %v", enc, err)
+		}
+		if d.Encoding() != enc || d.Len() != c.Len() || d.ElementSize() != 8 {
+			t.Fatalf("%v: decoded as %v len %d size %d", enc, d.Encoding(), d.Len(), d.ElementSize())
+		}
+		if !bytes.Equal(d.Decompress(), img) {
+			t.Errorf("%v: round trip corrupted the payload", enc)
+		}
+		for _, cut := range []int{0, 4, codecHeader - 1, len(wire) - 1} {
+			if _, err := Decode(wire[:cut]); err == nil {
+				t.Errorf("%v: Decode accepted a frame truncated to %d bytes", enc, cut)
+			}
+		}
+	}
+}
+
+// TestDecompressInto checks the bulk decoder against the element loop
+// and its destination-size contract.
+func TestDecompressInto(t *testing.T) {
+	for enc, img := range testShapes() {
+		c, err := CompressAs(enc, img, len(img)/8, 8)
+		if err != nil {
+			t.Fatalf("%v: %v", enc, err)
+		}
+		dst := make([]byte, len(img))
+		out, err := c.DecompressInto(dst)
+		if err != nil {
+			t.Fatalf("%v: DecompressInto: %v", enc, err)
+		}
+		if !bytes.Equal(out, img) {
+			t.Errorf("%v: bulk decode differs from the source image", enc)
+		}
+		// Element loop agreement.
+		el := make([]byte, 8)
+		for i := 0; i < c.Len(); i++ {
+			el, err = c.At(i, el)
+			if err != nil {
+				t.Fatalf("%v: At(%d): %v", enc, i, err)
+			}
+			if !bytes.Equal(el, img[i*8:i*8+8]) {
+				t.Fatalf("%v: At(%d) disagrees with the image", enc, i)
+			}
+		}
+		if _, err := c.DecompressInto(dst[:len(img)-1]); !errors.Is(err, ErrBadInput) {
+			t.Errorf("%v: short destination err = %v, want ErrBadInput", enc, err)
+		}
+	}
+}

@@ -1,0 +1,355 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file holds the compressed-domain operators: sargable predicate
+// scans that run directly on the encoded payload instead of
+// decompressing first. Each encoding gets its natural short-cut —
+//
+//   - RLE evaluates the predicate once per run,
+//   - Dict pre-filters the ≤256-entry dictionary into a code bitset and
+//     then only tests one bit per element,
+//   - FOR (integers) rewrites the predicate bounds into the delta
+//     domain and compares narrow deltas without reconstructing values,
+//   - Raw degenerates to the plain fused scan.
+//
+// Float64 accumulation deliberately stays element-ordered (a run value
+// is added run-length times, not multiplied) so results are
+// bit-identical to decompressing and running the executor's fused
+// kernels; int64 arithmetic is exact mod 2^64, so closed forms are used
+// where available.
+
+// Op mirrors the executor's sargable comparison vocabulary. The package
+// cannot import internal/exec (exec imports compress), so the enum
+// lives here with identical ordering and semantics; bridging is a field
+// copy.
+type Op uint8
+
+// Predicate comparisons.
+const (
+	// OpEQ selects x == Lo.
+	OpEQ Op = iota
+	// OpLT selects x < Hi (strict).
+	OpLT
+	// OpGT selects x > Lo (strict).
+	OpGT
+	// OpBetween selects Lo <= x <= Hi (inclusive).
+	OpBetween
+)
+
+// Pred is a sargable predicate over one 8-byte numeric column, the
+// compressed-domain twin of exec.Pred.
+type Pred[T int64 | float64] struct {
+	// Op is the comparison.
+	Op Op
+	// Lo is the lower/equality bound (OpEQ, OpGT, OpBetween).
+	Lo T
+	// Hi is the upper bound (OpLT, OpBetween).
+	Hi T
+}
+
+// Match evaluates the predicate on one value.
+func (p Pred[T]) Match(x T) bool {
+	switch p.Op {
+	case OpEQ:
+		return x == p.Lo
+	case OpLT:
+		return x < p.Hi
+	case OpGT:
+		return x > p.Lo
+	case OpBetween:
+		return p.Lo <= x && x <= p.Hi
+	default:
+		return false
+	}
+}
+
+// codeBits is a 256-way bitset over dictionary codes.
+type codeBits [4]uint64
+
+func (b *codeBits) set(code int)       { b[code>>6] |= 1 << (code & 63) }
+func (b *codeBits) has(code byte) bool { return b[code>>6]&(1<<(code&63)) != 0 }
+
+// dictFloat64 decodes dictionary entry code.
+func (c *Column) dictFloat64(code int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(c.dict[code*8:]))
+}
+
+// dictInt64 decodes dictionary entry code.
+func (c *Column) dictInt64(code int) int64 {
+	return int64(binary.LittleEndian.Uint64(c.dict[code*8:]))
+}
+
+// errNot8 rejects non-8-byte columns from the numeric operators.
+func (c *Column) errNot8(what string) error {
+	if c.size != 8 {
+		return fmt.Errorf("%w: %s over %d-byte elements", ErrBadInput, what, c.size)
+	}
+	return nil
+}
+
+// SumFloat64Where computes SUM(x), COUNT(*) WHERE p over an 8-byte
+// IEEE-754 column in the compressed domain. Results are bit-identical
+// to decompressing and summing elementwise in order.
+func (c *Column) SumFloat64Where(p Pred[float64]) (float64, int64, error) {
+	if err := c.errNot8("float64 sum-where"); err != nil {
+		return 0, 0, err
+	}
+	var sum float64
+	var n int64
+	switch c.enc {
+	case RLE:
+		// One predicate evaluation per run; the matching value is still
+		// accumulated once per element so float ordering is preserved.
+		start := uint32(0)
+		for k, end := range c.runEnds {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(c.runVals[k*8:]))
+			if p.Match(v) {
+				for i := start; i < end; i++ {
+					sum += v
+				}
+				n += int64(end - start)
+			}
+			start = end
+		}
+	case Dict:
+		var bits codeBits
+		var vals [256]float64
+		for code := 0; code < len(c.dict)/8; code++ {
+			v := c.dictFloat64(code)
+			vals[code] = v
+			if p.Match(v) {
+				bits.set(code)
+			}
+		}
+		for _, code := range c.codes {
+			if bits.has(code) {
+				sum += vals[code]
+				n++
+			}
+		}
+	case FOR:
+		// FOR frames the value's bit pattern; IEEE ordering is unrelated
+		// to delta ordering, so floats decode elementwise.
+		for i := 0; i < c.n; i++ {
+			if x := math.Float64frombits(uint64(c.base + int64(c.delta(i)))); p.Match(x) {
+				sum += x
+				n++
+			}
+		}
+	default:
+		for i := 0; i < c.n; i++ {
+			if x := math.Float64frombits(binary.LittleEndian.Uint64(c.raw[i*8:])); p.Match(x) {
+				sum += x
+				n++
+			}
+		}
+	}
+	return sum, n, nil
+}
+
+// SumInt64Where computes SUM(x), COUNT(*) WHERE p over an 8-byte
+// integer column in the compressed domain. Integer addition is exact
+// mod 2^64, so RLE and Dict use closed forms and FOR rewrites the
+// bounds into the delta domain.
+func (c *Column) SumInt64Where(p Pred[int64]) (int64, int64, error) {
+	if err := c.errNot8("int64 sum-where"); err != nil {
+		return 0, 0, err
+	}
+	var sum, n int64
+	switch c.enc {
+	case RLE:
+		start := uint32(0)
+		for k, end := range c.runEnds {
+			v := int64(binary.LittleEndian.Uint64(c.runVals[k*8:]))
+			if p.Match(v) {
+				sum += v * int64(end-start)
+				n += int64(end - start)
+			}
+			start = end
+		}
+	case Dict:
+		var bits codeBits
+		var vals [256]int64
+		for code := 0; code < len(c.dict)/8; code++ {
+			v := c.dictInt64(code)
+			vals[code] = v
+			if p.Match(v) {
+				bits.set(code)
+			}
+		}
+		var counts [256]int64
+		for _, code := range c.codes {
+			counts[code]++
+		}
+		for code := 0; code < len(c.dict)/8; code++ {
+			if bits.has(byte(code)) {
+				sum += vals[code] * counts[code]
+				n += counts[code]
+			}
+		}
+	case FOR:
+		dLo, dHi, ok := c.forDeltaBounds(p)
+		if !ok {
+			return 0, 0, nil
+		}
+		var ds uint64
+		for i := 0; i < c.n; i++ {
+			if d := c.delta(i); dLo <= d && d <= dHi {
+				ds += d
+				n++
+			}
+		}
+		sum = c.base*n + int64(ds)
+	default:
+		for i := 0; i < c.n; i++ {
+			if x := int64(binary.LittleEndian.Uint64(c.raw[i*8:])); p.Match(x) {
+				sum += x
+				n++
+			}
+		}
+	}
+	return sum, n, nil
+}
+
+// CountWhereFloat64 counts matches of p over an 8-byte IEEE-754 column
+// in the compressed domain.
+func (c *Column) CountWhereFloat64(p Pred[float64]) (int64, error) {
+	if err := c.errNot8("float64 count-where"); err != nil {
+		return 0, err
+	}
+	var n int64
+	switch c.enc {
+	case RLE:
+		start := uint32(0)
+		for k, end := range c.runEnds {
+			if p.Match(math.Float64frombits(binary.LittleEndian.Uint64(c.runVals[k*8:]))) {
+				n += int64(end - start)
+			}
+			start = end
+		}
+	case Dict:
+		var bits codeBits
+		for code := 0; code < len(c.dict)/8; code++ {
+			if p.Match(c.dictFloat64(code)) {
+				bits.set(code)
+			}
+		}
+		for _, code := range c.codes {
+			if bits.has(code) {
+				n++
+			}
+		}
+	case FOR:
+		for i := 0; i < c.n; i++ {
+			if p.Match(math.Float64frombits(uint64(c.base + int64(c.delta(i))))) {
+				n++
+			}
+		}
+	default:
+		for i := 0; i < c.n; i++ {
+			if p.Match(math.Float64frombits(binary.LittleEndian.Uint64(c.raw[i*8:]))) {
+				n++
+			}
+		}
+	}
+	return n, nil
+}
+
+// CountWhereInt64 counts matches of p over an 8-byte integer column in
+// the compressed domain.
+func (c *Column) CountWhereInt64(p Pred[int64]) (int64, error) {
+	if err := c.errNot8("int64 count-where"); err != nil {
+		return 0, err
+	}
+	var n int64
+	switch c.enc {
+	case RLE:
+		start := uint32(0)
+		for k, end := range c.runEnds {
+			if p.Match(int64(binary.LittleEndian.Uint64(c.runVals[k*8:]))) {
+				n += int64(end - start)
+			}
+			start = end
+		}
+	case Dict:
+		var bits codeBits
+		for code := 0; code < len(c.dict)/8; code++ {
+			if p.Match(c.dictInt64(code)) {
+				bits.set(code)
+			}
+		}
+		for _, code := range c.codes {
+			if bits.has(code) {
+				n++
+			}
+		}
+	case FOR:
+		dLo, dHi, ok := c.forDeltaBounds(p)
+		if !ok {
+			return 0, nil
+		}
+		for i := 0; i < c.n; i++ {
+			if d := c.delta(i); dLo <= d && d <= dHi {
+				n++
+			}
+		}
+	default:
+		for i := 0; i < c.n; i++ {
+			if p.Match(int64(binary.LittleEndian.Uint64(c.raw[i*8:]))) {
+				n++
+			}
+		}
+	}
+	return n, nil
+}
+
+// forDeltaBounds rewrites an int64 predicate into the FOR delta domain:
+// x = base + d with d in [0, 2^(8·width)), so p over x becomes the
+// closed delta interval [dLo, dHi]. ok is false when no delta can
+// match.
+func (c *Column) forDeltaBounds(p Pred[int64]) (dLo, dHi uint64, ok bool) {
+	lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+	switch p.Op {
+	case OpEQ:
+		lo, hi = p.Lo, p.Lo
+	case OpLT:
+		if p.Hi == math.MinInt64 {
+			return 0, 0, false
+		}
+		hi = p.Hi - 1
+	case OpGT:
+		if p.Lo == math.MaxInt64 {
+			return 0, 0, false
+		}
+		lo = p.Lo + 1
+	case OpBetween:
+		if p.Lo > p.Hi {
+			return 0, 0, false
+		}
+		lo, hi = p.Lo, p.Hi
+	default:
+		return 0, 0, false
+	}
+	if c.n == 0 || hi < c.base {
+		return 0, 0, false
+	}
+	maxDelta := uint64(1)<<(8*c.width) - 1
+	if lo > c.base {
+		// Unsigned subtraction yields the exact non-negative difference
+		// even when the signed difference would overflow.
+		dLo = uint64(lo) - uint64(c.base)
+		if dLo > maxDelta {
+			return 0, 0, false
+		}
+	}
+	dHi = uint64(hi) - uint64(c.base)
+	if dHi > maxDelta {
+		dHi = maxDelta
+	}
+	return dLo, dHi, true
+}

@@ -137,6 +137,7 @@ func (t *Table) regroupChunk(c *chunk, groups [][]int) error {
 	}
 	c.groups = groups
 	c.frags = frags
+	t.sealChunkCompression(c)
 	// Re-establish device residency for placed columns.
 	for col := range t.deviceCols {
 		if t.deviceCols[col] {

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"sync"
 
+	"hybridstore/internal/compress"
 	"hybridstore/internal/engine"
 	"hybridstore/internal/exec"
 	"hybridstore/internal/index"
@@ -62,6 +63,15 @@ type Options struct {
 	// unchanged data costs zero bus bytes. Independent of
 	// DevicePlacement, which *moves* fragments instead of caching images.
 	DeviceCache bool
+	// Compress seals side-car compressed images of the cold region's
+	// singleton 8-byte numeric columns at the freeze point (the same point
+	// that seals zone maps), re-sealing whenever the cold bytes are
+	// rewritten (delta merge, regrouping). Analytic scans then execute in
+	// the compressed domain on the host, and — combined with DeviceCache —
+	// ship the compressed image over the bus instead of the dense bytes.
+	// The raw fragments stay authoritative for point reads and MVCC
+	// patching. Off by default.
+	Compress bool
 }
 
 // withDefaults fills unset options.
@@ -126,6 +136,11 @@ type chunk struct {
 	// (cold chunks only); frags[i] stores groups[i].
 	groups [][]int
 	frags  []*layout.Fragment
+	// comp holds per-attribute side-car compressed images of the cold
+	// bytes (Options.Compress), indexed by column; nil entries mark
+	// non-compressible attributes. Re-sealed wherever the cold bytes are
+	// rewritten so the images always reflect the fragments.
+	comp []*compress.Column
 }
 
 // filled returns the stored tuplets.
@@ -404,6 +419,7 @@ func (t *Table) freeze(c *chunk) error {
 	c.state = cold
 	c.groups = groups
 	c.frags = frags
+	t.sealChunkCompression(c)
 	t.freezes++
 	mFreezes.Inc()
 	// Device-resident columns extend to the new cold fragments.
@@ -437,6 +453,37 @@ func (t *Table) buildColdFragments(rows layout.RowRange, groups [][]int) ([]*lay
 		frags = append(frags, f)
 	}
 	return frags, nil
+}
+
+// sealChunkCompression (re)builds the chunk's side-car compressed images
+// from its current cold bytes — singleton Direct groups over 8-byte
+// numeric attributes only, the exact shape the compressed-domain
+// operators consume. Called at every point the cold bytes settle: the
+// freeze, a regroup, a delta merge. A no-op unless Options.Compress.
+func (t *Table) sealChunkCompression(c *chunk) {
+	if !t.eng.opts.Compress || c.state != cold {
+		return
+	}
+	c.comp = make([]*compress.Column, t.s.Arity())
+	for gi, f := range c.frags {
+		if len(c.groups[gi]) != 1 {
+			continue
+		}
+		col := c.groups[gi][0]
+		a := t.s.Attr(col)
+		if a.Size != 8 || (a.Kind != schema.Int64 && a.Kind != schema.Float64) {
+			continue
+		}
+		cv, err := f.ColVector(col)
+		if err != nil || !cv.Contiguous() {
+			continue
+		}
+		cc, err := compress.Compress(cv.Data[cv.Base:cv.Base+cv.Len*8], cv.Len, 8)
+		if err != nil {
+			continue
+		}
+		c.comp[col] = cc
+	}
 }
 
 // freeAll frees a fragment list.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"math"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"testing/quick"
 
 	"hybridstore/internal/engine"
+	"hybridstore/internal/exec"
 	"hybridstore/internal/index"
 	"hybridstore/internal/layout"
 	"hybridstore/internal/mem"
@@ -654,5 +656,95 @@ func TestGroupSumFloat64(t *testing.T) {
 	}
 	if _, err := tbl.GroupSumFloat64(99, 4); err == nil {
 		t.Fatal("bad col accepted")
+	}
+}
+
+// TestColdCompressedScan covers Options.Compress: freezing seals
+// side-car compressed images on cold singleton numeric columns, queries
+// over cold chunks execute in the compressed domain with unchanged
+// answers, MVCC updates overlay correctly (the raw fragments stay
+// authoritative), and a version-store merge re-seals the images it made
+// stale.
+func TestColdCompressedScan(t *testing.T) {
+	_, tbl := newTable(t, Options{ChunkRows: 128, HotChunks: 1, Compress: true}, 600)
+	defer tbl.Free()
+	sealedImages := func() int {
+		n := 0
+		for _, c := range tbl.chunks {
+			if c.state == cold && len(c.comp) > workload.ItemPriceCol && c.comp[workload.ItemPriceCol] != nil {
+				n++
+			}
+		}
+		return n
+	}
+	if sealedImages() == 0 {
+		t.Fatal("freezing sealed no compressed price images")
+	}
+	sum, err := tbl.SumFloat64(workload.ItemPriceCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := workload.ExpectedItemPriceSum(600); math.Abs(sum-want) > 1e-6 {
+		t.Fatalf("compressed-domain sum = %v, want %v", sum, want)
+	}
+	p := exec.Between(0.0, 50.0)
+	var wantSum float64
+	var wantN int64
+	for i := uint64(0); i < 600; i++ {
+		if v := workload.ItemPrice(i); p.Match(v) {
+			wantSum += v
+			wantN++
+		}
+	}
+	got, cnt, err := tbl.SumFloat64Where(workload.ItemPriceCol, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != wantN || math.Abs(got-wantSum) > 1e-6*math.Max(1, wantSum) {
+		t.Fatalf("compressed predicate scan = (%v, %d), want (%v, %d)", got, cnt, wantSum, wantN)
+	}
+	// An MVCC update on a frozen row overlays the compressed base scan.
+	if err := tbl.Update(5, workload.ItemPriceCol, schema.FloatValue(777)); err != nil {
+		t.Fatal(err)
+	}
+	sum, err = tbl.SumFloat64(workload.ItemPriceCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workload.ExpectedItemPriceSum(600) - workload.ItemPrice(5) + 777
+	if math.Abs(sum-want) > 1e-6 {
+		t.Fatalf("post-update sum = %v, want %v", sum, want)
+	}
+	// Merge folds the version into the base fragment and re-seals the
+	// touched chunk's images: the fresh image must carry the new value.
+	if err := tbl.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if sealedImages() == 0 {
+		t.Fatal("merge dropped all compressed images without re-sealing")
+	}
+	for _, c := range tbl.chunks {
+		if c.state != cold || !c.rows.Contains(5) {
+			continue
+		}
+		cc := c.comp[workload.ItemPriceCol]
+		if cc == nil {
+			t.Fatal("touched chunk lost its compressed image after merge")
+		}
+		buf := make([]byte, cc.Len()*8)
+		if _, err := cc.DecompressInto(buf); err != nil {
+			t.Fatal(err)
+		}
+		local := int(5 - c.rows.Begin)
+		if v := math.Float64frombits(binary.LittleEndian.Uint64(buf[local*8:])); v != 777 {
+			t.Fatalf("re-sealed image holds %v at row 5, want 777", v)
+		}
+	}
+	sum, err = tbl.SumFloat64(workload.ItemPriceCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum-want) > 1e-6 {
+		t.Fatalf("post-merge sum = %v, want %v", sum, want)
 	}
 }

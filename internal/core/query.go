@@ -141,6 +141,7 @@ func (t *Table) SumFloat64(col int) (float64, error) {
 			Vec:    v,
 			FragID: frag.ID(), FragVersion: frag.Version(),
 		}
+		t.attachCompressed(&piece, c, col)
 		// See SumFloat64Where: cold fragments ride the device cache, hot
 		// chunks stay on the host operator.
 		if t.eng.opts.DeviceCache && t.env.Cache != nil && c.state == cold {
@@ -251,6 +252,7 @@ func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, 
 			Zone:   frag.Stats(col),
 			FragID: frag.ID(), FragVersion: frag.Version(),
 		}
+		t.attachCompressed(&piece, c, col)
 		// Cold host fragments scan on the device through the fragment
 		// cache when enabled: the first scan ships the column image, later
 		// scans over unchanged fragments reuse it for zero bus bytes. Hot
@@ -311,6 +313,23 @@ func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, 
 func (t *Table) CountWhereFloat64(col int, p exec.Pred[float64]) (int64, error) {
 	_, n, err := t.SumFloat64Where(col, p)
 	return n, err
+}
+
+// attachCompressed swaps a cold piece's execution format to the chunk's
+// side-car compressed image when one covers the column: the vector keeps
+// its logical metadata but drops the dense bytes, so the host operator
+// evaluates in the compressed domain and the device path ships the
+// compressed image over the bus.
+func (t *Table) attachCompressed(piece *exec.Piece, c *chunk, col int) {
+	if !t.eng.opts.Compress || c.state != cold || col >= len(c.comp) || c.comp[col] == nil {
+		return
+	}
+	if c.comp[col].Len() != piece.Vec.Len {
+		return // clipped view; the image covers the whole chunk
+	}
+	piece.Comp = c.comp[col]
+	piece.Vec.Data = nil
+	piece.Vec.Base = 0
 }
 
 // fragmentForCol returns the base fragment storing (chunk, col).
@@ -399,6 +418,7 @@ func (t *Table) Merge() error {
 	// stale images' memory eagerly rather than waiting for capacity
 	// pressure.
 	touched := make(map[*layout.Fragment]bool)
+	touchedChunks := make(map[*chunk]bool)
 	for row := uint64(0); row < rows; row++ {
 		if t.deltas.LatestTS(row) == 0 || t.deltas.LatestTS(row) > minTS {
 			continue
@@ -430,6 +450,7 @@ func (t *Table) Merge() error {
 				}
 				touched[f] = true
 			}
+			touchedChunks[c] = true
 		}
 		// The base now carries the settled value; the chain is redundant
 		// for every snapshot at or after minTS.
@@ -437,6 +458,11 @@ func (t *Table) Merge() error {
 	}
 	for f := range touched {
 		t.invalidateFrag(f)
+	}
+	// Rewritten cold bytes invalidate the side-car compressed images;
+	// re-seal so later scans stay in the compressed domain.
+	for c := range touchedChunks {
+		t.sealChunkCompression(c)
 	}
 	t.deltas.Prune(minTS)
 	return nil

@@ -41,6 +41,12 @@ type FragKey struct {
 	Col   int
 	Row0  int
 	Rows  int
+	// Comp marks an entry holding the column's compressed wire image
+	// (compress.Column.Marshal) rather than its dense bytes, so the two
+	// forms of the same clip never collide. Compressed entries are sized
+	// at the image length, which is how the cache's effective capacity
+	// grows by the compression ratio.
+	Comp bool
 }
 
 // fragRef is the invalidation coordinate: every clip/column image of one

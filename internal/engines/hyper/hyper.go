@@ -22,6 +22,7 @@ package hyper
 import (
 	"fmt"
 
+	"hybridstore/internal/compress"
 	"hybridstore/internal/engine"
 	"hybridstore/internal/engines/common"
 	"hybridstore/internal/exec"
@@ -43,6 +44,13 @@ type Engine struct {
 	// what is worth keeping device-resident. Off by default — the
 	// surveyed HyPer is CPU-only, and its Table-1 row must stay that way.
 	DeviceScan bool
+	// Compress seals compressed column images on the frozen chunks
+	// compaction produces — the same freeze point that seals their zone
+	// maps. Predicate scans over frozen chunks then execute in the
+	// compressed domain (host), or ship the compressed image over the bus
+	// (device, when DeviceScan is also set). An update unfreezes the chunk
+	// and drops its images. Off by default.
+	Compress bool
 }
 
 // New creates the engine with the given chunk capacity (0 uses
@@ -75,6 +83,10 @@ type chunk struct {
 	refs    int                // analytic snapshots referencing this chunk
 	updates int                // writes since last Compact (temperature)
 	frozen  bool               // produced by compaction
+	// comp holds per-attribute compressed images sealed at compaction
+	// (nil entries for non-compressible attributes); dropped when an
+	// update unfreezes the chunk.
+	comp []*compress.Column
 }
 
 // len returns the filled tuplets (all vectors fill in lockstep).
@@ -95,15 +107,17 @@ type Table struct {
 	// detached holds chunks that were replaced (by COW or compaction)
 	// while snapshots still reference them.
 	detached []*chunk
-	// deviceScan mirrors Engine.DeviceScan at creation time.
+	// deviceScan and compress mirror the Engine flags at creation time.
 	deviceScan bool
+	compress   bool
 }
 
 // Create makes an empty relation.
 func (e *Engine) Create(name string, s *schema.Schema) (engine.Table, error) {
 	rel := layout.NewRelation(name, s)
 	rel.AddLayout(layout.NewLayout("chunks", s))
-	t := &Table{Table: common.NewTable(e.env, rel), chunkRows: e.chunkRows, deviceScan: e.DeviceScan}
+	t := &Table{Table: common.NewTable(e.env, rel), chunkRows: e.chunkRows,
+		deviceScan: e.DeviceScan, compress: e.Compress}
 	t.Append = t.appendRecord
 	return t, nil
 }
@@ -225,6 +239,7 @@ func (t *Table) Update(row uint64, col int, v schema.Value) error {
 	}
 	c.updates++
 	c.frozen = false
+	c.comp = nil // sealed images are stale the moment the chunk heats
 	return c.vectors[col].Set(int(row-c.rows.Begin), col, v)
 }
 
@@ -324,6 +339,28 @@ func (t *Table) fuse(run []*chunk) (*chunk, error) {
 	for _, v := range fused.vectors {
 		v.SealStats()
 	}
+	// Compaction is also the compression freeze point: seal a compressed
+	// image per 8-byte numeric vector so scans over the cold region run in
+	// the compressed domain.
+	if t.compress {
+		fused.comp = make([]*compress.Column, len(fused.vectors))
+		for col, v := range fused.vectors {
+			a := s.Attr(col)
+			if a.Size != 8 || (a.Kind != schema.Int64 && a.Kind != schema.Float64) {
+				continue
+			}
+			cv, err := v.ColVector(col)
+			if err != nil || !cv.Contiguous() {
+				continue
+			}
+			cc, err := compress.Compress(cv.Data[cv.Base:cv.Base+cv.Len*8], cv.Len, 8)
+			if err != nil {
+				fused.free()
+				return nil, fmt.Errorf("hyper: sealing compressed image: %w", err)
+			}
+			fused.comp[col] = cc
+		}
+	}
 	if err := t.attach(fused); err != nil {
 		fused.free()
 		return nil, err
@@ -342,7 +379,8 @@ func (t *Table) fuse(run []*chunk) (*chunk, error) {
 // cached image.
 func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, error) {
 	_, _, closed := exec.ClosedFloat64(p)
-	if !t.deviceScan || t.Env.Cache == nil || !closed ||
+	useDev := t.deviceScan && t.Env.Cache != nil && closed
+	if (!useDev && !t.compress) ||
 		col < 0 || col >= t.Rel.Schema().Arity() || t.Rel.Schema().Attr(col).Kind != schema.Float64 {
 		return t.Table.SumFloat64Where(col, p)
 	}
@@ -362,7 +400,14 @@ func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, 
 			Vec:  v, Zone: f.Stats(col),
 			FragID: f.ID(), FragVersion: f.Version(),
 		}
-		if c.frozen {
+		if c.frozen && col < len(c.comp) && c.comp[col] != nil {
+			// The frozen chunk scans in the compressed domain; the vector
+			// keeps only its logical metadata.
+			piece.Comp = c.comp[col]
+			piece.Vec.Data = nil
+			piece.Vec.Base = 0
+		}
+		if useDev && c.frozen {
 			devPieces = append(devPieces, piece)
 		} else {
 			hostPieces = append(hostPieces, piece)

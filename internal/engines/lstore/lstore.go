@@ -357,7 +357,9 @@ func (t *Table) Merge() error {
 		// with the newest tail value patched per row.
 		image := make([]byte, int(t.rows)*size)
 		if c.sealed != nil {
-			copy(image, c.sealed.Decompress())
+			if _, err := c.sealed.DecompressInto(image); err != nil {
+				return fmt.Errorf("lstore: unsealing column %d: %w", col, err)
+			}
 		}
 		activeBytes := int(t.rows-t.sealedRows) * size
 		if activeBytes > 0 {
@@ -467,11 +469,13 @@ func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, 
 			exec.NoteZoneDecision(false, sealedBytes)
 		} else {
 			exec.NoteZoneDecision(true, sealedBytes)
-			image := c.sealed.Decompress()
+			// The sealed image executes in the compressed domain — no
+			// decompression; Vec carries only the logical metadata.
 			pieces = append(pieces, exec.Piece{
 				Rows: layout.RowRange{Begin: 0, End: t.sealedRows},
-				Vec:  layout.ColVector{Data: image, Stride: size, Size: size, Len: int(t.sealedRows)},
+				Vec:  layout.ColVector{Stride: size, Size: size, Len: int(t.sealedRows)},
 				Zone: c.zone,
+				Comp: c.sealed,
 			})
 		}
 	}

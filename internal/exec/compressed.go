@@ -1,0 +1,233 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"hybridstore/internal/compress"
+)
+
+// Host-side compressed-domain execution. Pieces carrying a sealed
+// compressed image (Piece.Comp) are split off the raw list and handed
+// to the compressed-domain operators of internal/compress; raw pieces
+// keep the fused byte kernels. Per-piece partials are computed
+// independently — in parallel under MultiThreaded/MorselDriven, capped
+// at the policy's worker count — and folded in piece order, which is
+// exactly the order the sequential baseline accumulates per-piece
+// partial sums in, so single-policy results stay bit-identical to
+// decompress-then-scan.
+
+// splitComp partitions pieces into raw and compressed. The raw slice
+// aliases the input when nothing is compressed, so the common all-raw
+// case allocates nothing.
+func splitComp(pieces []Piece) (raw, comp []Piece) {
+	split := false
+	for i, p := range pieces {
+		if p.Comp == nil {
+			if split {
+				raw = append(raw, p)
+			}
+			continue
+		}
+		if !split {
+			raw = append(raw, pieces[:i]...)
+			split = true
+		}
+		comp = append(comp, p)
+	}
+	if !split {
+		return pieces, nil
+	}
+	return raw, comp
+}
+
+// compPredF64 bridges an exec predicate to its compress twin (the enums
+// share ordering and semantics).
+func compPredF64(p Pred[float64]) compress.Pred[float64] {
+	return compress.Pred[float64]{Op: compress.Op(p.Op), Lo: p.Lo, Hi: p.Hi}
+}
+
+// compPredI64 is compPredF64 for int64 predicates.
+func compPredI64(p Pred[int64]) compress.Pred[int64] {
+	return compress.Pred[int64]{Op: compress.Op(p.Op), Lo: p.Lo, Hi: p.Hi}
+}
+
+// forEachComp runs kernel over every compressed piece — concurrently
+// when the policy has workers to spare — and reports the first error.
+// Kernels write their partials into per-piece slots, so callers fold
+// results in piece order regardless of scheduling.
+func forEachComp(cfg Config, pieces []Piece, kernel func(i int, c *compress.Column) error) error {
+	th := cfg.threads()
+	if th <= 1 || len(pieces) == 1 {
+		for i, pc := range pieces {
+			if err := kernel(i, pc.Comp); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(pieces))
+	sem := make(chan struct{}, th)
+	var wg sync.WaitGroup
+	for i, pc := range pieces {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, c *compress.Column) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = kernel(i, c)
+		}(i, pc.Comp)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compSumCountF64 folds SUM/COUNT WHERE over compressed pieces.
+func compSumCountF64(cfg Config, pieces []Piece, p Pred[float64]) (float64, int64, error) {
+	if len(pieces) == 0 {
+		return 0, 0, nil
+	}
+	cp := compPredF64(p)
+	sums := make([]float64, len(pieces))
+	counts := make([]int64, len(pieces))
+	err := forEachComp(cfg, pieces, func(i int, c *compress.Column) error {
+		s, n, err := c.SumFloat64Where(cp)
+		sums[i], counts[i] = s, n
+		return err
+	})
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrBadColumn, err)
+	}
+	var sum float64
+	var n int64
+	for i := range sums {
+		sum += sums[i]
+		n += counts[i]
+	}
+	return sum, n, nil
+}
+
+// compSumCountI64 is compSumCountF64 for int64 predicates.
+func compSumCountI64(cfg Config, pieces []Piece, p Pred[int64]) (int64, int64, error) {
+	if len(pieces) == 0 {
+		return 0, 0, nil
+	}
+	cp := compPredI64(p)
+	sums := make([]int64, len(pieces))
+	counts := make([]int64, len(pieces))
+	err := forEachComp(cfg, pieces, func(i int, c *compress.Column) error {
+		s, n, err := c.SumInt64Where(cp)
+		sums[i], counts[i] = s, n
+		return err
+	})
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrBadColumn, err)
+	}
+	var sum, n int64
+	for i := range sums {
+		sum += sums[i]
+		n += counts[i]
+	}
+	return sum, n, nil
+}
+
+// compCountF64 folds COUNT WHERE over compressed pieces.
+func compCountF64(cfg Config, pieces []Piece, p Pred[float64]) (int64, error) {
+	if len(pieces) == 0 {
+		return 0, nil
+	}
+	cp := compPredF64(p)
+	counts := make([]int64, len(pieces))
+	err := forEachComp(cfg, pieces, func(i int, c *compress.Column) error {
+		n, err := c.CountWhereFloat64(cp)
+		counts[i] = n
+		return err
+	})
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadColumn, err)
+	}
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	return n, nil
+}
+
+// compCountI64 is compCountF64 for int64 predicates.
+func compCountI64(cfg Config, pieces []Piece, p Pred[int64]) (int64, error) {
+	if len(pieces) == 0 {
+		return 0, nil
+	}
+	cp := compPredI64(p)
+	counts := make([]int64, len(pieces))
+	err := forEachComp(cfg, pieces, func(i int, c *compress.Column) error {
+		n, err := c.CountWhereInt64(cp)
+		counts[i] = n
+		return err
+	})
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadColumn, err)
+	}
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	return n, nil
+}
+
+// compSumF64 folds the unfiltered float64 sum over compressed pieces.
+func compSumF64(cfg Config, pieces []Piece) (float64, error) {
+	if len(pieces) == 0 {
+		return 0, nil
+	}
+	sums := make([]float64, len(pieces))
+	err := forEachComp(cfg, pieces, func(i int, c *compress.Column) error {
+		s, err := c.SumFloat64()
+		sums[i] = s
+		return err
+	})
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadColumn, err)
+	}
+	var sum float64
+	for _, s := range sums {
+		sum += s
+	}
+	return sum, nil
+}
+
+// compSumI64 is compSumF64 for int64 columns (exact, mod 2^64).
+func compSumI64(cfg Config, pieces []Piece) (int64, error) {
+	if len(pieces) == 0 {
+		return 0, nil
+	}
+	sums := make([]int64, len(pieces))
+	err := forEachComp(cfg, pieces, func(i int, c *compress.Column) error {
+		s, err := c.SumInt64()
+		sums[i] = s
+		return err
+	})
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadColumn, err)
+	}
+	var sum int64
+	for _, s := range sums {
+		sum += s
+	}
+	return sum, nil
+}
+
+// rejectComp guards operators without a compressed path.
+func rejectComp(pieces []Piece, what string) error {
+	for _, p := range pieces {
+		if p.Comp != nil {
+			return fmt.Errorf("%w: %s has no compressed-domain path", ErrBadColumn, what)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,497 @@
+package exec
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hybridstore/internal/compress"
+	"hybridstore/internal/device"
+	"hybridstore/internal/layout"
+	"hybridstore/internal/obs"
+	"hybridstore/internal/perfmodel"
+)
+
+// encodeF64 and encodeI64 build little-endian column images.
+func encodeF64(vals []float64) []byte {
+	out := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+func encodeI64(vals []int64) []byte {
+	out := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], uint64(v))
+	}
+	return out
+}
+
+// rawPieces splits an image into np pieces of dense raw vectors.
+func rawPieces(image []byte, n, np int) []Piece {
+	var out []Piece
+	per := (n + np - 1) / np
+	for begin := 0; begin < n; begin += per {
+		end := begin + per
+		if end > n {
+			end = n
+		}
+		out = append(out, Piece{
+			Rows: layout.RowRange{Begin: uint64(begin), End: uint64(end)},
+			Vec: layout.ColVector{Data: image, Base: begin * 8, Stride: 8, Size: 8,
+				Len: end - begin},
+		})
+	}
+	return out
+}
+
+// compPieces builds the same split with each slice sealed under enc.
+func compPieces(t *testing.T, enc compress.Encoding, image []byte, n, np int) []Piece {
+	t.Helper()
+	var out []Piece
+	per := (n + np - 1) / np
+	for begin := 0; begin < n; begin += per {
+		end := begin + per
+		if end > n {
+			end = n
+		}
+		col, err := compress.CompressAs(enc, image[begin*8:end*8], end-begin, 8)
+		if err != nil {
+			t.Fatalf("CompressAs(%v): %v", enc, err)
+		}
+		out = append(out, Piece{
+			Rows: layout.RowRange{Begin: uint64(begin), End: uint64(end)},
+			Vec:  layout.ColVector{Stride: 8, Size: 8, Len: end - begin},
+			Comp: col,
+		})
+	}
+	return out
+}
+
+// floatShape generates a float64 column suited to the encoding; NaNs are
+// mixed into the encodings that can hold arbitrary doubles.
+func floatShape(rng *rand.Rand, enc compress.Encoding, n int) []float64 {
+	vals := make([]float64, n)
+	switch enc {
+	case compress.RLE:
+		v := rng.Float64() * 100
+		for i := range vals {
+			if rng.Intn(7) == 0 {
+				if rng.Intn(16) == 0 {
+					v = math.NaN()
+				} else {
+					v = rng.Float64() * 100
+				}
+			}
+			vals[i] = v
+		}
+	case compress.Dict:
+		card := 1 + rng.Intn(16)
+		dict := make([]float64, card)
+		for i := range dict {
+			dict[i] = rng.Float64() * 100
+		}
+		if card > 1 && rng.Intn(4) == 0 {
+			dict[0] = math.NaN()
+		}
+		for i := range vals {
+			vals[i] = dict[rng.Intn(card)]
+		}
+	case compress.FOR:
+		// FOR works on the 8-byte bit patterns: neighbors within a few
+		// thousand ULPs of a base keep the delta span under 2^32.
+		base := 1 + rng.Float64()*100
+		bits := math.Float64bits(base)
+		for i := range vals {
+			vals[i] = math.Float64frombits(bits + uint64(rng.Intn(1<<16)))
+		}
+	default: // Raw
+		for i := range vals {
+			if rng.Intn(32) == 0 {
+				vals[i] = math.NaN()
+			} else {
+				vals[i] = rng.NormFloat64() * 50
+			}
+		}
+	}
+	return vals
+}
+
+// intShape is floatShape for int64 columns, including the FOR width
+// transition points (1-, 2- and 4-byte deltas).
+func intShape(rng *rand.Rand, enc compress.Encoding, n int) []int64 {
+	vals := make([]int64, n)
+	switch enc {
+	case compress.RLE:
+		v := int64(rng.Intn(1000))
+		for i := range vals {
+			if rng.Intn(7) == 0 {
+				v = int64(rng.Intn(1000))
+			}
+			vals[i] = v
+		}
+	case compress.Dict:
+		card := 1 + rng.Intn(16)
+		dict := make([]int64, card)
+		for i := range dict {
+			dict[i] = int64(rng.Intn(2000) - 1000)
+		}
+		for i := range vals {
+			vals[i] = dict[rng.Intn(card)]
+		}
+	case compress.FOR:
+		base := int64(rng.Intn(1 << 20))
+		// Exercise the delta-width boundaries: spans that just fit and
+		// just overflow the 1- and 2-byte widths, plus a wide 4-byte span.
+		spans := []int64{255, 256, 65535, 65536, 1 << 24}
+		span := spans[rng.Intn(len(spans))]
+		for i := range vals {
+			vals[i] = base + rng.Int63n(span+1)
+		}
+		// Pin the boundary values so the width is actually exercised.
+		if n >= 2 {
+			vals[0] = base
+			vals[n-1] = base + span
+		}
+	default: // Raw
+		for i := range vals {
+			vals[i] = rng.Int63n(1<<40) - (1 << 39)
+		}
+	}
+	return vals
+}
+
+// randPredF64 draws a predicate whose bounds straddle the data.
+func randCompPredF64(rng *rand.Rand, vals []float64) Pred[float64] {
+	pick := func() float64 {
+		v := vals[rng.Intn(len(vals))]
+		if math.IsNaN(v) {
+			return 0
+		}
+		return v + rng.NormFloat64()
+	}
+	lo, hi := pick(), pick()
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	switch Op(rng.Intn(4)) {
+	case OpEQ:
+		return Eq(vals[rng.Intn(len(vals))])
+	case OpLT:
+		return Lt(hi)
+	case OpGT:
+		return Gt(lo)
+	default:
+		return Between(lo, hi)
+	}
+}
+
+func randCompPredI64(rng *rand.Rand, vals []int64) Pred[int64] {
+	pick := func() int64 { return vals[rng.Intn(len(vals))] + int64(rng.Intn(64)) - 32 }
+	lo, hi := pick(), pick()
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	switch Op(rng.Intn(4)) {
+	case OpEQ:
+		return Eq(vals[rng.Intn(len(vals))])
+	case OpLT:
+		return Lt(hi)
+	case OpGT:
+		return Gt(lo)
+	default:
+		return Between(lo, hi)
+	}
+}
+
+// sumsClose compares reassociated float sums: both NaN, or within a
+// tight relative tolerance.
+func sumsClose(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= 1e-9*math.Abs(a)+1e-9
+}
+
+// TestCompressedOpsMatchDecompressed is the compressed-domain equivalence
+// property: for every encoding, over randomized shapes and predicates,
+// the compressed-domain operators return results bit-identical to
+// decompressing and running the dense operators.
+func TestCompressedOpsMatchDecompressed(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	encs := []compress.Encoding{compress.Raw, compress.RLE, compress.Dict, compress.FOR}
+	cfg := Single()
+	for _, enc := range encs {
+		for round := 0; round < 40; round++ {
+			n := 1 + rng.Intn(500)
+			np := 1 + rng.Intn(3)
+
+			// float64 column.
+			fvals := floatShape(rng, enc, n)
+			fimg := encodeF64(fvals)
+			fraw := rawPieces(fimg, n, np)
+			fcomp := compPieces(t, enc, fimg, n, np)
+			fp := randCompPredF64(rng, fvals)
+
+			wantSum, wantN, err := SumFloat64Where(cfg, fraw, fp)
+			if err != nil {
+				t.Fatalf("%v: baseline SumFloat64Where: %v", enc, err)
+			}
+			gotSum, gotN, err := SumFloat64Where(cfg, fcomp, fp)
+			if err != nil {
+				t.Fatalf("%v: compressed SumFloat64Where: %v", enc, err)
+			}
+			if math.Float64bits(wantSum) != math.Float64bits(gotSum) || wantN != gotN {
+				t.Fatalf("%v round %d: SumFloat64Where(%v) = (%v, %d), want (%v, %d)",
+					enc, round, fp, gotSum, gotN, wantSum, wantN)
+			}
+			wantCnt, err := CountWhereFloat64(cfg, fraw, fp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotCnt, err := CountWhereFloat64(cfg, fcomp, fp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantCnt != gotCnt {
+				t.Fatalf("%v: CountWhereFloat64(%v) = %d, want %d", enc, fp, gotCnt, wantCnt)
+			}
+			// The unfiltered compressed sum uses exact closed forms per run
+			// and per dictionary code (a deliberate reassociation of the
+			// dense loop), so it is compared within float tolerance; strict
+			// bit-identity is the contract of the Where family above.
+			wantUS, err := SumFloat64(cfg, fraw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotUS, err := SumFloat64(cfg, fcomp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sumsClose(wantUS, gotUS) {
+				t.Fatalf("%v: SumFloat64 = %v (%x), want %v (%x)",
+					enc, gotUS, math.Float64bits(gotUS), wantUS, math.Float64bits(wantUS))
+			}
+
+			// int64 column. Magnitudes stay under 2^53/len so the dense
+			// baseline's float64 partials are exact.
+			ivals := intShape(rng, enc, n)
+			iimg := encodeI64(ivals)
+			iraw := rawPieces(iimg, n, np)
+			icomp := compPieces(t, enc, iimg, n, np)
+			ip := randCompPredI64(rng, ivals)
+
+			wantISum, wantIN, err := SumInt64Where(cfg, iraw, ip)
+			if err != nil {
+				t.Fatalf("%v: baseline SumInt64Where: %v", enc, err)
+			}
+			gotISum, gotIN, err := SumInt64Where(cfg, icomp, ip)
+			if err != nil {
+				t.Fatalf("%v: compressed SumInt64Where: %v", enc, err)
+			}
+			if wantISum != gotISum || wantIN != gotIN {
+				t.Fatalf("%v round %d: SumInt64Where(%v) = (%d, %d), want (%d, %d)",
+					enc, round, ip, gotISum, gotIN, wantISum, wantIN)
+			}
+			wantICnt, err := CountWhereInt64(cfg, iraw, ip)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotICnt, err := CountWhereInt64(cfg, icomp, ip)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantICnt != gotICnt {
+				t.Fatalf("%v: CountWhereInt64(%v) = %d, want %d", enc, ip, gotICnt, wantICnt)
+			}
+			wantIUS, err := SumInt64(cfg, iraw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotIUS, err := SumInt64(cfg, icomp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantIUS != gotIUS {
+				t.Fatalf("%v: SumInt64 = %d, want %d", enc, gotIUS, wantIUS)
+			}
+		}
+	}
+}
+
+// TestCompressedPoliciesAgree checks the multi-threaded and morsel-driven
+// policies return the same counts (and sums within reassociation) as the
+// sequential compressed path.
+func TestCompressedPoliciesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := floatShape(rng, compress.Dict, 4096)
+	// Dict shapes here carry no NaN by construction with this seed; make
+	// sure (NaN would poison sums and break the comparison below).
+	for i, v := range vals {
+		if math.IsNaN(v) {
+			vals[i] = 0
+		}
+	}
+	img := encodeF64(vals)
+	pieces := compPieces(t, compress.Dict, img, len(vals), 8)
+	p := Between(10.0, 80.0)
+	seqSum, seqN, err := SumFloat64Where(Single(), pieces, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{MultiN(4), Morsel()} {
+		sum, n, err := SumFloat64Where(cfg, pieces, p)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg.Policy, err)
+		}
+		if n != seqN {
+			t.Fatalf("%v: count %d, want %d", cfg.Policy, n, seqN)
+		}
+		if math.Abs(sum-seqSum) > 1e-6*math.Abs(seqSum)+1e-9 {
+			t.Fatalf("%v: sum %v, want %v", cfg.Policy, sum, seqSum)
+		}
+	}
+}
+
+// TestSelectRejectsCompressed pins the guard: operators without a
+// compressed-domain path refuse compressed pieces instead of crashing.
+func TestSelectRejectsCompressed(t *testing.T) {
+	vals := []float64{1, 2, 3, 4}
+	img := encodeF64(vals)
+	pieces := compPieces(t, compress.Raw, img, len(vals), 1)
+	if _, err := SelectFloat64Pred(Single(), pieces, Gt(1.0)); err == nil {
+		t.Fatal("SelectFloat64Pred accepted a compressed piece")
+	}
+	if _, err := SelectFloat64(Single(), pieces, func(float64) bool { return true }); err == nil {
+		t.Fatal("SelectFloat64 accepted a compressed piece")
+	}
+	if _, _, _, err := MinMaxFloat64(Single(), pieces); err == nil {
+		t.Fatal("MinMaxFloat64 accepted a compressed piece")
+	}
+}
+
+// TestDeviceScanCompressedTransfers pins the tentpole's bus accounting:
+// a device scan over a compressed piece charges the bus exactly the
+// marshaled image size (not the dense bytes), and a warm rescan over the
+// cached image charges zero bus bytes.
+func TestDeviceScanCompressedTransfers(t *testing.T) {
+	clock := &perfmodel.Clock{}
+	gpu := device.New(perfmodel.DefaultDevice(), clock)
+	cache := device.NewFragCache(gpu)
+
+	// A runny column: 64Ki rows in long runs — RLE shrinks it massively.
+	n := 64 << 10
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i / 1024)
+	}
+	img := encodeF64(vals)
+	col, err := compress.CompressAs(compress.RLE, img, n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piece := Piece{
+		Rows:   layout.RowRange{Begin: 0, End: uint64(n)},
+		Vec:    layout.ColVector{Stride: 8, Size: 8, Len: n},
+		Comp:   col,
+		FragID: 7, FragVersion: 1,
+	}
+	raw := Piece{
+		Rows: layout.RowRange{Begin: 0, End: uint64(n)},
+		Vec:  layout.ColVector{Data: img, Stride: 8, Size: 8, Len: n},
+	}
+	p := Between(10.0, 40.0)
+
+	ds := DeviceScan{GPU: gpu, Cache: cache, Table: "t"}
+	before := gpu.Stats()
+	obsBefore := obs.TakeSnapshot()
+	sum, cnt, err := ds.SumFloat64Where(0, []Piece{piece}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := gpu.Stats()
+	obsCold := obs.TakeSnapshot()
+	shipped := cold.HostToDeviceBytes - before.HostToDeviceBytes
+	if want := int64(col.MarshaledBytes()); shipped != want {
+		t.Fatalf("cold compressed scan shipped %d bytes, want marshaled size %d", shipped, want)
+	}
+	// The same claim through the process-wide observability counters.
+	if got := obsCold.Counter("device.h2d_bytes") - obsBefore.Counter("device.h2d_bytes"); got != shipped {
+		t.Fatalf("obs device.h2d_bytes moved %d, GPU instance says %d", got, shipped)
+	}
+	if dense := int64(n * 8); shipped >= dense {
+		t.Fatalf("compressed transfer (%d bytes) not smaller than dense image (%d bytes)", shipped, dense)
+	}
+
+	// The device result must equal the host result over the raw bytes.
+	wantSum, wantCnt, err := SumFloat64Where(Single(), []Piece{raw}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(sum) != math.Float64bits(wantSum) || cnt != wantCnt {
+		t.Fatalf("device compressed scan = (%v, %d), want (%v, %d)", sum, cnt, wantSum, wantCnt)
+	}
+
+	// Warm rescan: cached image, zero bus bytes.
+	sum2, cnt2, err := ds.SumFloat64Where(0, []Piece{piece}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := gpu.Stats()
+	if warm.HostToDeviceBytes != cold.HostToDeviceBytes {
+		t.Fatalf("warm compressed scan shipped %d bytes, want 0",
+			warm.HostToDeviceBytes-cold.HostToDeviceBytes)
+	}
+	if cs := cache.Stats(); cs.Hits == 0 {
+		t.Fatalf("warm scan did not hit the cache: %+v", cs)
+	}
+	if math.Float64bits(sum2) != math.Float64bits(sum) || cnt2 != cnt {
+		t.Fatalf("warm scan = (%v, %d), want (%v, %d)", sum2, cnt2, sum, cnt)
+	}
+
+	// The cache entry is sized at the image length — the capacity win.
+	if cs := cache.Stats(); cs.ResidentBytes >= int64(n*8) {
+		t.Fatalf("cache resident bytes %d not smaller than dense image %d", cs.ResidentBytes, n*8)
+	}
+}
+
+// TestDeviceScanCompressedUnfiltered covers the unfiltered compressed
+// reduction path.
+func TestDeviceScanCompressedUnfiltered(t *testing.T) {
+	clock := &perfmodel.Clock{}
+	gpu := device.New(perfmodel.DefaultDevice(), clock)
+	n := 8192
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i % 37)
+	}
+	img := encodeF64(vals)
+	col, err := compress.CompressAs(compress.Dict, img, n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piece := Piece{
+		Rows: layout.RowRange{Begin: 0, End: uint64(n)},
+		Vec:  layout.ColVector{Stride: 8, Size: 8, Len: n},
+		Comp: col,
+	}
+	ds := DeviceScan{GPU: gpu}
+	got, err := ds.SumFloat64(0, []Piece{piece})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := Piece{
+		Rows: layout.RowRange{Begin: 0, End: uint64(n)},
+		Vec:  layout.ColVector{Data: img, Stride: 8, Size: 8, Len: n},
+	}
+	want, err := SumFloat64(Single(), []Piece{raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("device compressed sum = %v, want %v", got, want)
+	}
+}

@@ -95,6 +95,38 @@ func (d DeviceScan) acquirePiece(s *device.Stream, col int, p Piece) (vec device
 	return device.Vec{Buf: buf, Stride: p.Vec.Size, Size: p.Vec.Size, Len: n}, buf.Free, nil
 }
 
+// acquireCompressed returns a device-resident copy of the piece's
+// compressed wire image (compress.Column.Marshal). The bus is charged
+// only the image's length — the whole point of compressed transfers —
+// and cached entries occupy image-length device bytes, so the cache's
+// effective capacity grows by the compression ratio. Marshal runs only
+// inside the upload closure: a cache hit never materializes the image
+// on the host.
+func (d DeviceScan) acquireCompressed(s *device.Stream, col int, p Piece) (buf *device.Buffer, release func(), err error) {
+	size := p.Comp.MarshaledBytes()
+	upload := func(b *device.Buffer) error { return s.CopyToDevice(b, 0, p.Comp.Marshal()) }
+
+	if d.Cache != nil && p.FragID != 0 {
+		key := device.FragKey{Table: d.Table, Frag: p.FragID, Col: col,
+			Row0: int(p.Rows.Begin), Rows: p.Comp.Len(), Comp: true}
+		b, unpin, _, err := d.Cache.Acquire(key, p.FragVersion, size, upload)
+		if err != nil {
+			return nil, nil, err
+		}
+		return b, unpin, nil
+	}
+
+	b, err := d.GPU.Alloc(size)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := upload(b); err != nil {
+		b.Free()
+		return nil, nil, err
+	}
+	return b, b.Free, nil
+}
+
 // SumFloat64Where computes SUM(col), COUNT(*) WHERE p over the pieces on
 // the device with the fused filter+reduction kernel. Pieces whose zone
 // maps exclude the predicate are pruned before any bus traffic (the
@@ -132,6 +164,20 @@ func (d DeviceScan) SumFloat64Where(col int, pieces []Piece, p Pred[float64]) (f
 		if !admit {
 			continue
 		}
+		if pc.Comp != nil {
+			buf, release, err := d.acquireCompressed(s, col, pc)
+			if err != nil {
+				return 0, 0, err
+			}
+			releases = append(releases, release)
+			r, c, err := s.ReduceSumFloat64WhereCompressed(buf, lo, hi, d.launchFor(pc.Comp.Len()))
+			if err != nil {
+				return 0, 0, err
+			}
+			sum += r
+			count += c
+			continue
+		}
 		vec, release, err := d.acquirePiece(s, col, pc)
 		if err != nil {
 			return 0, 0, err
@@ -166,6 +212,19 @@ func (d DeviceScan) SumFloat64(col int, pieces []Piece) (float64, error) {
 	}()
 	for _, pc := range pieces {
 		if pc.Vec.Len == 0 {
+			continue
+		}
+		if pc.Comp != nil {
+			buf, release, err := d.acquireCompressed(s, col, pc)
+			if err != nil {
+				return 0, err
+			}
+			releases = append(releases, release)
+			r, err := s.ReduceSumFloat64Compressed(buf, d.launchFor(pc.Comp.Len()))
+			if err != nil {
+				return 0, err
+			}
+			sum += r
 			continue
 		}
 		vec, release, err := d.acquirePiece(s, col, pc)

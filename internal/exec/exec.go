@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"hybridstore/internal/compress"
 	"hybridstore/internal/exec/pool"
 	"hybridstore/internal/layout"
 	"hybridstore/internal/obs"
@@ -204,6 +205,16 @@ type Piece struct {
 	// which the device cache treats as uncacheable.
 	FragID      uint64
 	FragVersion uint64
+	// Comp, when non-nil, marks a compressed piece: the column's sealed
+	// compressed image replaces Vec.Data as the execution format. Vec
+	// still carries the logical metadata (Len, Size, Stride) so zone
+	// pruning and accounting work unchanged, but Vec.Data is nil — the
+	// sum/count operators evaluate predicates in the compressed domain
+	// (run-, code- or delta-granular) and the device path ships the
+	// marshaled image over the bus instead of dense bytes. Operators
+	// without a compressed path (selection, materialization) reject
+	// compressed pieces.
+	Comp *compress.Column
 }
 
 // ColumnView assembles the pieces covering attribute col for rows
@@ -285,8 +296,18 @@ func (c Config) chargeScan(pieces []Piece) {
 	c.Clock.Advance(ns)
 }
 
-// scanPieceNs prices one piece single-threaded.
+// scanPieceNs prices one piece single-threaded. A compressed piece
+// streams its encoded payload instead of the raw bytes, with the ALU
+// term at the encoding's predicate granularity — one evaluation per run
+// for RLE, one bit test per element otherwise.
 func scanPieceNs(h perfmodel.HostProfile, p Piece, threads int) float64 {
+	if p.Comp != nil {
+		ops := int64(p.Comp.Len())
+		if p.Comp.Encoding() == compress.RLE {
+			ops = int64(p.Comp.Runs())
+		}
+		return h.SeqScanNs(int64(p.Comp.CompressedBytes()), ops)
+	}
 	return h.ScanSumNs(int64(p.Vec.Len), p.Vec.Size, p.Vec.Stride, threads)
 }
 
@@ -299,7 +320,8 @@ func SumFloat64(cfg Config, pieces []Piece) (float64, error) {
 		}
 	}
 	ot := obsSum.start(cfg.Policy)
-	sum := parallelSum(cfg, pieces, func(v layout.ColVector, from, to int) float64 {
+	raw, comp := splitComp(pieces)
+	sum := parallelSum(cfg, raw, func(v layout.ColVector, from, to int) float64 {
 		var acc float64
 		off := v.Base + from*v.Stride
 		for i := from; i < to; i++ {
@@ -308,6 +330,14 @@ func SumFloat64(cfg Config, pieces []Piece) (float64, error) {
 		}
 		return acc
 	})
+	if len(comp) > 0 {
+		cs, err := compSumF64(cfg, comp)
+		if err != nil {
+			ot.end()
+			return 0, err
+		}
+		sum += cs
+	}
 	cfg.chargeScan(pieces)
 	ot.end()
 	return sum, nil
@@ -321,7 +351,8 @@ func SumInt64(cfg Config, pieces []Piece) (int64, error) {
 		}
 	}
 	ot := obsSum.start(cfg.Policy)
-	sum := parallelSum(cfg, pieces, func(v layout.ColVector, from, to int) float64 {
+	raw, comp := splitComp(pieces)
+	sum := parallelSum(cfg, raw, func(v layout.ColVector, from, to int) float64 {
 		var acc int64
 		off := v.Base + from*v.Stride
 		for i := from; i < to; i++ {
@@ -330,9 +361,18 @@ func SumInt64(cfg Config, pieces []Piece) (int64, error) {
 		}
 		return float64(acc)
 	})
+	total := int64(sum)
+	if len(comp) > 0 {
+		cs, err := compSumI64(cfg, comp)
+		if err != nil {
+			ot.end()
+			return 0, err
+		}
+		total += cs
+	}
 	cfg.chargeScan(pieces)
 	ot.end()
-	return int64(sum), nil
+	return total, nil
 }
 
 // eachRange visits the sub-ranges of pieces covering the global element

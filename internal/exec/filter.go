@@ -22,6 +22,9 @@ func SelectFloat64(cfg Config, pieces []Piece, pred func(float64) bool) ([]uint6
 			return nil, fmt.Errorf("%w: float64 selection over %d-byte fields", ErrBadColumn, p.Vec.Size)
 		}
 	}
+	if err := rejectComp(pieces, "float64 selection"); err != nil {
+		return nil, err
+	}
 	ot := obsSelect.start(cfg.Policy)
 	out := selectPositions(cfg, pieces, func(buf []uint64, gFrom, gTo int) []uint64 {
 		return scanMatchesF64(buf, pieces, gFrom, gTo, pred)
@@ -37,6 +40,9 @@ func SelectInt64(cfg Config, pieces []Piece, pred func(int64) bool) ([]uint64, e
 		if p.Vec.Size != 8 {
 			return nil, fmt.Errorf("%w: int64 selection over %d-byte fields", ErrBadColumn, p.Vec.Size)
 		}
+	}
+	if err := rejectComp(pieces, "int64 selection"); err != nil {
+		return nil, err
 	}
 	ot := obsSelect.start(cfg.Policy)
 	out := selectPositions(cfg, pieces, func(buf []uint64, gFrom, gTo int) []uint64 {
@@ -197,6 +203,9 @@ func CountFloat64(cfg Config, pieces []Piece, pred func(float64) bool) (int64, e
 			return 0, fmt.Errorf("%w: float64 count over %d-byte fields", ErrBadColumn, p.Vec.Size)
 		}
 	}
+	if err := rejectComp(pieces, "float64 count"); err != nil {
+		return 0, err
+	}
 	ot := obsCount.start(cfg.Policy)
 	n := int64(parallelSum(cfg, pieces, func(v layout.ColVector, from, to int) float64 {
 		var c int64
@@ -221,6 +230,9 @@ func MinMaxFloat64(cfg Config, pieces []Piece) (min, max float64, ok bool, err e
 		if p.Vec.Size != 8 {
 			return 0, 0, false, fmt.Errorf("%w: float64 minmax over %d-byte fields", ErrBadColumn, p.Vec.Size)
 		}
+	}
+	if err := rejectComp(pieces, "float64 minmax"); err != nil {
+		return 0, 0, false, err
 	}
 	ot := obsMinMax.start(cfg.Policy)
 	total := totalLen(pieces)

@@ -482,9 +482,19 @@ func SumFloat64Where(cfg Config, pieces []Piece, p Pred[float64]) (float64, int6
 	}
 	ot := obsSumWhere.start(cfg.Policy)
 	kept, _ := pruneByZone(cfg, pieces, func(z *stats.Zone) bool { return zoneAdmitsFloat64(z, p) })
-	sum, n := parallelSumCount(cfg, kept, func(v layout.ColVector, from, to int) (float64, int64) {
+	raw, comp := splitComp(kept)
+	sum, n := parallelSumCount(cfg, raw, func(v layout.ColVector, from, to int) (float64, int64) {
 		return sumWhereF64(v, from, to, p)
 	})
+	if len(comp) > 0 {
+		cs, cn, err := compSumCountF64(cfg, comp, p)
+		if err != nil {
+			ot.end()
+			return 0, 0, err
+		}
+		sum += cs
+		n += cn
+	}
 	cfg.chargeScan(kept)
 	ot.end()
 	return sum, n, nil
@@ -497,13 +507,24 @@ func SumInt64Where(cfg Config, pieces []Piece, p Pred[int64]) (int64, int64, err
 	}
 	ot := obsSumWhere.start(cfg.Policy)
 	kept, _ := pruneByZone(cfg, pieces, func(z *stats.Zone) bool { return zoneAdmitsInt64(z, p) })
-	sum, n := parallelSumCount(cfg, kept, func(v layout.ColVector, from, to int) (float64, int64) {
+	raw, comp := splitComp(kept)
+	sum, n := parallelSumCount(cfg, raw, func(v layout.ColVector, from, to int) (float64, int64) {
 		s, c := sumWhereI64(v, from, to, p)
 		return float64(s), c
 	})
+	total := int64(sum)
+	if len(comp) > 0 {
+		cs, cn, err := compSumCountI64(cfg, comp, p)
+		if err != nil {
+			ot.end()
+			return 0, 0, err
+		}
+		total += cs
+		n += cn
+	}
 	cfg.chargeScan(kept)
 	ot.end()
-	return int64(sum), n, nil
+	return total, n, nil
 }
 
 // CountWhereFloat64 counts matches in one fused scan with zone-map
@@ -515,9 +536,18 @@ func CountWhereFloat64(cfg Config, pieces []Piece, p Pred[float64]) (int64, erro
 	}
 	ot := obsCountWhere.start(cfg.Policy)
 	kept, _ := pruneByZone(cfg, pieces, func(z *stats.Zone) bool { return zoneAdmitsFloat64(z, p) })
-	_, n := parallelSumCount(cfg, kept, func(v layout.ColVector, from, to int) (float64, int64) {
+	raw, comp := splitComp(kept)
+	_, n := parallelSumCount(cfg, raw, func(v layout.ColVector, from, to int) (float64, int64) {
 		return sumWhereF64(v, from, to, p)
 	})
+	if len(comp) > 0 {
+		cn, err := compCountF64(cfg, comp, p)
+		if err != nil {
+			ot.end()
+			return 0, err
+		}
+		n += cn
+	}
 	cfg.chargeScan(kept)
 	ot.end()
 	return n, nil
@@ -530,10 +560,19 @@ func CountWhereInt64(cfg Config, pieces []Piece, p Pred[int64]) (int64, error) {
 	}
 	ot := obsCountWhere.start(cfg.Policy)
 	kept, _ := pruneByZone(cfg, pieces, func(z *stats.Zone) bool { return zoneAdmitsInt64(z, p) })
-	_, n := parallelSumCount(cfg, kept, func(v layout.ColVector, from, to int) (float64, int64) {
+	raw, comp := splitComp(kept)
+	_, n := parallelSumCount(cfg, raw, func(v layout.ColVector, from, to int) (float64, int64) {
 		s, c := sumWhereI64(v, from, to, p)
 		return float64(s), c
 	})
+	if len(comp) > 0 {
+		cn, err := compCountI64(cfg, comp, p)
+		if err != nil {
+			ot.end()
+			return 0, err
+		}
+		n += cn
+	}
 	cfg.chargeScan(kept)
 	ot.end()
 	return n, nil
@@ -581,6 +620,9 @@ func SelectFloat64Pred(cfg Config, pieces []Piece, p Pred[float64]) (*SelVec, er
 	if err := checkSize8(pieces, "float64 predicate selection"); err != nil {
 		return nil, err
 	}
+	if err := rejectComp(pieces, "predicate selection"); err != nil {
+		return nil, err
+	}
 	ot := obsSelectPred.start(cfg.Policy)
 	kept, _ := pruneByZone(cfg, pieces, func(z *stats.Zone) bool { return zoneAdmitsFloat64(z, p) })
 	out := selectPositionsInto(cfg, kept, func(buf []uint64, gFrom, gTo int) []uint64 {
@@ -597,6 +639,9 @@ func SelectFloat64Pred(cfg Config, pieces []Piece, p Pred[float64]) (*SelVec, er
 // SelectInt64Pred is SelectFloat64Pred for int64 columns.
 func SelectInt64Pred(cfg Config, pieces []Piece, p Pred[int64]) (*SelVec, error) {
 	if err := checkSize8(pieces, "int64 predicate selection"); err != nil {
+		return nil, err
+	}
+	if err := rejectComp(pieces, "predicate selection"); err != nil {
 		return nil, err
 	}
 	ot := obsSelectPred.start(cfg.Policy)

@@ -350,6 +350,16 @@ func (d DeviceProfile) ReduceKernelNs(n int64, fieldSize, stride, blocks, thread
 	return 2*d.KernelLaunchNs + sweep + levels
 }
 
+// DecodeKernelNs prices the device-side decompression kernel that
+// expands a compressed column image (RLE run fills, dictionary gathers,
+// FOR delta widening) into a dense scratch column ahead of the fused
+// reduction: one launch, the compressed bytes read and the raw bytes
+// written, both at global bandwidth. Decoding is branch-light and
+// coalesced, so bandwidth — not ALU — bounds it.
+func (d DeviceProfile) DecodeKernelNs(compressedBytes, rawBytes int64) float64 {
+	return d.KernelLaunchNs + float64(compressedBytes+rawBytes)/d.GlobalBandwidth*1e9
+}
+
 // GatherKernelNs prices a device gather of k records of recordWidth bytes
 // from a table of n records (random global-memory access).
 func (d DeviceProfile) GatherKernelNs(k, n int64, recordWidth int) float64 {
