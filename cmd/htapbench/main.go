@@ -11,14 +11,17 @@
 // The extra "selectivity" panel executes the zone-map data-skipping
 // sweep for real, the "devicecache" panel the device-resident
 // fragment-cache sweep (warm scans cost zero bus bytes; a write re-ships
-// one fragment), and the "compression" panel the compressed-domain
+// one fragment), the "compression" panel the compressed-domain
 // execution sweep (four data shapes at their achieved ratios, host and
-// device, dense and compressed): -panel <name> prints one alone, and
-// -json always embeds all three beside the four model panels.
+// device, dense and compressed), and the "fusion" panel the fused
+// predicate→group-by sweep (group cardinality × selectivity, fused
+// one-pass pipelines against materialize-then-aggregate baselines on
+// host, device and in the compressed domain): -panel <name> prints one
+// alone, and -json always embeds all four beside the four model panels.
 //
 // Usage:
 //
-//	htapbench [-panel 0-4|selectivity|devicecache|compression] [-csv] [-json] [-verify] [-verify-rows N] [-metrics]
+//	htapbench [-panel 0-4|selectivity|devicecache|compression|fusion] [-csv] [-json] [-verify] [-verify-rows N] [-metrics]
 package main
 
 import (
@@ -33,7 +36,7 @@ import (
 )
 
 func main() {
-	panel := flag.String("panel", "0", "panel to regenerate (1-4, \"selectivity\", \"devicecache\" or \"compression\"), 0 = all model panels")
+	panel := flag.String("panel", "0", "panel to regenerate (1-4, \"selectivity\", \"devicecache\", \"compression\" or \"fusion\"), 0 = all model panels")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	jsonOut := flag.Bool("json", false, "also write panels+findings to BENCH_fig2.json for perf tracking")
 	verify := flag.Bool("verify", false, "also execute every configuration for real and cross-check answers")
@@ -45,6 +48,7 @@ func main() {
 	selRows := flag.Uint64("selectivity-rows", 640_000, "row count for the selectivity sweep (64 fragments)")
 	cacheRows := flag.Uint64("devicecache-rows", 262_144, "row count for the devicecache sweep (64 fragments)")
 	compRows := flag.Uint64("compression-rows", 4_194_304, "row count for the compression sweep (64 fragments; keep fragments large enough to amortize the decode kernel)")
+	fusionRows := flag.Uint64("fusion-rows", 1_048_576, "row count for the fusion sweep (64 fragments; keep the two-column working set beyond L3 so gathers price at miss latency)")
 	flag.Parse()
 
 	cfg := figures.Default()
@@ -84,6 +88,18 @@ func main() {
 		}
 		return compSweep
 	}
+	var fusionSweep *figures.FusionSweep
+	runFusionSweep := func() *figures.FusionSweep {
+		if fusionSweep == nil {
+			s, err := figures.MeasureFusion(*fusionRows, 64, figures.DefaultFusionCards(), figures.DefaultFusionSelectivities())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fusion sweep failed:", err)
+				os.Exit(1)
+			}
+			fusionSweep = s
+		}
+		return fusionSweep
+	}
 
 	var panels []figures.Panel
 	switch *panel {
@@ -108,10 +124,17 @@ func main() {
 		} else {
 			fmt.Print(s.Render())
 		}
+	case "fusion":
+		s := runFusionSweep()
+		if *csv {
+			fmt.Print(s.CSV())
+		} else {
+			fmt.Print(s.Render())
+		}
 	default:
 		n, err := strconv.Atoi(*panel)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "htapbench: -panel wants 0-4, \"selectivity\", \"devicecache\" or \"compression\", got %q\n", *panel)
+			fmt.Fprintf(os.Stderr, "htapbench: -panel wants 0-4, \"selectivity\", \"devicecache\", \"compression\" or \"fusion\", got %q\n", *panel)
 			os.Exit(2)
 		}
 		panels, err = cfg.Panels(n)
@@ -159,8 +182,9 @@ func main() {
 			Selectivity *figures.SelectivitySweep
 			DeviceCache *figures.DeviceCacheSweep
 			Compression *figures.CompressionSweep
+			Fusion      *figures.FusionSweep
 			Obs         *hybridstore.MetricsSnapshot `json:"obs,omitempty"`
-		}{panels, f, runSweep(), runCacheSweep(), runCompSweep(), obsSnap}, "", "  ")
+		}{panels, f, runSweep(), runCacheSweep(), runCompSweep(), runFusionSweep(), obsSnap}, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "json encoding failed:", err)
 			os.Exit(1)

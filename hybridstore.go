@@ -258,6 +258,17 @@ func (t *Table) GroupSumFloat64(keyCol, valCol int) ([]GroupResult, error) {
 	return t.t.GroupSumFloat64(keyCol, valCol)
 }
 
+// GroupBySumWhere computes SELECT keyCol, SUM(valCol), COUNT(*) WHERE p
+// GROUP BY keyCol over an MVCC snapshot in ONE fused pass: each element
+// is filtered and folded straight into per-worker group tables — no
+// intermediate selection vector — with zone-pruned fragments never
+// touched and compressed cold chunks aggregated in the compressed
+// domain. keyCol must be an integer attribute, valCol a float64 one;
+// results come back sorted by key.
+func (t *Table) GroupBySumWhere(keyCol, valCol int, p FloatPred) ([]GroupResult, error) {
+	return t.t.GroupSumFloat64Where(keyCol, valCol, p)
+}
+
 // GetByPK answers the paper's query Q1 — SELECT * FROM R WHERE pk = c —
 // through the primary-key hash index over attribute 0 (which must be an
 // int64; primary keys are immutable once indexed).

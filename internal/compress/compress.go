@@ -343,6 +343,12 @@ func (c *Column) DecompressInto(dst []byte) ([]byte, error) {
 			binary.LittleEndian.PutUint64(dst[i*8:], uint64(c.base+int64(c.delta(i))))
 		}
 	}
+	// A bulk decode typically precedes a fresh access pattern over the
+	// same Column (merge-then-reread, cache refill); park the run memo at
+	// the first run so the sequential fast path re-engages from the start
+	// instead of binary-searching away from wherever the previous reader
+	// left it.
+	c.lastRun.Store(0)
 	return dst, nil
 }
 

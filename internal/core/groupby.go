@@ -108,6 +108,162 @@ func (t *Table) GroupSumFloat64(keyCol, valCol int) ([]exec.GroupResult, error) 
 	return out, nil
 }
 
+// GroupSumFloat64Where computes SELECT keyCol, SUM(valCol), COUNT(*)
+// WHERE p GROUP BY keyCol over an MVCC snapshot with the fused
+// single-pass operator: no selection vector, fragments whose value
+// zones exclude p pruned with both columns' bytes saved, compressed
+// cold chunks aggregated in the compressed domain. With DeviceCache on,
+// cold chunk pairs run the one-launch fused group kernel through the
+// fragment cache (group keys stay raw for the kernel); a device refusal
+// falls back to the host fused operator and is counted. The MVCC patch
+// stays exact under pruning because zones are conservative: a base
+// value matching p always lives in an admitted fragment.
+func (t *Table) GroupSumFloat64Where(keyCol, valCol int, p exec.Pred[float64]) ([]exec.GroupResult, error) {
+	if keyCol < 0 || keyCol >= t.s.Arity() || valCol < 0 || valCol >= t.s.Arity() {
+		return nil, fmt.Errorf("%w: cols %d,%d", layout.ErrOutOfRange, keyCol, valCol)
+	}
+	kk := t.s.Attr(keyCol).Kind
+	if kk != schema.Int64 && kk != schema.Int32 {
+		return nil, fmt.Errorf("%w: group key %s is %s", exec.ErrBadColumn, t.s.Attr(keyCol).Name, kk)
+	}
+	if t.s.Attr(valCol).Kind != schema.Float64 {
+		return nil, fmt.Errorf("%w: aggregate %s is %s", exec.ErrBadColumn, t.s.Attr(valCol).Name, t.s.Attr(valCol).Kind)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	reader := t.txm.Begin()
+	defer reader.Abort()
+	t.mon.Observe(workload.Op{Kind: workload.ColumnScan, Cols: []int{keyCol, valCol}})
+
+	rows := t.rel.Rows()
+	_, _, closed := exec.ClosedFloat64(p)
+	var hostK, hostV, cacheK, cacheV []exec.Piece
+	for _, c := range t.chunks {
+		if c.rows.Begin >= rows {
+			break
+		}
+		kp, devBytes, err := t.wherePieceFor(c, keyCol)
+		if err != nil {
+			return nil, err
+		}
+		vp, devBytes2, err := t.wherePieceFor(c, valCol)
+		if err != nil {
+			return nil, err
+		}
+		if t.env.Clock != nil && devBytes+devBytes2 > 0 {
+			t.env.Clock.Advance(t.env.GPU.Profile().TransferNs(devBytes + devBytes2))
+		}
+		// Cold pairs ride the device fused group kernel through the
+		// fragment cache; the key piece stays raw (the kernel sweeps it
+		// alongside the values). Hot chunks stay on the host operator.
+		if t.eng.opts.DeviceCache && t.env.Cache != nil && c.state == cold && closed && devBytes+devBytes2 == 0 {
+			t.attachCompressed(&vp, c, valCol)
+			cacheK = append(cacheK, kp)
+			cacheV = append(cacheV, vp)
+			continue
+		}
+		t.attachCompressed(&kp, c, keyCol)
+		t.attachCompressed(&vp, c, valCol)
+		hostK = append(hostK, kp)
+		hostV = append(hostV, vp)
+	}
+	var devGroups []exec.GroupResult
+	if len(cacheV) > 0 {
+		ds := exec.DeviceScan{GPU: t.env.GPU, Cache: t.env.Cache, Table: t.rel.Name()}
+		var err error
+		devGroups, err = ds.GroupSumFloat64Where(keyCol, valCol, cacheK, cacheV, p)
+		if err != nil {
+			// The device kernel refused the pair shape; the host fused
+			// operator handles everything it cannot.
+			exec.NoteGroupFusedFallback()
+			hostK = append(hostK, cacheK...)
+			hostV = append(hostV, cacheV...)
+			devGroups = nil
+		}
+	}
+	hostGroups, err := exec.GroupSumFloat64Where(t.cfg, hostK, hostV, p)
+	if err != nil {
+		return nil, err
+	}
+	merged := exec.MergeGroupResults(devGroups, hostGroups)
+	table := make(map[int64]*exec.GroupResult, len(merged))
+	for i := range merged {
+		g := merged[i]
+		table[g.Key] = &g
+	}
+
+	// Patch the snapshot's visible versions: move matching rows between
+	// groups, drop rows whose new value no longer matches, add rows whose
+	// new value now does.
+	for row := uint64(0); row < rows; row++ {
+		if t.deltas.LatestTS(row) == 0 {
+			continue
+		}
+		rec, err := reader.Read(t.deltas, row)
+		if err != nil {
+			if errors.Is(err, tx.ErrNotFound) {
+				continue
+			}
+			return nil, err
+		}
+		baseKeyV, err := t.baseValue(row, keyCol)
+		if err != nil {
+			return nil, err
+		}
+		baseValV, err := t.baseValue(row, valCol)
+		if err != nil {
+			return nil, err
+		}
+		if p.Match(baseValV.F) {
+			if g := table[baseKeyV.I]; g != nil {
+				g.Sum -= baseValV.F
+				g.Count--
+			}
+		}
+		if p.Match(rec[valCol].F) {
+			cur := table[rec[keyCol].I]
+			if cur == nil {
+				cur = &exec.GroupResult{Key: rec[keyCol].I}
+				table[rec[keyCol].I] = cur
+			}
+			cur.Sum += rec[valCol].F
+			cur.Count++
+		}
+	}
+	out := make([]exec.GroupResult, 0, len(table))
+	for _, g := range table {
+		if g.Count > 0 {
+			out = append(out, *g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// wherePieceFor builds one zone-carrying column piece for a chunk (the
+// fused grouped scan's enriched flavor of pieceFor), reporting
+// device-resident bytes for the caller's bus charge.
+func (t *Table) wherePieceFor(c *chunk, col int) (exec.Piece, int64, error) {
+	frag, err := t.fragmentForCol(c, col)
+	if err != nil {
+		return exec.Piece{}, 0, err
+	}
+	v, err := frag.ColVector(col)
+	if err != nil {
+		return exec.Piece{}, 0, err
+	}
+	var devBytes int64
+	if frag.Space() == t.env.GPU.Allocator().Space() {
+		devBytes = int64(v.Len * v.Size)
+	}
+	return exec.Piece{
+		Rows:   layout.RowRange{Begin: c.rows.Begin, End: c.rows.Begin + uint64(v.Len)},
+		Vec:    v,
+		Zone:   frag.Stats(col),
+		FragID: frag.ID(), FragVersion: frag.Version(),
+	}, devBytes, nil
+}
+
 // pieceFor builds one column piece for a chunk, reporting device-resident
 // bytes (which the caller charges to the bus).
 func (t *Table) pieceFor(c *chunk, col int) (exec.Piece, int64, error) {

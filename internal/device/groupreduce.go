@@ -1,0 +1,224 @@
+package device
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"hybridstore/internal/compress"
+)
+
+// Fused filter+group-by kernels: the device-side leaf of the fused
+// predicate→group-by pipeline. One launch sweeps the key and value
+// columns together, tests each value against the closed interval
+// [lo, hi], and folds matches into per-SM shared-memory group tables
+// that merge before the kernel retires; the merged group table is the
+// only thing that crosses the bus back — one D2H per call, priced by
+// perfmodel.GroupKernelNs + TransferNs. This replaces the
+// select→materialize-positions→aggregate chain (two launches plus an
+// intermediate position-list round trip) with exactly one launch and
+// one result transfer per fragment.
+
+// GroupPartial is one group of a device grouped aggregation, the wire
+// format of the group-table D2H (24 bytes per group: key, sum, count).
+type GroupPartial struct {
+	// Key is the grouping value (int64-widened).
+	Key int64
+	// Sum is the aggregated float64 total of matching elements.
+	Sum float64
+	// Count is the number of matching elements in the group.
+	Count int64
+}
+
+// groupPartialBytes is the D2H wire size of one group-table entry.
+const groupPartialBytes = 24
+
+// checkGroupVecs validates the aligned key/value device vectors.
+func checkGroupVecs(keys, vals Vec) (kbuf, vbuf []byte, err error) {
+	kbuf, err = keys.check()
+	if err != nil {
+		return nil, nil, err
+	}
+	vbuf, err = vals.check()
+	if err != nil {
+		return nil, nil, err
+	}
+	if vals.Size != 8 {
+		return nil, nil, fmt.Errorf("%w: float64 grouped reduction over %d-byte elements", ErrBadLaunch, vals.Size)
+	}
+	if keys.Size != 8 && keys.Size != 4 {
+		return nil, nil, fmt.Errorf("%w: group key of %d bytes", ErrBadLaunch, keys.Size)
+	}
+	if keys.Len != vals.Len {
+		return nil, nil, fmt.Errorf("%w: %d keys vs %d values", ErrBadLaunch, keys.Len, vals.Len)
+	}
+	return kbuf, vbuf, nil
+}
+
+// GroupReduceSumFloat64Where runs the fused filter+hash-aggregate
+// kernel over aligned key/value vectors and returns the merged group
+// table sorted by key. Exactly one kernel launch and one D2H (the group
+// table) are counted and priced.
+func (g *GPU) GroupReduceSumFloat64Where(keys, vals Vec, lo, hi float64, cfg LaunchConfig) ([]GroupPartial, error) {
+	groups, kernelNs, d2hNs, err := g.groupReduceSumFloat64Where(keys, vals, lo, hi, cfg)
+	if err != nil {
+		return nil, err
+	}
+	g.charge(kernelNs + d2hNs)
+	return groups, nil
+}
+
+// groupReduceSumFloat64Where runs the fused kernel and returns the
+// priced (kernel, D2H) durations without advancing the clock — streams
+// split them across their compute and transfer lanes.
+func (g *GPU) groupReduceSumFloat64Where(keys, vals Vec, lo, hi float64, cfg LaunchConfig) ([]GroupPartial, float64, float64, error) {
+	if err := g.validate(cfg, false); err != nil {
+		return nil, 0, 0, err
+	}
+	kbuf, vbuf, err := checkGroupVecs(keys, vals)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	table := make(map[int64]*GroupPartial)
+	var matched int64
+	key8 := keys.Size == 8
+	kOff, vOff := keys.Base, vals.Base
+	// Ascending element order keeps per-group float accumulation
+	// bit-identical to the host fused kernel's.
+	for i := 0; i < vals.Len; i++ {
+		x := math.Float64frombits(binary.LittleEndian.Uint64(vbuf[vOff:]))
+		if lo <= x && x <= hi {
+			var key int64
+			if key8 {
+				key = int64(binary.LittleEndian.Uint64(kbuf[kOff:]))
+			} else {
+				key = int64(int32(binary.LittleEndian.Uint32(kbuf[kOff:])))
+			}
+			if gr, ok := table[key]; ok {
+				gr.Sum += x
+				gr.Count++
+			} else {
+				table[key] = &GroupPartial{Key: key, Sum: x, Count: 1}
+			}
+			matched++
+		}
+		kOff += keys.Stride
+		vOff += vals.Stride
+	}
+	groups := sortedGroups(table)
+	g.countKernels(1)
+	resultBytes := int64(len(groups)) * groupPartialBytes
+	g.countTransfer(resultBytes, false)
+	kernelNs := g.prof.GroupKernelNs(int64(vals.Len), matched, vals.Size, vals.Stride, cfg.Blocks, cfg.ThreadsPerBlock)
+	return groups, kernelNs, g.prof.TransferNs(resultBytes), nil
+}
+
+// GroupReduceSumFloat64Where enqueues the fused grouped kernel on the
+// stream: the launch lands in the compute lane, the group-table D2H in
+// the transfer lane, so the next fragment's upload overlaps both.
+func (s *Stream) GroupReduceSumFloat64Where(keys, vals Vec, lo, hi float64, cfg LaunchConfig) ([]GroupPartial, error) {
+	groups, kernelNs, d2hNs, err := s.gpu.groupReduceSumFloat64Where(keys, vals, lo, hi, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.addCompute(kernelNs)
+	s.addTransfer(d2hNs)
+	return groups, nil
+}
+
+// GroupReduceSumFloat64WhereCompressed is the fused kernel over a
+// compressed value image resident in buf (keys stay a raw device
+// vector): decode, filter and hash-aggregate fuse into the SAME single
+// launch — the decode cost is added to the kernel price, but no dense
+// scratch column round-trips and the launch count stays one.
+func (g *GPU) GroupReduceSumFloat64WhereCompressed(keys Vec, buf *Buffer, lo, hi float64, cfg LaunchConfig) ([]GroupPartial, error) {
+	groups, kernelNs, d2hNs, err := g.groupReduceSumFloat64WhereCompressed(keys, buf, lo, hi, cfg)
+	if err != nil {
+		return nil, err
+	}
+	g.charge(kernelNs + d2hNs)
+	return groups, nil
+}
+
+// groupReduceSumFloat64WhereCompressed runs the fused decode+group
+// kernel and returns the priced (kernel, D2H) durations without
+// advancing the clock.
+func (g *GPU) groupReduceSumFloat64WhereCompressed(keys Vec, buf *Buffer, lo, hi float64, cfg LaunchConfig) ([]GroupPartial, float64, float64, error) {
+	if err := g.validate(cfg, false); err != nil {
+		return nil, 0, 0, err
+	}
+	kbuf, err := keys.check()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if keys.Size != 8 && keys.Size != 4 {
+		return nil, 0, 0, fmt.Errorf("%w: group key of %d bytes", ErrBadLaunch, keys.Size)
+	}
+	data, err := buf.bytes()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	col, err := compress.Decode(data)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("device: compressed image: %w", err)
+	}
+	if col.ElementSize() != 8 {
+		return nil, 0, 0, fmt.Errorf("%w: float64 grouped reduction over %d-byte elements", ErrBadLaunch, col.ElementSize())
+	}
+	if col.Len() != keys.Len {
+		return nil, 0, 0, fmt.Errorf("%w: %d keys vs %d compressed values", ErrBadLaunch, keys.Len, col.Len())
+	}
+	key8 := keys.Size == 8
+	keyAt := func(i int) int64 {
+		off := keys.Base + i*keys.Stride
+		if key8 {
+			return int64(binary.LittleEndian.Uint64(kbuf[off:]))
+		}
+		return int64(int32(binary.LittleEndian.Uint32(kbuf[off:])))
+	}
+	table := make(map[int64]*GroupPartial)
+	var matched int64
+	err = col.GroupSumFloat64Where(compress.Pred[float64]{Op: compress.OpBetween, Lo: lo, Hi: hi}, keyAt,
+		func(key int64, v float64) {
+			if gr, ok := table[key]; ok {
+				gr.Sum += v
+				gr.Count++
+			} else {
+				table[key] = &GroupPartial{Key: key, Sum: v, Count: 1}
+			}
+			matched++
+		})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	groups := sortedGroups(table)
+	g.countKernels(1)
+	resultBytes := int64(len(groups)) * groupPartialBytes
+	g.countTransfer(resultBytes, false)
+	kernelNs := g.prof.DecodeKernelNs(int64(len(data)), int64(col.Len()*col.ElementSize())) +
+		g.prof.GroupKernelNs(int64(col.Len()), matched, col.ElementSize(), col.ElementSize(), cfg.Blocks, cfg.ThreadsPerBlock)
+	return groups, kernelNs, g.prof.TransferNs(resultBytes), nil
+}
+
+// GroupReduceSumFloat64WhereCompressed enqueues the fused
+// decode+group kernel on the stream's lanes.
+func (s *Stream) GroupReduceSumFloat64WhereCompressed(keys Vec, buf *Buffer, lo, hi float64, cfg LaunchConfig) ([]GroupPartial, error) {
+	groups, kernelNs, d2hNs, err := s.gpu.groupReduceSumFloat64WhereCompressed(keys, buf, lo, hi, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.addCompute(kernelNs)
+	s.addTransfer(d2hNs)
+	return groups, nil
+}
+
+// sortedGroups flattens a group table sorted by key.
+func sortedGroups(table map[int64]*GroupPartial) []GroupPartial {
+	out := make([]GroupPartial, 0, len(table))
+	for _, gr := range table {
+		out = append(out, *gr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -76,6 +76,17 @@ func TestConformance(t *testing.T) {
 	if after.Counter("pool.jobs_submitted") <= before.Counter("pool.jobs_submitted") {
 		t.Error("pool.jobs_submitted did not advance over the morsel-driven pass")
 	}
+	// The fused group-by query above must have flowed through the fused
+	// operator's telemetry: ops and emitted groups counted, latency
+	// recorded in the histogram.
+	for _, name := range []string{"exec.groupby.fused.ops", "exec.groupby.fused.groups"} {
+		if after.Counter(name) <= before.Counter(name) {
+			t.Errorf("counter %s did not advance over the conformance suite", name)
+		}
+	}
+	if after.Histograms["exec.groupby.fused.ns"].Count <= before.Histograms["exec.groupby.fused.ns"].Count {
+		t.Error("histogram exec.groupby.fused.ns did not record over the conformance suite")
+	}
 }
 
 func conformanceSuite(t *testing.T, env *engine.Env, n uint64) {
@@ -131,6 +142,49 @@ func conformanceSuite(t *testing.T, env *engine.Env, n uint64) {
 			}
 			if err := tbl.Update(n, 0, schema.IntValue(0)); err == nil {
 				t.Fatal("Update past end succeeded")
+			}
+
+			// Fused predicate→group-by (the grouped flavor of Q2): one
+			// pass computes filter, keys and aggregate together. The
+			// i_im_id keys are singletons at this row count, so every
+			// matching row is its own group with its own price.
+			gt, ok := tbl.(interface {
+				GroupSumFloat64Where(keyCol, valCol int, p exec.Pred[float64]) ([]exec.GroupResult, error)
+			})
+			if !ok {
+				t.Fatalf("%s does not implement the fused group-by surface", e.Name())
+			}
+			gp := exec.Between(2.0, 3.0)
+			wantGroups := map[int64]float64{}
+			for i := uint64(0); i < n; i++ {
+				price := workload.ItemPrice(i)
+				if i == 3 {
+					price = 1000
+				}
+				if gp.Match(price) {
+					wantGroups[int64(i%100000)] = price
+				}
+			}
+			// Three repetitions per engine: 90 fused calls across the
+			// suite guarantee the 1-in-64 sampled latency histogram
+			// records at least once inside the assertion window.
+			for rep := 0; rep < 3; rep++ {
+				groups, err := gt.GroupSumFloat64Where(1, workload.ItemPriceCol, gp)
+				if err != nil {
+					t.Fatalf("GroupSumFloat64Where: %v", err)
+				}
+				if len(groups) != len(wantGroups) {
+					t.Fatalf("fused group-by returned %d groups, want %d", len(groups), len(wantGroups))
+				}
+				for _, g := range groups {
+					wantPrice, ok := wantGroups[g.Key]
+					if !ok {
+						t.Fatalf("unexpected group %d", g.Key)
+					}
+					if g.Count != 1 || math.Abs(g.Sum-wantPrice) > 1e-9 {
+						t.Fatalf("group %d = (%v, %d), want (%v, 1)", g.Key, g.Sum, g.Count, wantPrice)
+					}
+				}
 			}
 
 			// Record-centric materialization (Q1 generalized).

@@ -347,6 +347,92 @@ func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, 
 	return sum, cnt, nil
 }
 
+// GroupSumFloat64Where lets HyPE place the fused predicate→group-by
+// pipeline: the host fused operator, the one-launch fused group kernel
+// over the device replicas (requires BOTH columns replicated — the
+// kernel sweeps them together), or the cache-backed device path.
+// Predicates without a closed-interval form stay on the host.
+func (t *Table) GroupSumFloat64Where(keyCol, valCol int, p exec.Pred[float64]) ([]exec.GroupResult, error) {
+	if keyCol < 0 || keyCol >= len(t.hostCols) || valCol < 0 || valCol >= len(t.hostCols) {
+		return nil, fmt.Errorf("%w: cols %d,%d", layout.ErrOutOfRange, keyCol, valCol)
+	}
+	lo, hi, closed := exec.ClosedFloat64(p)
+	placements := []string{placeCPU}
+	if closed {
+		_, kRep := t.replicas[keyCol]
+		_, vRep := t.replicas[valCol]
+		if kRep && vRep {
+			placements = append(placements, placeGPU)
+		} else if t.cacheEnabled() {
+			placements = append(placements, placeGPUCache)
+		}
+	}
+	if len(placements) == 1 {
+		return t.Table.GroupSumFloat64Where(keyCol, valCol, p)
+	}
+	n := int64(t.Rel.Rows())
+	choice := t.hype.Choose("groupsumwhere", n, placements)
+	var before float64
+	if t.Env.Clock != nil {
+		before = t.Env.Clock.ElapsedNs()
+	}
+	var groups []exec.GroupResult
+	var err error
+	switch choice {
+	case placeGPU:
+		t.gpuRuns++
+		groups, err = t.deviceGroupSumWhere(keyCol, valCol, lo, hi)
+	case placeGPUCache:
+		t.gpuRuns++
+		var kp, vp exec.Piece
+		if kp, err = t.hostPiece(keyCol); err != nil {
+			return nil, err
+		}
+		if vp, err = t.hostPiece(valCol); err != nil {
+			return nil, err
+		}
+		groups, err = t.deviceScan().GroupSumFloat64Where(keyCol, valCol, []exec.Piece{kp}, []exec.Piece{vp}, p)
+	default:
+		t.cpuRuns++
+		groups, err = t.Table.GroupSumFloat64Where(keyCol, valCol, p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if t.Env.Clock != nil {
+		t.hype.Observe("groupsumwhere", choice, n, t.Env.Clock.ElapsedNs()-before)
+	}
+	return groups, nil
+}
+
+// deviceGroupSumWhere runs the one-launch fused group kernel over the
+// key and value device replicas.
+func (t *Table) deviceGroupSumWhere(keyCol, valCol int, lo, hi float64) ([]exec.GroupResult, error) {
+	kv, err := t.replicas[keyCol].ColVector(keyCol)
+	if err != nil {
+		return nil, err
+	}
+	vv, err := t.replicas[valCol].ColVector(valCol)
+	if err != nil {
+		return nil, err
+	}
+	dk := device.Vec{Data: kv.Data, Base: kv.Base, Stride: kv.Stride, Size: kv.Size, Len: kv.Len}
+	dv := device.Vec{Data: vv.Data, Base: vv.Base, Stride: vv.Stride, Size: vv.Size, Len: vv.Len}
+	cfg := device.DefaultReduceConfig()
+	if vv.Len < cfg.Blocks*2 {
+		cfg = device.LaunchConfig{Blocks: 8, ThreadsPerBlock: 64}
+	}
+	parts, err := t.Env.GPU.GroupReduceSumFloat64Where(dk, dv, lo, hi, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]exec.GroupResult, len(parts))
+	for i, g := range parts {
+		out[i] = exec.GroupResult{Key: g.Key, Sum: g.Sum, Count: g.Count}
+	}
+	return out, nil
+}
+
 // deviceSumWhere runs the fused filter+reduction over the device replica.
 func (t *Table) deviceSumWhere(col int, lo, hi float64) (float64, int64, error) {
 	r := t.replicas[col]

@@ -268,6 +268,45 @@ func (t *Table) CountWhereInt64(col int, p exec.Pred[int64]) (int64, error) {
 	return exec.CountWhereInt64(t.Cfg, pieces, p)
 }
 
+// GroupSumFloat64Where computes SELECT key, SUM(val), COUNT(*) WHERE p
+// GROUP BY key with the fused single-pass operator: no selection vector
+// is materialized, fragments whose value zones exclude p are pruned
+// with both columns' bytes saved. Both columns must come from one
+// layout (so the piece lists stay row-aligned); the value column's
+// cheapest layout is preferred, falling back to any layout covering
+// both.
+func (t *Table) GroupSumFloat64Where(keyCol, valCol int, p exec.Pred[float64]) ([]exec.GroupResult, error) {
+	rows := t.Rel.Rows()
+	candidates := make([]*layout.Layout, 0, len(t.Rel.Layouts())+1)
+	if l := t.LayoutForScan(valCol); l != nil {
+		candidates = append(candidates, l)
+	}
+	candidates = append(candidates, t.Rel.Layouts()...)
+	tried := make(map[*layout.Layout]bool, len(candidates))
+	var lastErr error
+	for _, l := range candidates {
+		if l == nil || tried[l] {
+			continue
+		}
+		tried[l] = true
+		keys, err := exec.ColumnView(l, keyCol, rows)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		vals, err := exec.ColumnView(l, valCol, rows)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return exec.GroupSumFloat64Where(t.Cfg, keys, vals, p)
+	}
+	if lastErr != nil {
+		return nil, lastErr
+	}
+	return nil, layout.ErrNoLayout
+}
+
 // SelectFloat64 returns the sorted positions whose col value satisfies
 // an arbitrary predicate — the generic closure fallback for predicates
 // the sargable vocabulary cannot express (no pruning, no

@@ -415,6 +415,57 @@ func (t *Table) CountWhereFloat64(col int, p exec.Pred[float64]) (int64, error) 
 	return n, err
 }
 
+// GroupSumFloat64Where computes SELECT keyCol, SUM(valCol), COUNT(*)
+// WHERE p GROUP BY keyCol as ONE fused group-reduce launch over the
+// device-resident columns (both already live in device memory, so only
+// the group table crosses the bus) — unless the value column's zone map
+// proves the predicate match-free, in which case nothing launches.
+func (t *Table) GroupSumFloat64Where(keyCol, valCol int, p exec.Pred[float64]) ([]exec.GroupResult, error) {
+	if keyCol < 0 || keyCol >= t.s.Arity() || valCol < 0 || valCol >= t.s.Arity() {
+		return nil, fmt.Errorf("%w: cols %d,%d", layout.ErrOutOfRange, keyCol, valCol)
+	}
+	kk := t.s.Attr(keyCol).Kind
+	if kk != schema.Int64 && kk != schema.Int32 {
+		return nil, fmt.Errorf("%w: group key %s is %s", exec.ErrBadColumn, t.s.Attr(keyCol).Name, kk)
+	}
+	if t.s.Attr(valCol).Kind != schema.Float64 {
+		return nil, fmt.Errorf("%w: aggregate %s is %s", exec.ErrBadColumn, t.s.Attr(valCol).Name, t.s.Attr(valCol).Kind)
+	}
+	kv, err := t.cols[keyCol].ColVector(keyCol)
+	if err != nil {
+		return nil, err
+	}
+	vv, err := t.cols[valCol].ColVector(valCol)
+	if err != nil {
+		return nil, err
+	}
+	bytes := int64(kv.Len)*int64(kv.Size) + int64(vv.Len)*int64(vv.Size)
+	if !exec.ZoneAdmitsFloat64(t.cols[valCol].Stats(valCol), p) {
+		exec.NoteZoneDecision(false, bytes)
+		return nil, nil
+	}
+	exec.NoteZoneDecision(true, bytes)
+	lo, hi, ok := exec.ClosedFloat64(p)
+	if !ok || vv.Len == 0 {
+		return nil, nil
+	}
+	dk := device.Vec{Data: kv.Data, Base: kv.Base, Stride: kv.Stride, Size: kv.Size, Len: kv.Len}
+	dv := device.Vec{Data: vv.Data, Base: vv.Base, Stride: vv.Stride, Size: vv.Size, Len: vv.Len}
+	cfg := device.DefaultReduceConfig()
+	if vv.Len < cfg.Blocks*2 {
+		cfg = device.LaunchConfig{Blocks: 8, ThreadsPerBlock: 64}
+	}
+	parts, err := t.env.GPU.GroupReduceSumFloat64Where(dk, dv, lo, hi, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]exec.GroupResult, len(parts))
+	for i, g := range parts {
+		out[i] = exec.GroupResult{Key: g.Key, Sum: g.Sum, Count: g.Count}
+	}
+	return out, nil
+}
+
 // Materialize gathers a position list into the host result pool format.
 func (t *Table) Materialize(positions []uint64) ([]schema.Record, error) {
 	out := make([]schema.Record, len(positions))

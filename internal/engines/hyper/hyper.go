@@ -431,6 +431,82 @@ func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, 
 	return sum + hostSum, n + hostN, nil
 }
 
+// GroupSumFloat64Where overrides the fused grouped scan the same way
+// SumFloat64Where does: frozen chunks go to the device through the
+// fragment cache (one fused kernel launch and one group-table D2H per
+// chunk) when device scanning is on, and scan in the compressed domain
+// when compression is on; hot chunks stay on the host fused operator.
+// Group keys stay raw on the device path — the fused kernel reads them
+// alongside the value sweep.
+func (t *Table) GroupSumFloat64Where(keyCol, valCol int, p exec.Pred[float64]) ([]exec.GroupResult, error) {
+	_, _, closed := exec.ClosedFloat64(p)
+	useDev := t.deviceScan && t.Env.Cache != nil && closed
+	s := t.Rel.Schema()
+	ok := keyCol >= 0 && keyCol < s.Arity() && valCol >= 0 && valCol < s.Arity() &&
+		(s.Attr(keyCol).Kind == schema.Int64 || s.Attr(keyCol).Kind == schema.Int32) &&
+		s.Attr(valCol).Kind == schema.Float64
+	if (!useDev && !t.compress) || !ok {
+		return t.Table.GroupSumFloat64Where(keyCol, valCol, p)
+	}
+	rows := t.Rel.Rows()
+	var hostK, hostV, devK, devV []exec.Piece
+	for _, c := range t.chunks {
+		if c.rows.Begin >= rows {
+			break
+		}
+		kf, vf := c.vectors[keyCol], c.vectors[valCol]
+		kv, err := kf.ColVector(keyCol)
+		if err != nil {
+			return nil, err
+		}
+		vv, err := vf.ColVector(valCol)
+		if err != nil {
+			return nil, err
+		}
+		kp := exec.Piece{
+			Rows: layout.RowRange{Begin: c.rows.Begin, End: c.rows.Begin + uint64(kv.Len)},
+			Vec:  kv, Zone: kf.Stats(keyCol),
+			FragID: kf.ID(), FragVersion: kf.Version(),
+		}
+		vp := exec.Piece{
+			Rows: layout.RowRange{Begin: c.rows.Begin, End: c.rows.Begin + uint64(vv.Len)},
+			Vec:  vv, Zone: vf.Stats(valCol),
+			FragID: vf.ID(), FragVersion: vf.Version(),
+		}
+		if c.frozen && valCol < len(c.comp) && c.comp[valCol] != nil {
+			vp.Comp = c.comp[valCol]
+			vp.Vec.Data = nil
+			vp.Vec.Base = 0
+		}
+		if useDev && c.frozen {
+			devK = append(devK, kp)
+			devV = append(devV, vp)
+			continue
+		}
+		if c.frozen && keyCol < len(c.comp) && c.comp[keyCol] != nil {
+			kp.Comp = c.comp[keyCol]
+			kp.Vec.Data = nil
+			kp.Vec.Base = 0
+		}
+		hostK = append(hostK, kp)
+		hostV = append(hostV, vp)
+	}
+	var devGroups []exec.GroupResult
+	if len(devV) > 0 {
+		ds := exec.DeviceScan{GPU: t.Env.GPU, Cache: t.Env.Cache, Table: t.Rel.Name()}
+		var err error
+		devGroups, err = ds.GroupSumFloat64Where(keyCol, valCol, devK, devV, p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	hostGroups, err := exec.GroupSumFloat64Where(t.Cfg, hostK, hostV, p)
+	if err != nil {
+		return nil, err
+	}
+	return exec.MergeGroupResults(devGroups, hostGroups), nil
+}
+
 // AnalyticSnapshot pins the current state for long-running analytics.
 // The snapshot sees exactly the rows present now; concurrent updates
 // copy-on-write and never disturb it. Callers must Release it.

@@ -525,6 +525,117 @@ func (t *Table) CountWhereFloat64(col int, p exec.Pred[float64]) (int64, error) 
 	return n, err
 }
 
+// GroupSumFloat64Where computes SELECT key, SUM(val), COUNT(*) WHERE p
+// GROUP BY key in one fused pass over both regions: the sealed key and
+// value images aggregate in the compressed domain (the value zone still
+// prunes the whole sealed pair), the appendable region scans raw, and
+// rows with tail versions are patched through the dictionary — a tail
+// update may change the key, the value, or both, so the patch moves the
+// row's contribution between groups. Pruning stays exact because zones
+// are conservative: a base value matching p implies the sealed pair was
+// scanned.
+func (t *Table) GroupSumFloat64Where(keyCol, valCol int, p exec.Pred[float64]) ([]exec.GroupResult, error) {
+	if keyCol < 0 || keyCol >= t.s.Arity() || valCol < 0 || valCol >= t.s.Arity() {
+		return nil, fmt.Errorf("%w: cols %d,%d", layout.ErrOutOfRange, keyCol, valCol)
+	}
+	kk := t.s.Attr(keyCol).Kind
+	if kk != schema.Int64 && kk != schema.Int32 {
+		return nil, fmt.Errorf("%w: group key %s is %s", exec.ErrBadColumn, t.s.Attr(keyCol).Name, kk)
+	}
+	if t.s.Attr(valCol).Kind != schema.Float64 {
+		return nil, fmt.Errorf("%w: aggregate %s is %s", exec.ErrBadColumn, t.s.Attr(valCol).Name, t.s.Attr(valCol).Kind)
+	}
+	kc, vc := t.cols[keyCol], t.cols[valCol]
+	ksize := t.s.Attr(keyCol).Size
+	vsize := t.s.Attr(valCol).Size
+	var keys, vals []exec.Piece
+	if kc.sealed != nil && vc.sealed != nil && t.sealedRows > 0 {
+		keys = append(keys, exec.Piece{
+			Rows: layout.RowRange{Begin: 0, End: t.sealedRows},
+			Vec:  layout.ColVector{Stride: ksize, Size: ksize, Len: int(t.sealedRows)},
+			Zone: kc.zone,
+			Comp: kc.sealed,
+		})
+		vals = append(vals, exec.Piece{
+			Rows: layout.RowRange{Begin: 0, End: t.sealedRows},
+			Vec:  layout.ColVector{Stride: vsize, Size: vsize, Len: int(t.sealedRows)},
+			Zone: vc.zone,
+			Comp: vc.sealed,
+		})
+	}
+	kv, err := kc.active.ColVector(keyCol)
+	if err != nil {
+		return nil, err
+	}
+	vv, err := vc.active.ColVector(valCol)
+	if err != nil {
+		return nil, err
+	}
+	keys = append(keys, exec.Piece{
+		Rows: layout.RowRange{Begin: t.sealedRows, End: t.sealedRows + uint64(kv.Len)},
+		Vec:  kv,
+		Zone: kc.active.Stats(keyCol),
+	})
+	vals = append(vals, exec.Piece{
+		Rows: layout.RowRange{Begin: t.sealedRows, End: t.sealedRows + uint64(vv.Len)},
+		Vec:  vv,
+		Zone: vc.active.Stats(valCol),
+	})
+	groups, err := exec.GroupSumFloat64Where(t.cfg, keys, vals, p)
+	if err != nil {
+		return nil, err
+	}
+	table := make(map[int64]*exec.GroupResult, len(groups))
+	for i := range groups {
+		g := groups[i]
+		table[g.Key] = &g
+	}
+	// Patch rows whose newest key or value lives in a tail page.
+	for row := uint64(0); row < t.rows; row++ {
+		if t.dict[row][keyCol] < 0 && t.dict[row][valCol] < 0 {
+			continue
+		}
+		baseK, err := t.baseValue(row, keyCol)
+		if err != nil {
+			return nil, err
+		}
+		baseV, err := t.baseValue(row, valCol)
+		if err != nil {
+			return nil, err
+		}
+		curK, err := t.valueAsOf(row, keyCol, 0)
+		if err != nil {
+			return nil, err
+		}
+		curV, err := t.valueAsOf(row, valCol, 0)
+		if err != nil {
+			return nil, err
+		}
+		if p.Match(baseV.F) {
+			if g := table[baseK.I]; g != nil {
+				g.Sum -= baseV.F
+				g.Count--
+			}
+		}
+		if p.Match(curV.F) {
+			g := table[curK.I]
+			if g == nil {
+				g = &exec.GroupResult{Key: curK.I}
+				table[curK.I] = g
+			}
+			g.Sum += curV.F
+			g.Count++
+		}
+	}
+	out := make([]exec.GroupResult, 0, len(table))
+	for _, g := range table {
+		if g.Count > 0 {
+			out = append(out, *g)
+		}
+	}
+	return exec.MergeGroupResults(out), nil
+}
+
 // Snapshot digests the live structure. The sealed, appendable and tail
 // regions are all part of the physical layout even though reads route
 // through the dictionary; reporting them together is what makes the

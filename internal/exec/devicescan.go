@@ -10,6 +10,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 
 	"hybridstore/internal/device"
 	"hybridstore/internal/layout"
@@ -143,6 +144,24 @@ func (d DeviceScan) SumFloat64Where(col int, pieces []Piece, p Pred[float64]) (f
 	if !ok {
 		return 0, 0, fmt.Errorf("%w: predicate %v has no closed-interval form for the device kernel", ErrBadColumn, p.Op)
 	}
+	// Zone decisions happen before any device state exists: when every
+	// piece is pruned (or empty) the scan returns without opening a
+	// stream, so a fully-pruned scan leaves zero device.stream spans and
+	// charges nothing but the zone checks.
+	var kept []Piece
+	for _, pc := range pieces {
+		if pc.Vec.Len == 0 {
+			continue
+		}
+		admit := zoneAdmitsFloat64(pc.Zone, p)
+		NoteZoneDecision(admit, int64(pc.Vec.Len*pc.Vec.Size))
+		if admit {
+			kept = append(kept, pc)
+		}
+	}
+	if len(kept) == 0 {
+		return 0, 0, nil
+	}
 	sp := obsDeviceScan.Start()
 	s := d.newStream()
 	var sum float64
@@ -155,15 +174,7 @@ func (d DeviceScan) SumFloat64Where(col int, pieces []Piece, p Pred[float64]) (f
 		}
 		sp.End()
 	}()
-	for _, pc := range pieces {
-		if pc.Vec.Len == 0 {
-			continue
-		}
-		admit := zoneAdmitsFloat64(pc.Zone, p)
-		NoteZoneDecision(admit, int64(pc.Vec.Len*pc.Vec.Size))
-		if !admit {
-			continue
-		}
+	for _, pc := range kept {
 		if pc.Comp != nil {
 			buf, release, err := d.acquireCompressed(s, col, pc)
 			if err != nil {
@@ -199,6 +210,15 @@ func (d DeviceScan) SumFloat64(col int, pieces []Piece) (float64, error) {
 	if err := checkSize8(pieces, "device float64 sum"); err != nil {
 		return 0, err
 	}
+	var kept []Piece
+	for _, pc := range pieces {
+		if pc.Vec.Len != 0 {
+			kept = append(kept, pc)
+		}
+	}
+	if len(kept) == 0 {
+		return 0, nil
+	}
 	sp := obsDeviceScan.Start()
 	s := d.newStream()
 	var sum float64
@@ -210,10 +230,7 @@ func (d DeviceScan) SumFloat64(col int, pieces []Piece) (float64, error) {
 		}
 		sp.End()
 	}()
-	for _, pc := range pieces {
-		if pc.Vec.Len == 0 {
-			continue
-		}
+	for _, pc := range kept {
 		if pc.Comp != nil {
 			buf, release, err := d.acquireCompressed(s, col, pc)
 			if err != nil {
@@ -239,6 +256,101 @@ func (d DeviceScan) SumFloat64(col int, pieces []Piece) (float64, error) {
 		sum += r
 	}
 	return sum, nil
+}
+
+// GroupSumFloat64Where computes SUM(val), COUNT(*) WHERE p GROUP BY key
+// on the device with the fused filter+hash-aggregate kernel: per
+// surviving fragment pair, the key and value images are acquired
+// through the fragment cache and exactly ONE kernel launch plus ONE D2H
+// (the fragment's group table) run on the stream — no selection vector
+// or intermediate positions ever cross the bus. Value pieces whose zone
+// maps exclude the predicate are pruned (both columns' bytes count as
+// saved) before any device state exists; a fully-pruned scan opens no
+// stream. Compressed value pieces aggregate from their resident
+// compressed images; compressed KEY pieces are not supported on the
+// device and fail with ErrBadColumn so the caller falls back to the
+// host fused path.
+func (d DeviceScan) GroupSumFloat64Where(keyCol, valCol int, keys, vals []Piece, p Pred[float64]) ([]GroupResult, error) {
+	if err := checkGroupCols(keys, vals); err != nil {
+		return nil, err
+	}
+	lo, hi, ok := ClosedFloat64(p)
+	if !ok {
+		return nil, fmt.Errorf("%w: predicate %v has no closed-interval form for the device kernel", ErrBadColumn, p.Op)
+	}
+	var keptK, keptV []Piece
+	for i, vp := range vals {
+		if vp.Vec.Len == 0 {
+			continue
+		}
+		admit := zoneAdmitsFloat64(vp.Zone, p)
+		NoteZoneDecision(admit, int64(keys[i].Vec.Len*keys[i].Vec.Size+vp.Vec.Len*vp.Vec.Size))
+		if !admit {
+			continue
+		}
+		if keys[i].Comp != nil {
+			return nil, fmt.Errorf("%w: compressed group keys are host-only", ErrBadColumn)
+		}
+		keptK = append(keptK, keys[i])
+		keptV = append(keptV, vp)
+	}
+	if len(keptV) == 0 {
+		return nil, nil
+	}
+	sp := obsDeviceScan.Start()
+	s := d.newStream()
+	table := make(map[int64]*GroupResult)
+	var releases []func()
+	defer func() {
+		s.Wait()
+		for _, r := range releases {
+			r()
+		}
+		sp.End()
+	}()
+	for i, vp := range keptV {
+		keyVec, release, err := d.acquirePiece(s, keyCol, keptK[i])
+		if err != nil {
+			return nil, err
+		}
+		releases = append(releases, release)
+		var parts []device.GroupPartial
+		if vp.Comp != nil {
+			buf, rel, err := d.acquireCompressed(s, valCol, vp)
+			if err != nil {
+				return nil, err
+			}
+			releases = append(releases, rel)
+			parts, err = s.GroupReduceSumFloat64WhereCompressed(keyVec, buf, lo, hi, d.launchFor(vp.Comp.Len()))
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			valVec, rel, err := d.acquirePiece(s, valCol, vp)
+			if err != nil {
+				return nil, err
+			}
+			releases = append(releases, rel)
+			parts, err = s.GroupReduceSumFloat64Where(keyVec, valVec, lo, hi, d.launchFor(valVec.Len))
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, part := range parts {
+			if gr, ok := table[part.Key]; ok {
+				gr.Sum += part.Sum
+				gr.Count += part.Count
+			} else {
+				table[part.Key] = &GroupResult{Key: part.Key, Sum: part.Sum, Count: part.Count}
+			}
+		}
+	}
+	out := make([]GroupResult, 0, len(table))
+	for _, gr := range table {
+		out = append(out, *gr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
 }
 
 // newStream opens the scan's command stream at the configured depth.

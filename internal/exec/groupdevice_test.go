@@ -1,0 +1,270 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"hybridstore/internal/compress"
+	"hybridstore/internal/device"
+	"hybridstore/internal/layout"
+	"hybridstore/internal/obs"
+	"hybridstore/internal/perfmodel"
+	"hybridstore/internal/stats"
+)
+
+// groupScanFixture builds an aligned key/value fragment list: nf
+// fragments of fragRows rows, keys cycling over 8 groups, values
+// confined per fragment to [f*100, f*100+99] so each fragment carries a
+// narrow sealed zone.
+func groupScanFixture(nf, fragRows int) (keys, vals []Piece, keyRaw, valRaw []int64, valF []float64) {
+	n := nf * fragRows
+	keyRaw = make([]int64, n)
+	valF = make([]float64, n)
+	for i := 0; i < n; i++ {
+		keyRaw[i] = int64(i % 8)
+		valF[i] = float64((i/fragRows)*100 + i%100)
+	}
+	kImg := encodeI64(keyRaw)
+	vImg := encodeF64(valF)
+	for f := 0; f < nf; f++ {
+		begin := f * fragRows
+		rr := layout.RowRange{Begin: uint64(begin), End: uint64(begin + fragRows)}
+		z := stats.NewZone(stats.Float64)
+		for i := begin; i < begin+fragRows; i++ {
+			z.ObserveFloat64(valF[i])
+		}
+		z.MarkSealed()
+		keys = append(keys, Piece{
+			Rows:   rr,
+			Vec:    layout.ColVector{Data: kImg, Base: begin * 8, Stride: 8, Size: 8, Len: fragRows},
+			FragID: uint64(f + 1), FragVersion: 1,
+		})
+		vals = append(vals, Piece{
+			Rows:   rr,
+			Vec:    layout.ColVector{Data: vImg, Base: begin * 8, Stride: 8, Size: 8, Len: fragRows},
+			Zone:   z,
+			FragID: uint64(f + 1), FragVersion: 1,
+		})
+	}
+	return keys, vals, keyRaw, nil, valF
+}
+
+// TestDeviceGroupScanOneLaunchPerFragment pins the fused device group
+// contract: each unpruned fragment costs exactly ONE kernel launch and
+// ONE device-to-host transfer (the group table, 24 bytes per group),
+// and zone-pruned fragments cost nothing at all.
+func TestDeviceGroupScanOneLaunchPerFragment(t *testing.T) {
+	const nf, fragRows = 4, 1024
+	keys, vals, keyRaw, _, valF := groupScanFixture(nf, fragRows)
+	p := Between(100.0, 299.0) // admits fragments 1 and 2 only
+
+	clock := &perfmodel.Clock{}
+	gpu := device.New(perfmodel.DefaultDevice(), clock)
+	cache := device.NewFragCache(gpu)
+	ds := DeviceScan{GPU: gpu, Cache: cache, Table: "groupscan"}
+
+	obsBefore := obs.TakeSnapshot()
+	before := gpu.Stats()
+	groups, err := ds.GroupSumFloat64Where(0, 1, keys, vals, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := gpu.Stats()
+	obsAfter := obs.TakeSnapshot()
+
+	const unpruned = 2
+	if got := after.KernelLaunches - before.KernelLaunches; got != unpruned {
+		t.Fatalf("kernel launches = %d, want exactly %d (one per unpruned fragment)", got, unpruned)
+	}
+	if got := after.DeviceToHostOps - before.DeviceToHostOps; got != unpruned {
+		t.Fatalf("D2H transfers = %d, want exactly %d (one group table per unpruned fragment)", got, unpruned)
+	}
+	// Each admitted fragment holds all 8 group keys, so each group table
+	// is 8 partials of 24 bytes.
+	if got, want := after.DeviceToHostBytes-before.DeviceToHostBytes, int64(unpruned*8*24); got != want {
+		t.Fatalf("D2H bytes = %d, want %d", got, want)
+	}
+	// Both columns of the admitted fragments cross the bus, nothing else.
+	if got, want := after.HostToDeviceBytes-before.HostToDeviceBytes, int64(unpruned*fragRows*8*2); got != want {
+		t.Fatalf("H2D bytes = %d, want %d", got, want)
+	}
+	// The same claims through the process-wide observability counters.
+	if got := obsAfter.Counter("device.kernels") - obsBefore.Counter("device.kernels"); got != unpruned {
+		t.Fatalf("obs device.kernels moved %d, want %d", got, unpruned)
+	}
+	if got := obsAfter.Counter("exec.zonemap.pruned") - obsBefore.Counter("exec.zonemap.pruned"); got != nf-unpruned {
+		t.Fatalf("obs exec.zonemap.pruned moved %d, want %d", got, nf-unpruned)
+	}
+
+	// The answer must equal the host fused operator's. Values are
+	// integer-valued doubles, so per-group sums are exact in any
+	// accumulation order and the comparison is bitwise.
+	want := make(map[int64]*GroupResult)
+	for i, v := range valF {
+		if p.Match(v) {
+			if g, ok := want[keyRaw[i]]; ok {
+				g.Sum += v
+				g.Count++
+			} else {
+				want[keyRaw[i]] = &GroupResult{Key: keyRaw[i], Sum: v, Count: 1}
+			}
+		}
+	}
+	if len(groups) != len(want) {
+		t.Fatalf("groups = %d, want %d", len(groups), len(want))
+	}
+	for _, g := range groups {
+		w := want[g.Key]
+		if w == nil || g.Count != w.Count || math.Float64bits(g.Sum) != math.Float64bits(w.Sum) {
+			t.Fatalf("group %d = (%v, %d), want %+v", g.Key, g.Sum, g.Count, w)
+		}
+	}
+	host, err := GroupSumFloat64Where(Single(), keys, vals, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(host) != len(groups) {
+		t.Fatalf("host fused returned %d groups, device %d", len(host), len(groups))
+	}
+	for i := range host {
+		if host[i].Key != groups[i].Key || host[i].Count != groups[i].Count ||
+			math.Float64bits(host[i].Sum) != math.Float64bits(groups[i].Sum) {
+			t.Fatalf("host[%d] = %+v, device %+v", i, host[i], groups[i])
+		}
+	}
+}
+
+// TestDeviceGroupScanCompressedBitIdentical pins the compressed-domain
+// group kernel to the dense one bit-for-bit: decoding inside the fused
+// launch must aggregate in the same element order as aggregating the
+// pre-decoded image, while shipping only the encoded bytes and still
+// launching exactly once per fragment.
+func TestDeviceGroupScanCompressedBitIdentical(t *testing.T) {
+	const nf, fragRows = 4, 2048
+	n := nf * fragRows
+	keyRaw := make([]int64, n)
+	valF := make([]float64, n)
+	for i := 0; i < n; i++ {
+		keyRaw[i] = int64(i % 5)
+		valF[i] = float64(i/512)*0.1 + 0.3 // runny, non-integer: RLE-friendly, order-sensitive sums
+	}
+	kImg := encodeI64(keyRaw)
+	vImg := encodeF64(valF)
+	var keys, rawVals, compVals []Piece
+	for f := 0; f < nf; f++ {
+		begin := f * fragRows
+		rr := layout.RowRange{Begin: uint64(begin), End: uint64(begin + fragRows)}
+		keys = append(keys, Piece{
+			Rows:   rr,
+			Vec:    layout.ColVector{Data: kImg, Base: begin * 8, Stride: 8, Size: 8, Len: fragRows},
+			FragID: uint64(f + 1), FragVersion: 1,
+		})
+		rawVals = append(rawVals, Piece{
+			Rows:   rr,
+			Vec:    layout.ColVector{Data: vImg, Base: begin * 8, Stride: 8, Size: 8, Len: fragRows},
+			FragID: uint64(f + 1), FragVersion: 1,
+		})
+		col, err := compress.CompressAs(compress.RLE, vImg[begin*8:(begin+fragRows)*8], fragRows, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compVals = append(compVals, Piece{
+			Rows:   rr,
+			Vec:    layout.ColVector{Stride: 8, Size: 8, Len: fragRows},
+			Comp:   col,
+			FragID: uint64(f + 1), FragVersion: 1,
+		})
+	}
+	p := Between(0.35, 1.25)
+
+	run := func(table string, vals []Piece) ([]GroupResult, device.TransferStats, device.TransferStats) {
+		clock := &perfmodel.Clock{}
+		gpu := device.New(perfmodel.DefaultDevice(), clock)
+		cache := device.NewFragCache(gpu)
+		ds := DeviceScan{GPU: gpu, Cache: cache, Table: table}
+		before := gpu.Stats()
+		groups, err := ds.GroupSumFloat64Where(0, 1, keys, vals, p)
+		if err != nil {
+			t.Fatalf("%s: %v", table, err)
+		}
+		return groups, before, gpu.Stats()
+	}
+	dense, db, da := run("dense", rawVals)
+	comp, cb, ca := run("comp", compVals)
+
+	if len(dense) == 0 || len(dense) != len(comp) {
+		t.Fatalf("dense %d groups, compressed %d", len(dense), len(comp))
+	}
+	for i := range dense {
+		if dense[i].Key != comp[i].Key || dense[i].Count != comp[i].Count ||
+			math.Float64bits(dense[i].Sum) != math.Float64bits(comp[i].Sum) {
+			t.Fatalf("group[%d]: dense %+v, compressed %+v", i, dense[i], comp[i])
+		}
+	}
+	if got, want := ca.KernelLaunches-cb.KernelLaunches, int64(nf); got != want {
+		t.Fatalf("compressed kernels = %d, want %d (decode fused into the group launch)", got, want)
+	}
+	if denseShip, compShip := da.HostToDeviceBytes-db.HostToDeviceBytes, ca.HostToDeviceBytes-cb.HostToDeviceBytes; compShip >= denseShip {
+		t.Fatalf("compressed leg shipped %d bytes, dense %d", compShip, denseShip)
+	}
+
+	// The host fused operator agrees bit-for-bit too (single-threaded:
+	// both the raw and the compressed path fold elements in global order
+	// into one table).
+	hostDense, err := GroupSumFloat64Where(Single(), keys, rawVals, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostComp, err := GroupSumFloat64Where(Single(), keys, compVals, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hostDense) != len(hostComp) || len(hostDense) != len(dense) {
+		t.Fatalf("host dense %d, host compressed %d, device %d groups", len(hostDense), len(hostComp), len(dense))
+	}
+	for i := range hostDense {
+		if hostDense[i].Key != hostComp[i].Key || hostDense[i].Count != hostComp[i].Count ||
+			math.Float64bits(hostDense[i].Sum) != math.Float64bits(hostComp[i].Sum) {
+			t.Fatalf("host group[%d]: dense %+v, compressed %+v", i, hostDense[i], hostComp[i])
+		}
+	}
+}
+
+// TestDeviceScanFullyPrunedOpensNoStream is the data-skipping fast exit:
+// when every fragment's zone excludes the predicate, the device scan
+// returns before any device state exists — no stream span, no kernel,
+// no bus byte.
+func TestDeviceScanFullyPrunedOpensNoStream(t *testing.T) {
+	const nf, fragRows = 4, 512
+	keys, vals, _, _, _ := groupScanFixture(nf, fragRows)
+	p := Between(5000.0, 6000.0) // outside every fragment's [0, nf*100) envelope
+
+	clock := &perfmodel.Clock{}
+	gpu := device.New(perfmodel.DefaultDevice(), clock)
+	cache := device.NewFragCache(gpu)
+	ds := DeviceScan{GPU: gpu, Cache: cache, Table: "pruned"}
+
+	before := gpu.Stats()
+	obsBefore := obs.TakeSnapshot()
+
+	sum, cnt, err := ds.SumFloat64Where(1, vals, p)
+	if err != nil || sum != 0 || cnt != 0 {
+		t.Fatalf("pruned SumFloat64Where = (%v, %d, %v)", sum, cnt, err)
+	}
+	groups, err := ds.GroupSumFloat64Where(0, 1, keys, vals, p)
+	if err != nil || groups != nil {
+		t.Fatalf("pruned GroupSumFloat64Where = (%v, %v)", groups, err)
+	}
+
+	after := gpu.Stats()
+	obsAfter := obs.TakeSnapshot()
+	if after != before {
+		t.Fatalf("fully-pruned scans touched the device: %+v -> %+v", before, after)
+	}
+	if b, a := obsBefore.Histograms["span.device.stream.ns"].Count, obsAfter.Histograms["span.device.stream.ns"].Count; a != b {
+		t.Fatalf("fully-pruned scans recorded %d device.stream spans", a-b)
+	}
+	if got := obsAfter.Counter("exec.zonemap.pruned") - obsBefore.Counter("exec.zonemap.pruned"); got != 2*nf {
+		t.Fatalf("exec.zonemap.pruned moved %d, want %d", got, 2*nf)
+	}
+}

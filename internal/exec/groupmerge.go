@@ -1,0 +1,27 @@
+package exec
+
+import "sort"
+
+// MergeGroupResults folds any number of partial group-result slices
+// (e.g. a host-fused table and a device-fused table over disjoint
+// fragments) into one table sorted by key.
+func MergeGroupResults(parts ...[]GroupResult) []GroupResult {
+	merged := make(map[int64]*GroupResult)
+	for _, part := range parts {
+		for _, g := range part {
+			if m, ok := merged[g.Key]; ok {
+				m.Sum += g.Sum
+				m.Count += g.Count
+			} else {
+				cp := g
+				merged[g.Key] = &cp
+			}
+		}
+	}
+	out := make([]GroupResult, 0, len(merged))
+	for _, g := range merged {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

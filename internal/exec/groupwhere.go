@@ -1,0 +1,698 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"hybridstore/internal/exec/pool"
+	"hybridstore/internal/layout"
+	"hybridstore/internal/obs"
+	"hybridstore/internal/stats"
+)
+
+// Fused predicate→group-by operators: SELECT key, SUM(val), COUNT(*)
+// WHERE p GROUP BY key in one pass per piece. No selection vector is
+// materialized — each element is tested and, on a match, folded straight
+// into a per-worker group hash table; the tables merge at the end
+// exactly like GroupSumFloat64's. Two layers of data skipping ride on
+// the value column's zone map: fragments the predicate provably cannot
+// match are pruned before any byte is touched (and the key column's
+// bytes are saved along with the value column's), and fragments the
+// zone proves all-matching take a dense accumulation loop with no
+// per-element comparison at all.
+//
+// Predicates are normalized to a closed interval [lo, hi] once per call
+// (ClosedFloat64/ClosedInt64), so the hot loop carries a single
+// two-sided compare instead of a per-element Op switch — the same
+// branch-light shape the device kernel consumes.
+
+// Fused group-by observability: flat process-wide counters (the fused
+// path is what the fusion panel and the adaptation layer watch, so the
+// figures aggregate across policies) plus a 1-in-64 sampled latency
+// histogram, mirroring the per-policy operator families' sampling.
+var (
+	mGroupFusedOps       = obs.NewCounter("exec.groupby.fused.ops")
+	mGroupFusedGroups    = obs.NewCounter("exec.groupby.fused.groups")
+	mGroupFusedFallbacks = obs.NewCounter("exec.groupby.fused.fallbacks")
+	hGroupFusedNs        = obs.NewHistogram("exec.groupby.fused.ns")
+)
+
+// startGroupFused counts one fused grouped invocation and opens a
+// latency sample every 64th call.
+func startGroupFused() opTimer {
+	if mGroupFusedOps.Inc()&latSampleMask != 0 {
+		return opTimer{}
+	}
+	return opTimer{h: hGroupFusedNs, t0: time.Now()}
+}
+
+// NoteGroupFusedFallback records one abandonment of a fused grouped
+// path — a caller that had to fall back to materialize-then-aggregate
+// (or from device-fused to host-fused) because the predicate or layout
+// was outside the fused operator's reach.
+func NoteGroupFusedFallback() { mGroupFusedFallbacks.Inc() }
+
+// GroupResultInt64 is one group of an integer grouped aggregation
+// (exact mod 2^64, unlike GroupResult's float64 Sum).
+type GroupResultInt64 struct {
+	// Key is the grouping value (int64-widened).
+	Key int64
+	// Sum is the aggregated integer total.
+	Sum int64
+	// Count is the group cardinality.
+	Count int64
+}
+
+// checkGroupCols validates the key/value piece shapes shared by the
+// fused grouped operators.
+func checkGroupCols(keys, vals []Piece) error {
+	if err := checkAligned(keys, vals); err != nil {
+		return err
+	}
+	if err := checkSize8(vals, "fused grouped aggregate"); err != nil {
+		return err
+	}
+	for _, p := range keys {
+		if p.Vec.Size != 8 && p.Vec.Size != 4 {
+			return fmt.Errorf("%w: group key of %d bytes", ErrBadColumn, p.Vec.Size)
+		}
+	}
+	return nil
+}
+
+// pruneAlignedByZone is pruneByZone for aligned key/value piece pairs:
+// the value column's zones drive the decision and surviving pairs keep
+// their index alignment. Skipping a fragment saves both columns' bytes,
+// so the pruned-bytes figures count key and value bytes together.
+func pruneAlignedByZone(cfg Config, keys, vals []Piece, admits func(z *stats.Zone) bool) (kKeys, kVals []Piece, prunedBytes int64) {
+	pruned := 0
+	for i := range vals {
+		if admits(vals[i].Zone) {
+			if pruned > 0 {
+				kKeys = append(kKeys, keys[i])
+				kVals = append(kVals, vals[i])
+			}
+			continue
+		}
+		if pruned == 0 {
+			kKeys = append(kKeys, keys[:i]...)
+			kVals = append(kVals, vals[:i]...)
+		}
+		pruned++
+		prunedBytes += int64(vals[i].Vec.Len)*int64(vals[i].Vec.Size) +
+			int64(keys[i].Vec.Len)*int64(keys[i].Vec.Size)
+	}
+	if pruned == 0 {
+		kKeys, kVals = keys, vals
+	}
+	mZoneScanned.Add(int64(len(kVals)))
+	gZonePrunedBytes.Set(prunedBytes)
+	if pruned > 0 {
+		sp := sfPrune.Start()
+		mZonePruned.Add(int64(pruned))
+		mZonePrunedBytes.Add(prunedBytes)
+		sp.EndWith(fmt.Sprintf("pruned %d/%d fragments, %d bytes", pruned, len(vals), prunedBytes))
+	}
+	if cfg.Clock != nil && len(vals) > 0 {
+		cfg.Clock.Advance(cfg.Host.ZoneCheckNs(len(vals)))
+	}
+	return kKeys, kVals, prunedBytes
+}
+
+// splitAlignedComp partitions aligned pairs into all-raw pairs (both
+// columns carry bytes) and pairs where either side is compressed. The
+// raw slices alias the inputs when nothing is compressed.
+func splitAlignedComp(keys, vals []Piece) (rawKeys, rawVals, compKeys, compVals []Piece) {
+	split := false
+	for i := range keys {
+		if keys[i].Comp == nil && vals[i].Comp == nil {
+			if split {
+				rawKeys = append(rawKeys, keys[i])
+				rawVals = append(rawVals, vals[i])
+			}
+			continue
+		}
+		if !split {
+			rawKeys = append(rawKeys, keys[:i]...)
+			rawVals = append(rawVals, vals[:i]...)
+			split = true
+		}
+		compKeys = append(compKeys, keys[i])
+		compVals = append(compVals, vals[i])
+	}
+	if !split {
+		return keys, vals, nil, nil
+	}
+	return rawKeys, rawVals, compKeys, compVals
+}
+
+// eachAligned visits the sub-ranges of aligned pairs covering the
+// global element positions [gFrom, gTo); fn receives the pair index and
+// the local element range within it.
+func eachAligned(keys []Piece, gFrom, gTo int, fn func(pi, from, to int)) {
+	base := 0
+	for pi := range keys {
+		n := keys[pi].Vec.Len
+		pFrom, pTo := gFrom-base, gTo-base
+		base += n
+		if pTo <= 0 {
+			break
+		}
+		if pFrom < 0 {
+			pFrom = 0
+		}
+		if pFrom >= n {
+			continue
+		}
+		if pTo > n {
+			pTo = n
+		}
+		fn(pi, pFrom, pTo)
+	}
+}
+
+// groupFusedTables runs fold over total global positions under the
+// configured policy and returns the per-worker partial tables. Tables
+// hold query results, so they are per-call (never pooled).
+func groupFusedTables[G any](cfg Config, total int, fold func(table map[int64]*G, gFrom, gTo int)) []map[int64]*G {
+	if total == 0 {
+		return nil
+	}
+	switch {
+	case cfg.Policy == MorselDriven:
+		slots := pool.Slots()
+		tables := make([]map[int64]*G, slots)
+		pool.Run(total, pool.MorselSize(), slots, func(slot, from, to int) {
+			if tables[slot] == nil {
+				tables[slot] = make(map[int64]*G)
+			}
+			fold(tables[slot], from, to)
+		})
+		return tables
+	case cfg.threads() == 1:
+		table := make(map[int64]*G)
+		fold(table, 0, total)
+		return []map[int64]*G{table}
+	default:
+		th := cfg.threads()
+		tables := make([]map[int64]*G, th)
+		var wg sync.WaitGroup
+		for w := 0; w < th; w++ {
+			from, to := blockRange(w, th, total)
+			if from >= to {
+				break
+			}
+			wg.Add(1)
+			go func(w, from, to int) {
+				defer wg.Done()
+				tables[w] = make(map[int64]*G)
+				fold(tables[w], from, to)
+			}(w, from, to)
+		}
+		wg.Wait()
+		return tables
+	}
+}
+
+// keyDecoder returns an indexed key accessor for a piece: raw vectors
+// decode in place, compressed keys bulk-decode once into a scratch
+// image (the sealed-key case is rare and the scratch is per-call).
+func keyDecoder(p Piece) (func(i int) int64, error) {
+	if p.Comp == nil {
+		kp := p.Vec
+		if kp.Size == 8 {
+			return func(i int) int64 {
+				return int64(binary.LittleEndian.Uint64(kp.Data[kp.Base+i*kp.Stride:]))
+			}, nil
+		}
+		return func(i int) int64 {
+			return int64(int32(binary.LittleEndian.Uint32(kp.Data[kp.Base+i*kp.Stride:])))
+		}, nil
+	}
+	size := p.Comp.ElementSize()
+	if size != 8 && size != 4 {
+		return nil, fmt.Errorf("%w: compressed group key of %d bytes", ErrBadColumn, size)
+	}
+	img := p.Comp.Decompress()
+	if size == 8 {
+		return func(i int) int64 { return int64(binary.LittleEndian.Uint64(img[i*8:])) }, nil
+	}
+	return func(i int) int64 { return int64(int32(binary.LittleEndian.Uint32(img[i*4:]))) }, nil
+}
+
+// addGroupF64 folds one matching element into a float partial table.
+func addGroupF64(table map[int64]*GroupResult, key int64, v float64) {
+	if g, ok := table[key]; ok {
+		g.Sum += v
+		g.Count++
+	} else {
+		table[key] = &GroupResult{Key: key, Sum: v, Count: 1}
+	}
+}
+
+// addGroupI64 folds one (sum, count) partial into an integer table.
+func addGroupI64(table map[int64]*GroupResultInt64, key, sum, count int64) {
+	if g, ok := table[key]; ok {
+		g.Sum += sum
+		g.Count += count
+	} else {
+		table[key] = &GroupResultInt64{Key: key, Sum: sum, Count: count}
+	}
+}
+
+// groupWhereF64Into is the fused float kernel: decode value, compare
+// against the closed interval, fold the match into the table. dense
+// skips the compare when the fragment's zone proved every element
+// matches (the zone is NaN-poisoned into invalidity, so a dense proof
+// implies no NaNs).
+func groupWhereF64Into(table map[int64]*GroupResult, kp, vp layout.ColVector, from, to int, lo, hi float64, dense bool) {
+	kOff := kp.Base + from*kp.Stride
+	vOff := vp.Base + from*vp.Stride
+	key8 := kp.Size == 8
+	for i := from; i < to; i++ {
+		x := math.Float64frombits(binary.LittleEndian.Uint64(vp.Data[vOff:]))
+		if dense || (lo <= x && x <= hi) {
+			var key int64
+			if key8 {
+				key = int64(binary.LittleEndian.Uint64(kp.Data[kOff:]))
+			} else {
+				key = int64(int32(binary.LittleEndian.Uint32(kp.Data[kOff:])))
+			}
+			addGroupF64(table, key, x)
+		}
+		kOff += kp.Stride
+		vOff += vp.Stride
+	}
+}
+
+// groupWhereI64Into is groupWhereF64Into for int64 value columns.
+func groupWhereI64Into(table map[int64]*GroupResultInt64, kp, vp layout.ColVector, from, to int, lo, hi int64, dense bool) {
+	kOff := kp.Base + from*kp.Stride
+	vOff := vp.Base + from*vp.Stride
+	key8 := kp.Size == 8
+	for i := from; i < to; i++ {
+		x := int64(binary.LittleEndian.Uint64(vp.Data[vOff:]))
+		if dense || (lo <= x && x <= hi) {
+			var key int64
+			if key8 {
+				key = int64(binary.LittleEndian.Uint64(kp.Data[kOff:]))
+			} else {
+				key = int64(int32(binary.LittleEndian.Uint32(kp.Data[kOff:])))
+			}
+			addGroupI64(table, key, x, 1)
+		}
+		kOff += kp.Stride
+		vOff += vp.Stride
+	}
+}
+
+// denseFlagsF64 marks the raw pieces whose zone proves every element
+// matches the closed interval — the all-match fast path.
+func denseFlagsF64(vals []Piece, lo, hi float64) []bool {
+	dense := make([]bool, len(vals))
+	for i, p := range vals {
+		if zmin, zmax, ok := p.Zone.Float64Bounds(); ok && lo <= zmin && zmax <= hi {
+			dense[i] = true
+		}
+	}
+	return dense
+}
+
+// denseFlagsI64 is denseFlagsF64 for int64 zones.
+func denseFlagsI64(vals []Piece, lo, hi int64) []bool {
+	dense := make([]bool, len(vals))
+	for i, p := range vals {
+		if zmin, zmax, ok := p.Zone.Int64Bounds(); ok && lo <= zmin && zmax <= hi {
+			dense[i] = true
+		}
+	}
+	return dense
+}
+
+// GroupSumFloat64Where computes SELECT key, SUM(val), COUNT(*) WHERE p
+// GROUP BY key in one fused pass: no selection vector, zone-pruned
+// fragments never touched, zone-proven all-match fragments accumulated
+// densely. keys must be an int64 or int32 column view, vals a float64
+// one, both covering the same positions (compressed pieces execute in
+// the compressed domain). Results come back sorted by key.
+func GroupSumFloat64Where(cfg Config, keys, vals []Piece, p Pred[float64]) ([]GroupResult, error) {
+	if err := checkGroupCols(keys, vals); err != nil {
+		return nil, err
+	}
+	ft := startGroupFused()
+	kKeys, kVals, _ := pruneAlignedByZone(cfg, keys, vals, func(z *stats.Zone) bool {
+		return zoneAdmitsFloat64(z, p)
+	})
+	lo, hi, ok := ClosedFloat64(p)
+	if !ok {
+		// Empty interval: provably no matches, nothing scanned.
+		ft.end()
+		return nil, nil
+	}
+	rawKeys, rawVals, compKeys, compVals := splitAlignedComp(kKeys, kVals)
+	dense := denseFlagsF64(rawVals, lo, hi)
+	tables := groupFusedTables(cfg, totalLen(rawKeys), func(table map[int64]*GroupResult, gFrom, gTo int) {
+		eachAligned(rawKeys, gFrom, gTo, func(pi, from, to int) {
+			groupWhereF64Into(table, rawKeys[pi].Vec, rawVals[pi].Vec, from, to, lo, hi, dense[pi])
+		})
+	})
+	if len(compVals) > 0 {
+		ct := make(map[int64]*GroupResult)
+		cp := compPredF64(p)
+		for i := range compVals {
+			keyAt, err := keyDecoder(compKeys[i])
+			if err != nil {
+				ft.end()
+				return nil, err
+			}
+			if c := compVals[i].Comp; c != nil {
+				err := c.GroupSumFloat64Where(cp, keyAt, func(key int64, v float64) {
+					addGroupF64(ct, key, v)
+				})
+				if err != nil {
+					ft.end()
+					return nil, fmt.Errorf("%w: %v", ErrBadColumn, err)
+				}
+				continue
+			}
+			// Raw value column under a compressed key.
+			vp := compVals[i].Vec
+			vOff := vp.Base
+			for j := 0; j < vp.Len; j++ {
+				if x := math.Float64frombits(binary.LittleEndian.Uint64(vp.Data[vOff:])); lo <= x && x <= hi {
+					addGroupF64(ct, keyAt(j), x)
+				}
+				vOff += vp.Stride
+			}
+		}
+		tables = append(tables, ct)
+	}
+	merged := make(map[int64]*GroupResult)
+	for _, t := range tables {
+		for k, g := range t {
+			if m, ok := merged[k]; ok {
+				m.Sum += g.Sum
+				m.Count += g.Count
+			} else {
+				merged[k] = g
+			}
+		}
+	}
+	out := make([]GroupResult, 0, len(merged))
+	for _, g := range merged {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	mGroupFusedGroups.Add(int64(len(out)))
+	cfg.chargeScan(kKeys)
+	cfg.chargeScan(kVals)
+	ft.end()
+	return out, nil
+}
+
+// GroupSumInt64Where is GroupSumFloat64Where for int64 value columns
+// (exact mod 2^64).
+func GroupSumInt64Where(cfg Config, keys, vals []Piece, p Pred[int64]) ([]GroupResultInt64, error) {
+	if err := checkGroupCols(keys, vals); err != nil {
+		return nil, err
+	}
+	ft := startGroupFused()
+	kKeys, kVals, _ := pruneAlignedByZone(cfg, keys, vals, func(z *stats.Zone) bool {
+		return zoneAdmitsInt64(z, p)
+	})
+	lo, hi, ok := ClosedInt64(p)
+	if !ok {
+		ft.end()
+		return nil, nil
+	}
+	rawKeys, rawVals, compKeys, compVals := splitAlignedComp(kKeys, kVals)
+	dense := denseFlagsI64(rawVals, lo, hi)
+	tables := groupFusedTables(cfg, totalLen(rawKeys), func(table map[int64]*GroupResultInt64, gFrom, gTo int) {
+		eachAligned(rawKeys, gFrom, gTo, func(pi, from, to int) {
+			groupWhereI64Into(table, rawKeys[pi].Vec, rawVals[pi].Vec, from, to, lo, hi, dense[pi])
+		})
+	})
+	if len(compVals) > 0 {
+		ct := make(map[int64]*GroupResultInt64)
+		cp := compPredI64(p)
+		for i := range compVals {
+			keyAt, err := keyDecoder(compKeys[i])
+			if err != nil {
+				ft.end()
+				return nil, err
+			}
+			if c := compVals[i].Comp; c != nil {
+				err := c.GroupSumInt64Where(cp, keyAt, func(key, sum, count int64) {
+					addGroupI64(ct, key, sum, count)
+				})
+				if err != nil {
+					ft.end()
+					return nil, fmt.Errorf("%w: %v", ErrBadColumn, err)
+				}
+				continue
+			}
+			vp := compVals[i].Vec
+			vOff := vp.Base
+			for j := 0; j < vp.Len; j++ {
+				if x := int64(binary.LittleEndian.Uint64(vp.Data[vOff:])); lo <= x && x <= hi {
+					addGroupI64(ct, keyAt(j), x, 1)
+				}
+				vOff += vp.Stride
+			}
+		}
+		tables = append(tables, ct)
+	}
+	merged := make(map[int64]*GroupResultInt64)
+	for _, t := range tables {
+		for k, g := range t {
+			if m, ok := merged[k]; ok {
+				m.Sum += g.Sum
+				m.Count += g.Count
+			} else {
+				merged[k] = g
+			}
+		}
+	}
+	out := make([]GroupResultInt64, 0, len(merged))
+	for _, g := range merged {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	mGroupFusedGroups.Add(int64(len(out)))
+	cfg.chargeScan(kKeys)
+	cfg.chargeScan(kVals)
+	ft.end()
+	return out, nil
+}
+
+// GroupCountWhereFloat64 computes SELECT key, COUNT(*) WHERE p GROUP BY
+// key in one fused pass (GroupResult.Sum stays zero). Dense fragments
+// count without decoding the value column at all.
+func GroupCountWhereFloat64(cfg Config, keys, vals []Piece, p Pred[float64]) ([]GroupResult, error) {
+	if err := checkGroupCols(keys, vals); err != nil {
+		return nil, err
+	}
+	ft := startGroupFused()
+	kKeys, kVals, _ := pruneAlignedByZone(cfg, keys, vals, func(z *stats.Zone) bool {
+		return zoneAdmitsFloat64(z, p)
+	})
+	lo, hi, ok := ClosedFloat64(p)
+	if !ok {
+		ft.end()
+		return nil, nil
+	}
+	rawKeys, rawVals, compKeys, compVals := splitAlignedComp(kKeys, kVals)
+	dense := denseFlagsF64(rawVals, lo, hi)
+	tables := groupFusedTables(cfg, totalLen(rawKeys), func(table map[int64]*GroupResult, gFrom, gTo int) {
+		eachAligned(rawKeys, gFrom, gTo, func(pi, from, to int) {
+			groupCountF64Into(table, rawKeys[pi].Vec, rawVals[pi].Vec, from, to, lo, hi, dense[pi])
+		})
+	})
+	if len(compVals) > 0 {
+		ct := make(map[int64]*GroupResult)
+		cp := compPredF64(p)
+		for i := range compVals {
+			keyAt, err := keyDecoder(compKeys[i])
+			if err != nil {
+				ft.end()
+				return nil, err
+			}
+			hit := func(key int64) {
+				if g, ok := ct[key]; ok {
+					g.Count++
+				} else {
+					ct[key] = &GroupResult{Key: key, Count: 1}
+				}
+			}
+			if c := compVals[i].Comp; c != nil {
+				if err := c.GroupCountWhereFloat64(cp, keyAt, hit); err != nil {
+					ft.end()
+					return nil, fmt.Errorf("%w: %v", ErrBadColumn, err)
+				}
+				continue
+			}
+			vp := compVals[i].Vec
+			vOff := vp.Base
+			for j := 0; j < vp.Len; j++ {
+				if x := math.Float64frombits(binary.LittleEndian.Uint64(vp.Data[vOff:])); lo <= x && x <= hi {
+					hit(keyAt(j))
+				}
+				vOff += vp.Stride
+			}
+		}
+		tables = append(tables, ct)
+	}
+	out := mergeCountTables(tables)
+	mGroupFusedGroups.Add(int64(len(out)))
+	cfg.chargeScan(kKeys)
+	cfg.chargeScan(kVals)
+	ft.end()
+	return out, nil
+}
+
+// GroupCountWhereInt64 is GroupCountWhereFloat64 for int64 value
+// columns.
+func GroupCountWhereInt64(cfg Config, keys, vals []Piece, p Pred[int64]) ([]GroupResult, error) {
+	if err := checkGroupCols(keys, vals); err != nil {
+		return nil, err
+	}
+	ft := startGroupFused()
+	kKeys, kVals, _ := pruneAlignedByZone(cfg, keys, vals, func(z *stats.Zone) bool {
+		return zoneAdmitsInt64(z, p)
+	})
+	lo, hi, ok := ClosedInt64(p)
+	if !ok {
+		ft.end()
+		return nil, nil
+	}
+	rawKeys, rawVals, compKeys, compVals := splitAlignedComp(kKeys, kVals)
+	dense := denseFlagsI64(rawVals, lo, hi)
+	tables := groupFusedTables(cfg, totalLen(rawKeys), func(table map[int64]*GroupResult, gFrom, gTo int) {
+		eachAligned(rawKeys, gFrom, gTo, func(pi, from, to int) {
+			groupCountI64Into(table, rawKeys[pi].Vec, rawVals[pi].Vec, from, to, lo, hi, dense[pi])
+		})
+	})
+	if len(compVals) > 0 {
+		ct := make(map[int64]*GroupResult)
+		cp := compPredI64(p)
+		for i := range compVals {
+			keyAt, err := keyDecoder(compKeys[i])
+			if err != nil {
+				ft.end()
+				return nil, err
+			}
+			hit := func(key int64) {
+				if g, ok := ct[key]; ok {
+					g.Count++
+				} else {
+					ct[key] = &GroupResult{Key: key, Count: 1}
+				}
+			}
+			if c := compVals[i].Comp; c != nil {
+				if err := c.GroupCountWhereInt64(cp, keyAt, hit); err != nil {
+					ft.end()
+					return nil, fmt.Errorf("%w: %v", ErrBadColumn, err)
+				}
+				continue
+			}
+			vp := compVals[i].Vec
+			vOff := vp.Base
+			for j := 0; j < vp.Len; j++ {
+				if x := int64(binary.LittleEndian.Uint64(vp.Data[vOff:])); lo <= x && x <= hi {
+					hit(keyAt(j))
+				}
+				vOff += vp.Stride
+			}
+		}
+		tables = append(tables, ct)
+	}
+	out := mergeCountTables(tables)
+	mGroupFusedGroups.Add(int64(len(out)))
+	cfg.chargeScan(kKeys)
+	cfg.chargeScan(kVals)
+	ft.end()
+	return out, nil
+}
+
+// groupCountF64Into is the fused float count kernel; dense ranges count
+// keys without touching the value column.
+func groupCountF64Into(table map[int64]*GroupResult, kp, vp layout.ColVector, from, to int, lo, hi float64, dense bool) {
+	kOff := kp.Base + from*kp.Stride
+	vOff := vp.Base + from*vp.Stride
+	key8 := kp.Size == 8
+	for i := from; i < to; i++ {
+		match := dense
+		if !match {
+			x := math.Float64frombits(binary.LittleEndian.Uint64(vp.Data[vOff:]))
+			match = lo <= x && x <= hi
+		}
+		if match {
+			var key int64
+			if key8 {
+				key = int64(binary.LittleEndian.Uint64(kp.Data[kOff:]))
+			} else {
+				key = int64(int32(binary.LittleEndian.Uint32(kp.Data[kOff:])))
+			}
+			if g, ok := table[key]; ok {
+				g.Count++
+			} else {
+				table[key] = &GroupResult{Key: key, Count: 1}
+			}
+		}
+		kOff += kp.Stride
+		vOff += vp.Stride
+	}
+}
+
+// groupCountI64Into is groupCountF64Into for int64 value columns.
+func groupCountI64Into(table map[int64]*GroupResult, kp, vp layout.ColVector, from, to int, lo, hi int64, dense bool) {
+	kOff := kp.Base + from*kp.Stride
+	vOff := vp.Base + from*vp.Stride
+	key8 := kp.Size == 8
+	for i := from; i < to; i++ {
+		match := dense
+		if !match {
+			x := int64(binary.LittleEndian.Uint64(vp.Data[vOff:]))
+			match = lo <= x && x <= hi
+		}
+		if match {
+			var key int64
+			if key8 {
+				key = int64(binary.LittleEndian.Uint64(kp.Data[kOff:]))
+			} else {
+				key = int64(int32(binary.LittleEndian.Uint32(kp.Data[kOff:])))
+			}
+			if g, ok := table[key]; ok {
+				g.Count++
+			} else {
+				table[key] = &GroupResult{Key: key, Count: 1}
+			}
+		}
+		kOff += kp.Stride
+		vOff += vp.Stride
+	}
+}
+
+// mergeCountTables merges partial count tables and sorts by key.
+func mergeCountTables(tables []map[int64]*GroupResult) []GroupResult {
+	merged := make(map[int64]*GroupResult)
+	for _, t := range tables {
+		for k, g := range t {
+			if m, ok := merged[k]; ok {
+				m.Count += g.Count
+			} else {
+				merged[k] = g
+			}
+		}
+	}
+	out := make([]GroupResult, 0, len(merged))
+	for _, g := range merged {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

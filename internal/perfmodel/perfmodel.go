@@ -350,6 +350,27 @@ func (d DeviceProfile) ReduceKernelNs(n int64, fieldSize, stride, blocks, thread
 	return 2*d.KernelLaunchNs + sweep + levels
 }
 
+// GroupKernelNs prices the fused filter+hash-aggregate kernel over n
+// device-resident (key, value) element pairs: ONE launch sweeps both
+// columns at effective bandwidth, tests each value against the closed
+// predicate interval, and folds the matched elements into per-SM
+// shared-memory group tables with one atomic update each; the partial
+// tables merge in a log-depth final step priced like the reduction's
+// levels. This is the one-launch contract of the fused
+// predicate→group-by pipeline — the materialize-then-aggregate baseline
+// pays two launches plus an intermediate position-list round trip.
+func (d DeviceProfile) GroupKernelNs(n, matched int64, fieldSize, stride, blocks, threadsPerBlock int) float64 {
+	bw := d.effectiveBandwidth(fieldSize, stride)
+	sweep := float64(2*n*int64(fieldSize)) / bw * 1e9 // key and value columns
+	atomics := float64(matched) * 2                   // shared-memory hash insert per match
+	depth := 0
+	for 1<<depth < threadsPerBlock {
+		depth++
+	}
+	levels := float64(depth) * 40 // table-merge tree within each block
+	return d.KernelLaunchNs + sweep + atomics + levels
+}
+
 // DecodeKernelNs prices the device-side decompression kernel that
 // expands a compressed column image (RLE run fills, dictionary gathers,
 // FOR delta widening) into a dense scratch column ahead of the fused
