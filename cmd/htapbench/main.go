@@ -13,15 +13,18 @@
 // fragment-cache sweep (warm scans cost zero bus bytes; a write re-ships
 // one fragment), the "compression" panel the compressed-domain
 // execution sweep (four data shapes at their achieved ratios, host and
-// device, dense and compressed), and the "fusion" panel the fused
+// device, dense and compressed), the "fusion" panel the fused
 // predicate→group-by sweep (group cardinality × selectivity, fused
 // one-pass pipelines against materialize-then-aggregate baselines on
-// host, device and in the compressed domain): -panel <name> prints one
-// alone, and -json always embeds all four beside the four model panels.
+// host, device and in the compressed domain), and the "multidevice"
+// panel the cross-device scheduler sweep (1/2/4 cards × row/col layout ×
+// selectivity, cold and warm passes with fleet-wide bus metering):
+// -panel <name> prints one alone, and -json always embeds all five
+// beside the four model panels.
 //
 // Usage:
 //
-//	htapbench [-panel 0-4|selectivity|devicecache|compression|fusion] [-csv] [-json] [-verify] [-verify-rows N] [-metrics]
+//	htapbench [-panel 0-4|selectivity|devicecache|compression|fusion|multidevice] [-csv] [-json] [-verify] [-verify-rows N] [-metrics]
 package main
 
 import (
@@ -36,7 +39,7 @@ import (
 )
 
 func main() {
-	panel := flag.String("panel", "0", "panel to regenerate (1-4, \"selectivity\", \"devicecache\", \"compression\" or \"fusion\"), 0 = all model panels")
+	panel := flag.String("panel", "0", "panel to regenerate (1-4, \"selectivity\", \"devicecache\", \"compression\", \"fusion\" or \"multidevice\"), 0 = all model panels")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	jsonOut := flag.Bool("json", false, "also write panels+findings to BENCH_fig2.json for perf tracking")
 	verify := flag.Bool("verify", false, "also execute every configuration for real and cross-check answers")
@@ -49,6 +52,7 @@ func main() {
 	cacheRows := flag.Uint64("devicecache-rows", 262_144, "row count for the devicecache sweep (64 fragments)")
 	compRows := flag.Uint64("compression-rows", 4_194_304, "row count for the compression sweep (64 fragments; keep fragments large enough to amortize the decode kernel)")
 	fusionRows := flag.Uint64("fusion-rows", 1_048_576, "row count for the fusion sweep (64 fragments; keep the two-column working set beyond L3 so gathers price at miss latency)")
+	multiRows := flag.Uint64("multidevice-rows", 1_048_576, "row count for the multidevice sweep (64 fragments hash-sharded across the fleet)")
 	flag.Parse()
 
 	cfg := figures.Default()
@@ -100,6 +104,18 @@ func main() {
 		}
 		return fusionSweep
 	}
+	var multiSweep *figures.MultiDeviceSweep
+	runMultiSweep := func() *figures.MultiDeviceSweep {
+		if multiSweep == nil {
+			s, err := figures.MeasureMultiDevice(*multiRows, 64, figures.DefaultMultiDeviceCounts(), figures.DefaultMultiDeviceSelectivities())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "multidevice sweep failed:", err)
+				os.Exit(1)
+			}
+			multiSweep = s
+		}
+		return multiSweep
+	}
 
 	var panels []figures.Panel
 	switch *panel {
@@ -131,10 +147,17 @@ func main() {
 		} else {
 			fmt.Print(s.Render())
 		}
+	case "multidevice":
+		s := runMultiSweep()
+		if *csv {
+			fmt.Print(s.CSV())
+		} else {
+			fmt.Print(s.Render())
+		}
 	default:
 		n, err := strconv.Atoi(*panel)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "htapbench: -panel wants 0-4, \"selectivity\", \"devicecache\", \"compression\" or \"fusion\", got %q\n", *panel)
+			fmt.Fprintf(os.Stderr, "htapbench: -panel wants 0-4, \"selectivity\", \"devicecache\", \"compression\", \"fusion\" or \"multidevice\", got %q\n", *panel)
 			os.Exit(2)
 		}
 		panels, err = cfg.Panels(n)
@@ -183,8 +206,9 @@ func main() {
 			DeviceCache *figures.DeviceCacheSweep
 			Compression *figures.CompressionSweep
 			Fusion      *figures.FusionSweep
+			MultiDevice *figures.MultiDeviceSweep
 			Obs         *hybridstore.MetricsSnapshot `json:"obs,omitempty"`
-		}{panels, f, runSweep(), runCacheSweep(), runCompSweep(), runFusionSweep(), obsSnap}, "", "  ")
+		}{panels, f, runSweep(), runCacheSweep(), runCompSweep(), runFusionSweep(), runMultiSweep(), obsSnap}, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "json encoding failed:", err)
 			os.Exit(1)

@@ -109,6 +109,13 @@ type Options struct {
 	// Policy is the host execution policy for analytic operators
 	// (default SingleThreaded).
 	Policy ExecPolicy
+	// Devices selects how many simulated cards the platform carries.
+	// 0 or 1 keeps the default single device; >= 2 builds a card fleet
+	// with hash-sharded fragment placement and routes device-eligible
+	// scans through the cross-device scheduler, which fans fragments
+	// across all cards (and the host morsel pool) simultaneously.
+	// Meaningful together with DeviceCache.
+	Devices int
 }
 
 // DB is an open hybridstore instance: one simulated platform (host
@@ -120,7 +127,12 @@ type DB struct {
 
 // Open creates a DB.
 func Open(opts Options) *DB {
-	env := engine.NewEnv()
+	var env *engine.Env
+	if opts.Devices >= 2 {
+		env = engine.NewEnvDevices(opts.Devices)
+	} else {
+		env = engine.NewEnv()
+	}
 	env.ExecPolicy = opts.Policy
 	return &DB{
 		env: env,
@@ -139,11 +151,31 @@ func Open(opts Options) *DB {
 // hits, misses, evictions, resident and pinned bytes, live entries.
 type DeviceCacheStats = device.FragCacheStats
 
-// DeviceCacheStats returns the device fragment cache's meters. The cache
-// populates only when Options.DeviceCache is on; with it off the counts
-// stay zero.
+// DeviceCacheStats returns the device fragment cache's meters, summed
+// across the fleet when Options.Devices >= 2. The caches populate only
+// when Options.DeviceCache is on; with it off the counts stay zero.
 func (db *DB) DeviceCacheStats() DeviceCacheStats {
-	return db.env.Cache.Stats()
+	s := db.env.Cache.Stats()
+	if db.env.Fleet != nil {
+		f := db.env.Fleet.CacheStats()
+		s.Hits += f.Hits
+		s.Misses += f.Misses
+		s.Evictions += f.Evictions
+		s.DupUploads += f.DupUploads
+		s.ResidentBytes += f.ResidentBytes
+		s.PinnedBytes += f.PinnedBytes
+		s.Entries += f.Entries
+	}
+	return s
+}
+
+// Devices returns the simulated card count: 1 for the default single
+// device, the fleet size when Options.Devices configured one.
+func (db *DB) Devices() int {
+	if db.env.Fleet != nil {
+		return db.env.Fleet.N()
+	}
+	return 1
 }
 
 // SimulatedSeconds returns the simulated platform time consumed so far

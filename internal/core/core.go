@@ -266,9 +266,7 @@ func (t *Table) PendingVersions() int { return t.deltas.Versions() }
 func (t *Table) Free() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.env.Cache != nil {
-		t.env.Cache.InvalidateTable(t.rel.Name())
-	}
+	t.env.InvalidateTable(t.rel.Name())
 	t.rel.Free()
 	t.chunks = nil
 }
@@ -277,8 +275,8 @@ func (t *Table) Free() {
 // fragment's backing store is freed or replaced wholesale; in-place
 // writes are covered by fragment version bumps instead.
 func (t *Table) invalidateFrag(f *layout.Fragment) {
-	if t.env.Cache != nil && f != nil {
-		t.env.Cache.InvalidateFrag(t.rel.Name(), f.ID())
+	if f != nil {
+		t.env.InvalidateFrag(t.rel.Name(), f.ID())
 	}
 }
 

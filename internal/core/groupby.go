@@ -169,7 +169,7 @@ func (t *Table) GroupSumFloat64Where(keyCol, valCol int, p exec.Pred[float64]) (
 	}
 	var devGroups []exec.GroupResult
 	if len(cacheV) > 0 {
-		ds := exec.DeviceScan{GPU: t.env.GPU, Cache: t.env.Cache, Table: t.rel.Name()}
+		ds := t.env.DeviceExec(t.rel.Name())
 		var err error
 		devGroups, err = ds.GroupSumFloat64Where(keyCol, valCol, cacheK, cacheV, p)
 		if err != nil {

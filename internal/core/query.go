@@ -151,7 +151,7 @@ func (t *Table) SumFloat64(col int) (float64, error) {
 		hostPieces = append(hostPieces, piece)
 	}
 	if len(cachePieces) > 0 {
-		ds := exec.DeviceScan{GPU: t.env.GPU, Cache: t.env.Cache, Table: t.rel.Name()}
+		ds := t.env.DeviceExec(t.rel.Name())
 		devSum, err := ds.SumFloat64(col, cachePieces)
 		if err != nil {
 			return 0, err
@@ -265,7 +265,7 @@ func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, 
 		hostPieces = append(hostPieces, piece)
 	}
 	if len(cachePieces) > 0 {
-		ds := exec.DeviceScan{GPU: t.env.GPU, Cache: t.env.Cache, Table: t.rel.Name()}
+		ds := t.env.DeviceExec(t.rel.Name())
 		devSum, devN, err := ds.SumFloat64Where(col, cachePieces, p)
 		if err != nil {
 			return 0, 0, err

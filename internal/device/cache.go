@@ -13,11 +13,12 @@ import (
 // Process-wide cache counters, aggregated across every FragCache the run
 // creates (mirrors the device.* transfer counters above).
 var (
-	mCacheHits      = obs.NewCounter("device.cache.hits")
-	mCacheMisses    = obs.NewCounter("device.cache.misses")
-	mCacheEvictions = obs.NewCounter("device.cache.evictions")
-	mCachePinned    = obs.NewGauge("device.cache.pinned_bytes")
-	mCacheResident  = obs.NewGauge("device.cache.resident_bytes")
+	mCacheHits       = obs.NewCounter("device.cache.hits")
+	mCacheMisses     = obs.NewCounter("device.cache.misses")
+	mCacheEvictions  = obs.NewCounter("device.cache.evictions")
+	mCacheDupUploads = obs.NewCounter("device.cache.dup_uploads")
+	mCachePinned     = obs.NewGauge("device.cache.pinned_bytes")
+	mCacheResident   = obs.NewGauge("device.cache.resident_bytes")
 )
 
 // ErrCachePinned is returned when eviction cannot make room because every
@@ -71,9 +72,14 @@ type cacheEntry struct {
 // FragCacheStats is a snapshot of one cache's meters.
 type FragCacheStats struct {
 	Hits, Misses, Evictions int64
-	ResidentBytes           int64
-	PinnedBytes             int64
-	Entries                 int
+	// DupUploads counts acquires that lost a concurrent-miss race: the
+	// loser uploaded an image a faster acquirer had already made resident
+	// and discarded its own copy. Such an acquire stays a miss (it paid
+	// the bus), never a hit. hits+misses always equals total acquires.
+	DupUploads    int64
+	ResidentBytes int64
+	PinnedBytes   int64
+	Entries       int
 }
 
 // FragCache keeps device-resident images of fragment columns so repeated
@@ -92,6 +98,14 @@ type FragCacheStats struct {
 // All methods are safe for concurrent use.
 type FragCache struct {
 	gpu *GPU
+	// capBytes, when positive, is an explicit budget below the device
+	// allocator's capacity: the cache evicts (and reports ErrCachePinned)
+	// once resident images would exceed it, leaving allocator headroom for
+	// uncached direct transfers. Zero means allocator-limited (the
+	// original behavior). The budget is checked at allocation time, so a
+	// burst of concurrent misses may briefly overshoot it; it is a
+	// steering wheel, not a hard fence.
+	capBytes int64
 
 	mu      sync.Mutex
 	entries map[FragKey]*cacheEntry
@@ -101,7 +115,12 @@ type FragCache struct {
 	resident int64 // bytes of live images (pinned + unpinned)
 	pinned   int64 // bytes of pinned images
 
-	hits, misses, evictions obs.Counter
+	hits, misses, evictions, dupUploads obs.Counter
+
+	// cardHits/cardMisses, when non-nil, mirror hit/miss traffic onto the
+	// per-card registry counters (device.<i>.cache.*) an Env wires up, so
+	// htapbench -metrics can attribute residency per card.
+	cardHits, cardMisses *obs.Counter
 }
 
 // NewFragCache creates a cache over the GPU's global memory.
@@ -112,6 +131,16 @@ func NewFragCache(g *GPU) *FragCache {
 		byFrag:  make(map[fragRef]map[FragKey]*cacheEntry),
 		lru:     list.New(),
 	}
+}
+
+// NewFragCacheCap creates a cache with an explicit byte budget below the
+// allocator's capacity (0 = allocator-limited). Keeping the budget under
+// the device memory lets ErrCachePinned scans degrade to uncached direct
+// transfers instead of failing outright.
+func NewFragCacheCap(g *GPU, capBytes int64) *FragCache {
+	c := NewFragCache(g)
+	c.capBytes = capBytes
+	return c
 }
 
 // GPU returns the device this cache populates.
@@ -137,6 +166,9 @@ func (c *FragCache) Acquire(key FragKey, version uint64, size int, fill func(*Bu
 			c.mu.Unlock()
 			c.hits.Inc()
 			mCacheHits.Inc()
+			if c.cardHits != nil {
+				c.cardHits.Inc()
+			}
 			return e.buf, c.releaser(e), true, nil
 		}
 		// Stale image: retire it now rather than letting capacity
@@ -146,6 +178,9 @@ func (c *FragCache) Acquire(key FragKey, version uint64, size int, fill func(*Bu
 	c.mu.Unlock()
 	c.misses.Inc()
 	mCacheMisses.Inc()
+	if c.cardMisses != nil {
+		c.cardMisses.Inc()
+	}
 
 	buf, err := c.allocEvicting(size)
 	if err != nil {
@@ -160,12 +195,17 @@ func (c *FragCache) Acquire(key FragKey, version uint64, size int, fill func(*Bu
 	c.mu.Lock()
 	if prev, ok := c.entries[key]; ok {
 		// A concurrent miss on the same key uploaded first; keep the
-		// resident image and drop ours.
+		// resident image and drop ours. This acquire already counted its
+		// miss and charged the bus for the discarded image, so it is a
+		// duplicate upload — never a hit (hits+misses stays equal to the
+		// acquire count).
 		if prev.version == version {
 			c.pin(prev)
 			c.mu.Unlock()
 			buf.Free()
-			return prev.buf, c.releaser(prev), true, nil
+			c.dupUploads.Inc()
+			mCacheDupUploads.Inc()
+			return prev.buf, c.releaser(prev), false, nil
 		}
 		c.retireLocked(prev)
 	}
@@ -252,10 +292,25 @@ func (c *FragCache) retireLocked(e *cacheEntry) {
 }
 
 // allocEvicting allocates size device bytes, evicting LRU unpinned images
-// until the allocation fits. ErrCachePinned is returned when nothing
-// evictable remains; other allocator errors pass through.
+// until the allocation fits — against the explicit byte budget when one is
+// set, then against the allocator. ErrCachePinned is returned when nothing
+// evictable remains (every resident image is pinned by an in-flight scan),
+// so callers can fall back to an uncached direct transfer; other allocator
+// errors pass through.
 func (c *FragCache) allocEvicting(size int) (*Buffer, error) {
 	for {
+		if c.capBytes > 0 {
+			c.mu.Lock()
+			if c.resident+int64(size) > c.capBytes {
+				if !c.evictLRULocked() {
+					c.mu.Unlock()
+					return nil, fmt.Errorf("%w: need %d bytes", ErrCachePinned, size)
+				}
+				c.mu.Unlock()
+				continue
+			}
+			c.mu.Unlock()
+		}
 		buf, err := c.gpu.Alloc(size)
 		if err == nil {
 			return buf, nil
@@ -264,17 +319,35 @@ func (c *FragCache) allocEvicting(size int) (*Buffer, error) {
 			return nil, err
 		}
 		c.mu.Lock()
-		back := c.lru.Back()
-		if back == nil {
-			c.mu.Unlock()
+		ok := c.evictLRULocked()
+		c.mu.Unlock()
+		if !ok {
 			return nil, fmt.Errorf("%w: need %d bytes", ErrCachePinned, size)
 		}
-		victim := back.Value.(*cacheEntry)
-		c.retireLocked(victim)
-		c.evictions.Inc()
-		mCacheEvictions.Inc()
-		c.mu.Unlock()
 	}
+}
+
+// evictLRULocked retires the least-recently-used unpinned image, reporting
+// false when none exists. Caller holds c.mu.
+func (c *FragCache) evictLRULocked() bool {
+	back := c.lru.Back()
+	if back == nil {
+		return false
+	}
+	c.retireLocked(back.Value.(*cacheEntry))
+	c.evictions.Inc()
+	mCacheEvictions.Inc()
+	return true
+}
+
+// Resident reports whether an image of the keyed clip at the given version
+// is currently resident (pinned or not) without touching LRU order or the
+// meters — the warmth probe the cross-device scheduler's placement uses.
+func (c *FragCache) Resident(key FragKey, version uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return ok && e.version == version
 }
 
 // InvalidateFrag retires every cached image of one fragment — all columns
@@ -322,6 +395,7 @@ func (c *FragCache) Stats() FragCacheStats {
 	defer c.mu.Unlock()
 	return FragCacheStats{
 		Hits: c.hits.Load(), Misses: c.misses.Load(), Evictions: c.evictions.Load(),
+		DupUploads:    c.dupUploads.Load(),
 		ResidentBytes: c.resident, PinnedBytes: c.pinned, Entries: len(c.entries),
 	}
 }

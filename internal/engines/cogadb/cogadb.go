@@ -120,9 +120,7 @@ func (t *Table) appendRecord(row uint64, rec schema.Record) error {
 			}
 			// The old backing store is gone; retire any device-cached
 			// images of it eagerly.
-			if t.Env.Cache != nil {
-				t.Env.Cache.InvalidateFrag(t.Rel.Name(), f.ID())
-			}
+			t.Env.InvalidateFrag(t.Rel.Name(), f.ID())
 			t.hostCols[c] = grown
 			f = grown
 		}
@@ -278,9 +276,10 @@ func (t *Table) hostPiece(col int) (exec.Piece, error) {
 	}, nil
 }
 
-// deviceScan builds the cache-backed device scan configuration.
-func (t *Table) deviceScan() exec.DeviceScan {
-	return exec.DeviceScan{GPU: t.Env.GPU, Cache: t.Env.Cache, Table: t.Rel.Name()}
+// deviceScan builds the cache-backed device scan executor: the fleet
+// scheduler when the environment carries one, single-card otherwise.
+func (t *Table) deviceScan() exec.ScanExecutor {
+	return t.Env.DeviceExec(t.Rel.Name())
 }
 
 // cachedDeviceSum runs the reduction kernel over a cache-resident image

@@ -160,10 +160,8 @@ func (t *Table) detach(c *chunk) {
 	}
 	// The chunk's vectors leave the live layout (COW replacement or
 	// compaction); retire any device-cached images of them eagerly.
-	if t.Env.Cache != nil {
-		for _, v := range c.vectors {
-			t.Env.Cache.InvalidateFrag(t.Rel.Name(), v.ID())
-		}
+	for _, v := range c.vectors {
+		t.Env.InvalidateFrag(t.Rel.Name(), v.ID())
 	}
 	if c.refs > 0 {
 		t.detached = append(t.detached, c)
@@ -416,7 +414,7 @@ func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, 
 	var sum float64
 	var n int64
 	if len(devPieces) > 0 {
-		ds := exec.DeviceScan{GPU: t.Env.GPU, Cache: t.Env.Cache, Table: t.Rel.Name()}
+		ds := t.Env.DeviceExec(t.Rel.Name())
 		devSum, devN, err := ds.SumFloat64Where(col, devPieces, p)
 		if err != nil {
 			return 0, 0, err
@@ -493,7 +491,7 @@ func (t *Table) GroupSumFloat64Where(keyCol, valCol int, p exec.Pred[float64]) (
 	}
 	var devGroups []exec.GroupResult
 	if len(devV) > 0 {
-		ds := exec.DeviceScan{GPU: t.Env.GPU, Cache: t.Env.Cache, Table: t.Rel.Name()}
+		ds := t.Env.DeviceExec(t.Rel.Name())
 		var err error
 		devGroups, err = ds.GroupSumFloat64Where(keyCol, valCol, devK, devV, p)
 		if err != nil {

@@ -400,10 +400,8 @@ func (t *Table) Merge() error {
 		// truncated: retire any device-cached images of either. (SetLen
 		// bumps the tail's version too; the explicit call frees the
 		// device memory now instead of at the next capacity squeeze.)
-		if t.env.Cache != nil {
-			t.env.Cache.InvalidateFrag(t.rel.Name(), c.active.ID())
-			t.env.Cache.InvalidateFrag(t.rel.Name(), c.tail.ID())
-		}
+		t.env.InvalidateFrag(t.rel.Name(), c.active.ID())
+		t.env.InvalidateFrag(t.rel.Name(), c.tail.ID())
 		c.active.Free()
 		c.active = fresh
 		if err := c.tail.SetLen(0); err != nil {

@@ -9,6 +9,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -18,6 +19,16 @@ import (
 )
 
 var obsDeviceScan = obs.NewSpanFamily("exec.device_scan")
+
+// ScanExecutor is the shared face of the device-routed scan operators:
+// the single-card DeviceScan and the cross-device MultiDeviceScan satisfy
+// it, so engines pick per-environment without caring how many cards are
+// behind the scan.
+type ScanExecutor interface {
+	SumFloat64(col int, pieces []Piece) (float64, error)
+	SumFloat64Where(col int, pieces []Piece, p Pred[float64]) (float64, int64, error)
+	GroupSumFloat64Where(keyCol, valCol int, keys, vals []Piece, p Pred[float64]) ([]GroupResult, error)
+}
 
 // DeviceScan configures device-side scans over exec Pieces.
 type DeviceScan struct {
@@ -79,10 +90,15 @@ func (d DeviceScan) acquirePiece(s *device.Stream, col int, p Piece) (vec device
 	if d.Cache != nil && p.FragID != 0 {
 		key := device.FragKey{Table: d.Table, Frag: p.FragID, Col: col, Row0: int(p.Rows.Begin), Rows: n}
 		buf, unpin, _, err := d.Cache.Acquire(key, p.FragVersion, size, upload)
-		if err != nil {
+		if err == nil {
+			return device.Vec{Buf: buf, Stride: p.Vec.Size, Size: p.Vec.Size, Len: n}, unpin, nil
+		}
+		if !errors.Is(err, device.ErrCachePinned) {
 			return device.Vec{}, nil, err
 		}
-		return device.Vec{Buf: buf, Stride: p.Vec.Size, Size: p.Vec.Size, Len: n}, unpin, nil
+		// Every resident image is pinned by in-flight scans: degrade to an
+		// uncached direct transfer instead of failing the scan. The image
+		// ships, computes and frees without ever entering the cache.
 	}
 
 	buf, err := d.GPU.Alloc(size)
@@ -111,10 +127,13 @@ func (d DeviceScan) acquireCompressed(s *device.Stream, col int, p Piece) (buf *
 		key := device.FragKey{Table: d.Table, Frag: p.FragID, Col: col,
 			Row0: int(p.Rows.Begin), Rows: p.Comp.Len(), Comp: true}
 		b, unpin, _, err := d.Cache.Acquire(key, p.FragVersion, size, upload)
-		if err != nil {
+		if err == nil {
+			return b, unpin, nil
+		}
+		if !errors.Is(err, device.ErrCachePinned) {
 			return nil, nil, err
 		}
-		return b, unpin, nil
+		// Pinned-full cache: fall through to an uncached direct transfer.
 	}
 
 	b, err := d.GPU.Alloc(size)

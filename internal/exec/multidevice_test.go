@@ -1,0 +1,337 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"hybridstore/internal/device"
+	"hybridstore/internal/layout"
+	"hybridstore/internal/obs"
+	"hybridstore/internal/perfmodel"
+)
+
+// fleetScan builds an n-card MultiDeviceScan over a fresh Env and shard
+// map, host lane off unless a usable host config is given.
+func fleetScan(n int, table string, host *Config) (*MultiDeviceScan, *device.Env, *perfmodel.Clock) {
+	shared := &perfmodel.Clock{}
+	env := device.NewEnv(n, perfmodel.DefaultDevice(), shared)
+	m := &MultiDeviceScan{
+		Env: env, Table: table,
+		Shards: layout.NewShardMap(n, layout.ShardHash),
+	}
+	if host != nil {
+		m.Host = *host
+		m.Host.Clock = shared
+		m.HostLane = true
+	}
+	return m, env, shared
+}
+
+// TestMultiDeviceScanBitIdentity pins the acceptance criterion: a 2-card
+// sharded scan answers bit-identically to the single-card DeviceScan and
+// to the host fused operator over the same pieces, for the plain sum,
+// the filtered sum, and the fused grouped scan. Values are
+// integer-valued doubles, so sums are exact in any fold order and every
+// comparison is ==.
+func TestMultiDeviceScanBitIdentity(t *testing.T) {
+	const nf, fragRows = 8, 1024
+	keys, vals, _, _, _ := groupScanFixture(nf, fragRows)
+	p := Between(100.0, 499.0) // admits fragments 1-4, prunes the rest
+
+	hostCfg := Config{Policy: SingleThreaded, Host: perfmodel.DefaultHost()}
+	hostSum, hostN, err := SumFloat64Where(hostCfg, vals, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostGroups, err := GroupSumFloat64Where(hostCfg, keys, vals, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostPlain, err := SumFloat64(hostCfg, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clock := &perfmodel.Clock{}
+	gpu := device.New(perfmodel.DefaultDevice(), clock)
+	single := DeviceScan{GPU: gpu, Cache: device.NewFragCache(gpu), Table: "bitident"}
+	singleSum, singleN, err := single.SumFloat64Where(1, vals, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, n := range []int{1, 2, 4} {
+		for _, withHost := range []bool{false, true} {
+			name := fmt.Sprintf("n=%d/host=%v", n, withHost)
+			var hc *Config
+			if withHost {
+				hc = &Config{Policy: MorselDriven, Host: perfmodel.DefaultHost()}
+			}
+			m, _, _ := fleetScan(n, "bitident", hc)
+			sum, cnt, err := m.SumFloat64Where(1, vals, p)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if sum != singleSum || cnt != singleN {
+				t.Fatalf("%s: fleet (%v, %d) != single-card (%v, %d)", name, sum, cnt, singleSum, singleN)
+			}
+			if sum != hostSum || cnt != hostN {
+				t.Fatalf("%s: fleet (%v, %d) != host (%v, %d)", name, sum, cnt, hostSum, hostN)
+			}
+			plain, err := m.SumFloat64(1, vals)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if plain != hostPlain {
+				t.Fatalf("%s: fleet plain sum %v != host %v", name, plain, hostPlain)
+			}
+			groups, err := m.GroupSumFloat64Where(0, 1, keys, vals, p)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(groups) != len(hostGroups) {
+				t.Fatalf("%s: %d groups, want %d", name, len(groups), len(hostGroups))
+			}
+			for i := range groups {
+				if groups[i] != hostGroups[i] {
+					t.Fatalf("%s: group[%d] = %+v, want %+v", name, i, groups[i], hostGroups[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMultiDevicePerCardCountersSumToGlobal pins the fleet accounting
+// invariant: the per-card registry counters (device.<i>.*) move by
+// exactly the same totals as the process-global device.* counters, and
+// each card's GPU.Stats matches its own registry deltas.
+func TestMultiDevicePerCardCountersSumToGlobal(t *testing.T) {
+	const n = 2
+	const nf, fragRows = 8, 1024
+	_, vals, _, _, _ := groupScanFixture(nf, fragRows)
+
+	m, env, _ := fleetScan(n, "counters", nil)
+	before := obs.TakeSnapshot()
+	if _, _, err := m.SumFloat64Where(0, vals, Between(0.0, 1e9)); err != nil {
+		t.Fatal(err)
+	}
+	// A second, warm pass so hits move too.
+	if _, _, err := m.SumFloat64Where(0, vals, Between(0.0, 1e9)); err != nil {
+		t.Fatal(err)
+	}
+	after := obs.TakeSnapshot()
+	delta := func(name string) int64 { return after.Counter(name) - before.Counter(name) }
+
+	for _, c := range []string{"h2d_bytes", "d2h_bytes", "h2d_ops", "d2h_ops", "kernels"} {
+		var perCard int64
+		for i := 0; i < n; i++ {
+			perCard += delta(fmt.Sprintf("device.%d.%s", i, c))
+		}
+		if global := delta("device." + c); perCard != global {
+			t.Fatalf("device.*.%s sums to %d, global device.%s moved %d", c, perCard, c, global)
+		}
+	}
+	for _, c := range []string{"hits", "misses"} {
+		var perCard int64
+		for i := 0; i < n; i++ {
+			perCard += delta(fmt.Sprintf("device.%d.cache.%s", i, c))
+		}
+		if global := delta("device.cache." + c); perCard != global {
+			t.Fatalf("device.*.cache.%s sums to %d, global moved %d", c, perCard, global)
+		}
+	}
+	// GPU.Stats ≡ the card's own registry counters.
+	for i := 0; i < n; i++ {
+		st := env.Card(i).GPU().Stats()
+		if st.HostToDeviceBytes != delta(fmt.Sprintf("device.%d.h2d_bytes", i)) {
+			t.Fatalf("card %d: Stats H2D %d != registry %d", i,
+				st.HostToDeviceBytes, delta(fmt.Sprintf("device.%d.h2d_bytes", i)))
+		}
+		if st.KernelLaunches != delta(fmt.Sprintf("device.%d.kernels", i)) {
+			t.Fatalf("card %d: Stats kernels %d != registry %d", i,
+				st.KernelLaunches, delta(fmt.Sprintf("device.%d.kernels", i)))
+		}
+	}
+	// Every piece admitted: hits+misses must equal acquires (2 passes × nf).
+	cs := env.CacheStats()
+	if cs.Hits+cs.Misses != 2*nf {
+		t.Fatalf("hits %d + misses %d != %d acquires", cs.Hits, cs.Misses, 2*nf)
+	}
+}
+
+// TestDeviceScanDegradesWhenCachePinned pins satellite behavior: a cache
+// whose budget is exhausted by pinned images surfaces ErrCachePinned,
+// and DeviceScan degrades that piece to an uncached direct transfer
+// instead of failing the scan.
+func TestDeviceScanDegradesWhenCachePinned(t *testing.T) {
+	const fragRows = 512
+	const img = fragRows * 8
+	clock := &perfmodel.Clock{}
+	gpu := device.New(perfmodel.DefaultDevice(), clock)
+	cache := device.NewFragCacheCap(gpu, img) // budget: exactly one image
+
+	// Pin one image and never release it.
+	key := device.FragKey{Table: "pinned", Frag: 99, Col: 0, Rows: fragRows}
+	_, release, _, err := cache.Acquire(key, 1, img, func(b *device.Buffer) error {
+		return gpu.CopyToDevice(b, 0, make([]byte, img))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	vals := make([]float64, fragRows)
+	dense := make([]byte, img)
+	var want float64
+	for i := range vals {
+		vals[i] = float64(i)
+		want += vals[i]
+		binary.LittleEndian.PutUint64(dense[i*8:], math.Float64bits(vals[i]))
+	}
+	piece := Piece{
+		Rows:   layout.RowRange{Begin: 0, End: fragRows},
+		Vec:    layout.ColVector{Data: dense, Stride: 8, Size: 8, Len: fragRows},
+		FragID: 1, FragVersion: 1,
+	}
+	ds := DeviceScan{GPU: gpu, Cache: cache, Table: "pinned"}
+	before := gpu.Stats()
+	sum, err := ds.SumFloat64(0, []Piece{piece})
+	if err != nil {
+		t.Fatalf("scan should degrade to a direct transfer, got %v", err)
+	}
+	if sum != want {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+	// The degraded piece shipped over the bus without entering the cache.
+	if got := gpu.Stats().HostToDeviceBytes - before.HostToDeviceBytes; got != img {
+		t.Fatalf("H2D bytes = %d, want %d (one direct transfer)", got, img)
+	}
+	if st := cache.Stats(); st.Entries != 1 {
+		t.Fatalf("cache entries = %d, want 1 (degraded image must not be cached)", st.Entries)
+	}
+	// A repeat scan ships again: still no residency for the new fragment.
+	before = gpu.Stats()
+	if _, err := ds.SumFloat64(0, []Piece{piece}); err != nil {
+		t.Fatal(err)
+	}
+	if got := gpu.Stats().HostToDeviceBytes - before.HostToDeviceBytes; got != img {
+		t.Fatalf("repeat H2D bytes = %d, want %d", got, img)
+	}
+}
+
+// TestMultiDeviceVersionBumpNeverServesStale is the staleness property
+// test: scans race against writers that mutate a fragment and bump its
+// version; every scan's answer must match either the pre-write or the
+// post-write image of the data it was given — never a mix — and a scan
+// issued after the bump must see the new data.
+func TestMultiDeviceVersionBumpNeverServesStale(t *testing.T) {
+	const nf, fragRows = 4, 512
+	const rounds = 8
+
+	dense := make([]byte, nf*fragRows*8)
+	sumAt := func(version uint64) float64 {
+		// Data is derived from the version so expected answers are exact.
+		var s float64
+		for i := 0; i < nf*fragRows; i++ {
+			s += float64(i%97) + float64(version)
+		}
+		return s
+	}
+	write := func(version uint64) {
+		for i := 0; i < nf*fragRows; i++ {
+			binary.LittleEndian.PutUint64(dense[i*8:], math.Float64bits(float64(i%97)+float64(version)))
+		}
+	}
+	pieces := func(version uint64) []Piece {
+		out := make([]Piece, nf)
+		for f := 0; f < nf; f++ {
+			begin := f * fragRows
+			out[f] = Piece{
+				Rows:   layout.RowRange{Begin: uint64(begin), End: uint64(begin + fragRows)},
+				Vec:    layout.ColVector{Data: dense, Base: begin * 8, Stride: 8, Size: 8, Len: fragRows},
+				FragID: uint64(f + 1), FragVersion: version,
+			}
+		}
+		return out
+	}
+
+	m, env, _ := fleetScan(2, "stale", nil)
+	for v := uint64(1); v <= rounds; v++ {
+		write(v)
+		ps := pieces(v)
+		want := sumAt(v)
+		// Concurrent duplicate scans at the same version: exercises the
+		// dup-upload race across the fleet under -race.
+		var wg sync.WaitGroup
+		errc := make(chan error, 3)
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sum, err := m.SumFloat64(0, ps)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if sum != want {
+					errc <- fmt.Errorf("round %d: sum %v, want %v (stale image served)", v, sum, want)
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case err := <-errc:
+			t.Fatal(err)
+		default:
+		}
+	}
+	// Every acquire was a hit or a miss, never both, across all cards.
+	cs := env.CacheStats()
+	if cs.Hits+cs.Misses+cs.DupUploads <= 0 {
+		t.Fatal("expected cache traffic")
+	}
+	// After the final round only current-version images are resident:
+	// another scan at the final version must be all hits.
+	before := env.Stats().HostToDeviceBytes
+	if _, err := m.SumFloat64(0, pieces(rounds)); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.Stats().HostToDeviceBytes - before; got != 0 {
+		t.Fatalf("final-version rescan shipped %d bytes, want 0 (all warm)", got)
+	}
+}
+
+// TestMultiDeviceWarmThroughputScales pins the scaling acceptance
+// criterion: with every fragment admitted and warm, the simulated time
+// of a fleet scan shrinks as cards are added (concurrent lanes cost
+// their maximum, not their sum).
+func TestMultiDeviceWarmThroughputScales(t *testing.T) {
+	const nf, fragRows = 16, 2048
+	_, vals, _, _, _ := groupScanFixture(nf, fragRows)
+	p := Between(0.0, 1e9)
+
+	warm := map[int]float64{}
+	for _, n := range []int{1, 2, 4} {
+		m, _, shared := fleetScan(n, "scale", nil)
+		if _, _, err := m.SumFloat64Where(1, vals, p); err != nil { // cold
+			t.Fatal(err)
+		}
+		mark := shared.ElapsedNs()
+		if _, _, err := m.SumFloat64Where(1, vals, p); err != nil { // warm
+			t.Fatal(err)
+		}
+		warm[n] = shared.ElapsedNs() - mark
+	}
+	if !(warm[1] > warm[2] && warm[2] > warm[4]) {
+		t.Fatalf("warm ns did not shrink with device count: 1=%v 2=%v 4=%v", warm[1], warm[2], warm[4])
+	}
+	if warm[2] < warm[1]/4 || warm[4] < warm[1]/16 {
+		t.Fatalf("scaling implausibly superlinear: 1=%v 2=%v 4=%v", warm[1], warm[2], warm[4])
+	}
+	if speedup := warm[1] / warm[4]; speedup < 2 {
+		t.Fatalf("4-card warm speedup = %.2f, want >= 2", speedup)
+	}
+}
