@@ -18,13 +18,15 @@
 // one-pass pipelines against materialize-then-aggregate baselines on
 // host, device and in the compressed domain), and the "multidevice"
 // panel the cross-device scheduler sweep (1/2/4 cards × row/col layout ×
-// selectivity, cold and warm passes with fleet-wide bus metering):
-// -panel <name> prints one alone, and -json always embeds all five
-// beside the four model panels.
+// selectivity, cold and warm passes with fleet-wide bus metering), and
+// the "serving" panel the network serving sweep (the warp-style load
+// harness over loopback HTTP, concurrency × batched/unbatched, wall-clock
+// QPS and per-class tail latency): -panel <name> prints one alone, and
+// -json always embeds all six beside the four model panels.
 //
 // Usage:
 //
-//	htapbench [-panel 0-4|selectivity|devicecache|compression|fusion|multidevice] [-csv] [-json] [-verify] [-verify-rows N] [-metrics]
+//	htapbench [-panel 0-4|selectivity|devicecache|compression|fusion|multidevice|serving] [-csv] [-json] [-verify] [-verify-rows N] [-metrics]
 package main
 
 import (
@@ -33,9 +35,11 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"hybridstore"
 	"hybridstore/internal/figures"
+	"hybridstore/internal/figures/servingfig"
 )
 
 func main() {
@@ -53,6 +57,8 @@ func main() {
 	compRows := flag.Uint64("compression-rows", 4_194_304, "row count for the compression sweep (64 fragments; keep fragments large enough to amortize the decode kernel)")
 	fusionRows := flag.Uint64("fusion-rows", 1_048_576, "row count for the fusion sweep (64 fragments; keep the two-column working set beyond L3 so gathers price at miss latency)")
 	multiRows := flag.Uint64("multidevice-rows", 1_048_576, "row count for the multidevice sweep (64 fragments hash-sharded across the fleet)")
+	servingRows := flag.Uint64("serving-rows", 4096, "row count for the serving sweep's warm device-cached item table")
+	servingLeg := flag.Duration("serving-leg", 1200*time.Millisecond, "wall-clock duration of each serving sweep leg")
 	flag.Parse()
 
 	cfg := figures.Default()
@@ -117,6 +123,19 @@ func main() {
 		return multiSweep
 	}
 
+	var servingSweep *servingfig.ServingSweep
+	runServingSweep := func() *servingfig.ServingSweep {
+		if servingSweep == nil {
+			s, err := servingfig.MeasureServing(*servingRows, servingfig.DefaultServingConcurrencies(), *servingLeg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "serving sweep failed:", err)
+				os.Exit(1)
+			}
+			servingSweep = s
+		}
+		return servingSweep
+	}
+
 	var panels []figures.Panel
 	switch *panel {
 	case "selectivity":
@@ -154,10 +173,17 @@ func main() {
 		} else {
 			fmt.Print(s.Render())
 		}
+	case "serving":
+		s := runServingSweep()
+		if *csv {
+			fmt.Print(s.CSV())
+		} else {
+			fmt.Print(s.Render())
+		}
 	default:
 		n, err := strconv.Atoi(*panel)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "htapbench: -panel wants 0-4, \"selectivity\", \"devicecache\", \"compression\", \"fusion\" or \"multidevice\", got %q\n", *panel)
+			fmt.Fprintf(os.Stderr, "htapbench: -panel wants 0-4, \"selectivity\", \"devicecache\", \"compression\", \"fusion\", \"multidevice\" or \"serving\", got %q\n", *panel)
 			os.Exit(2)
 		}
 		panels, err = cfg.Panels(n)
@@ -207,8 +233,9 @@ func main() {
 			Compression *figures.CompressionSweep
 			Fusion      *figures.FusionSweep
 			MultiDevice *figures.MultiDeviceSweep
+			Serving     *servingfig.ServingSweep
 			Obs         *hybridstore.MetricsSnapshot `json:"obs,omitempty"`
-		}{panels, f, runSweep(), runCacheSweep(), runCompSweep(), runFusionSweep(), runMultiSweep(), obsSnap}, "", "  ")
+		}{panels, f, runSweep(), runCacheSweep(), runCompSweep(), runFusionSweep(), runMultiSweep(), runServingSweep(), obsSnap}, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "json encoding failed:", err)
 			os.Exit(1)

@@ -1,0 +1,153 @@
+// Command loadgen is the warp-style concurrent load driver for the
+// serving layer: it points a swarm of client lanes at a running server
+// (or spins up its own with -selfserve) and reports wall-clock QPS and
+// p50/p95/p99 latency per operation class — point writes, predicate
+// sums and fused group-bys, mixed by -mix.
+//
+// Closed loop by default (each lane fires its next request when the
+// last answers); -rate N switches to open-loop arrivals at N requests
+// per second. With -autoterm the run ends as soon as throughput
+// stabilizes instead of burning the full -duration.
+//
+// The exit status is the CI contract: 0 when every request succeeded
+// (admission sheds are reported separately and do not fail the run),
+// 1 when any request errored.
+//
+// Usage:
+//
+//	loadgen -selfserve [-rows N] [-batch-window D] [-unbatched]
+//	        [-concurrency N] [-duration D] [-mix write=20,sum=60,group=20]
+//	        [-rate N] [-autoterm] [-csv serving_panel.csv]
+//	loadgen -addr http://host:port ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"hybridstore"
+	"hybridstore/internal/server"
+	"hybridstore/internal/server/loadgen"
+)
+
+func main() {
+	addr := flag.String("addr", "", "serving endpoint, e.g. http://127.0.0.1:8080 (omit with -selfserve)")
+	selfserve := flag.Bool("selfserve", false, "spin up an in-process server on a loopback port and drive that")
+	rows := flag.Uint64("rows", 4096, "item rows to load (-selfserve) and the point-write row domain")
+	batchWindow := flag.Duration("batch-window", server.DefaultBatchWindow, "shared-scan batching window for -selfserve")
+	unbatched := flag.Bool("unbatched", false, "disable shared-scan batching in the -selfserve server")
+	concurrency := flag.Int("concurrency", 16, "client lanes")
+	duration := flag.Duration("duration", 5*time.Second, "run length (upper bound with -autoterm)")
+	mixFlag := flag.String("mix", "write=20,sum=60,group=20", "operation mix in percent")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+	autoterm := flag.Bool("autoterm", false, "stop early once throughput stabilizes")
+	csvPath := flag.String("csv", "", "also write the per-class panel to this CSV file")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	mix, err := loadgen.ParseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	base := *addr
+	if *selfserve {
+		if base != "" {
+			fmt.Fprintln(os.Stderr, "loadgen: -addr and -selfserve are mutually exclusive")
+			os.Exit(2)
+		}
+		stop, url, err := serveLocal(*rows, *batchWindow, *unbatched)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: selfserve:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		base = url
+		fmt.Printf("selfserve: %d item rows on %s (batch window %v)\n", *rows, url, windowOf(*batchWindow, *unbatched))
+	}
+	if base == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: need -addr or -selfserve")
+		os.Exit(2)
+	}
+
+	res, err := loadgen.Run(loadgen.Options{
+		BaseURL:     base,
+		Rows:        *rows,
+		Concurrency: *concurrency,
+		Duration:    *duration,
+		Mix:         mix,
+		OpenRate:    *rate,
+		AutoTerm:    *autoterm,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.String())
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(res.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: csv:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+	if res.TotalErrs > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d request(s) errored\n", res.TotalErrs)
+		os.Exit(1)
+	}
+}
+
+func windowOf(w time.Duration, unbatched bool) time.Duration {
+	if unbatched {
+		return 0
+	}
+	return w
+}
+
+// serveLocal builds the warm device-cached item fixture and serves it
+// on a loopback port.
+func serveLocal(rows uint64, window time.Duration, unbatched bool) (stop func(), url string, err error) {
+	db := hybridstore.Open(hybridstore.Options{ChunkRows: 256, DeviceCache: true})
+	tbl, err := db.CreateTable("item", hybridstore.ItemSchema())
+	if err != nil {
+		return nil, "", err
+	}
+	for i := uint64(0); i < rows; i++ {
+		if _, err := tbl.Insert(hybridstore.Item(i)); err != nil {
+			tbl.Free()
+			return nil, "", err
+		}
+	}
+	// Re-key i_im_id to a dashboard-cardinality group domain and fold
+	// the rewrites: the raw generator gives near-unique ids, which makes
+	// every group-by answer as wide as the table.
+	for i := uint64(0); i < rows; i++ {
+		if err := tbl.Update(i, 1, hybridstore.Int32Value(int32(i%64))); err != nil {
+			tbl.Free()
+			return nil, "", err
+		}
+	}
+	if err := tbl.Merge(); err != nil {
+		tbl.Free()
+		return nil, "", err
+	}
+	// Warm pass: populate the device cache before lanes arrive, so the
+	// measured run starts from the steady state.
+	if _, _, err := tbl.SumFloat64Where(hybridstore.ItemPriceColumn, hybridstore.GtFloat(0)); err != nil {
+		tbl.Free()
+		return nil, "", err
+	}
+	s := server.New(server.Config{DB: db, BatchWindow: windowOf(window, unbatched)})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tbl.Free()
+		return nil, "", err
+	}
+	go s.Serve(l)
+	return func() { l.Close(); tbl.Free() }, "http://" + l.Addr().String(), nil
+}

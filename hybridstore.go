@@ -20,6 +20,7 @@ package hybridstore
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"hybridstore/internal/core"
 	"hybridstore/internal/device"
@@ -123,6 +124,9 @@ type Options struct {
 type DB struct {
 	env *engine.Env
 	eng *core.Engine
+
+	mu     sync.RWMutex
+	tables map[string]*Table
 }
 
 // Open creates a DB.
@@ -144,6 +148,7 @@ func Open(opts Options) *DB {
 			DeviceCache:     opts.DeviceCache,
 			Compress:        opts.Compress,
 		}),
+		tables: make(map[string]*Table),
 	}
 }
 
@@ -201,7 +206,19 @@ func (db *DB) CreateTable(name string, s *Schema) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hybridstore: creating table %q: %w", name, err)
 	}
-	return &Table{db: db, t: t.(*core.Table), e: db.eng, nam: name}, nil
+	tbl := &Table{db: db, t: t.(*core.Table), e: db.eng, nam: name}
+	db.mu.Lock()
+	db.tables[name] = tbl
+	db.mu.Unlock()
+	return tbl, nil
+}
+
+// Table resolves a table by name, or nil when no such table exists. The
+// serving layer uses this registry to bind prepared statements.
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[name]
 }
 
 // Name returns the table name.
@@ -278,6 +295,16 @@ func (t *Table) SumFloat64Where(col int, p FloatPred) (float64, int64, error) {
 // pruned fused pass.
 func (t *Table) CountWhereFloat64(col int, p FloatPred) (int64, error) {
 	return t.t.CountWhereFloat64(col, p)
+}
+
+// SumFloat64WhereMulti answers one SumFloat64Where per predicate from a
+// single shared pass over the column: one MVCC snapshot, one walk of the
+// storage, host fragments streamed once for all predicates. Result k is
+// exactly SumFloat64Where(col, preds[k]) against that snapshot — the
+// serving layer's batching scheduler collapses concurrent compatible
+// queries into this call.
+func (t *Table) SumFloat64WhereMulti(col int, preds []FloatPred) ([]float64, []int64, error) {
+	return t.t.SumFloat64WhereMulti(col, preds)
 }
 
 // GroupResult is one group of a grouped aggregation.

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"hybridstore/internal/exec"
 	"hybridstore/internal/layout"
@@ -104,7 +103,7 @@ func (t *Table) GroupSumFloat64(keyCol, valCol int) ([]exec.GroupResult, error) 
 			out = append(out, *g)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	exec.SortGroupResults(out)
 	return out, nil
 }
 
@@ -186,18 +185,23 @@ func (t *Table) GroupSumFloat64Where(keyCol, valCol int, p exec.Pred[float64]) (
 		return nil, err
 	}
 	merged := exec.MergeGroupResults(devGroups, hostGroups)
-	table := make(map[int64]*exec.GroupResult, len(merged))
-	for i := range merged {
-		g := merged[i]
-		table[g.Key] = &g
-	}
 
 	// Patch the snapshot's visible versions: move matching rows between
 	// groups, drop rows whose new value no longer matches, add rows whose
-	// new value now does.
+	// new value now does. The patch table materializes lazily — a fully
+	// merged table (the common warm serving state) returns the fused
+	// result as-is, with no second hash table and no re-sort.
+	var table map[int64]*exec.GroupResult
 	for row := uint64(0); row < rows; row++ {
 		if t.deltas.LatestTS(row) == 0 {
 			continue
+		}
+		if table == nil {
+			table = make(map[int64]*exec.GroupResult, len(merged))
+			for i := range merged {
+				g := merged[i]
+				table[g.Key] = &g
+			}
 		}
 		rec, err := reader.Read(t.deltas, row)
 		if err != nil {
@@ -230,13 +234,16 @@ func (t *Table) GroupSumFloat64Where(keyCol, valCol int, p exec.Pred[float64]) (
 			cur.Count++
 		}
 	}
+	if table == nil {
+		return merged, nil
+	}
 	out := make([]exec.GroupResult, 0, len(table))
 	for _, g := range table {
 		if g.Count > 0 {
 			out = append(out, *g)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	exec.SortGroupResults(out)
 	return out, nil
 }
 

@@ -69,6 +69,45 @@ type GPU struct {
 	// attribute bus bytes and launches to individual cards while the
 	// process-global device.* totals keep aggregating everything.
 	card *cardCounters
+
+	// scratch recycles the float64 working sets of the block reducers
+	// (partial slots and shared-memory images) so a steady stream of
+	// reductions — the serving layer's warm device-cached scans — runs
+	// without per-launch allocation.
+	scratchMu sync.Mutex
+	scratch   [][]float64
+}
+
+// getF64 pops a zeroed scratch slice of length n.
+func (g *GPU) getF64(n int) []float64 {
+	g.scratchMu.Lock()
+	for i := len(g.scratch) - 1; i >= 0; i-- {
+		if cap(g.scratch[i]) >= n {
+			s := g.scratch[i][:n]
+			g.scratch = append(g.scratch[:i], g.scratch[i+1:]...)
+			g.scratchMu.Unlock()
+			for j := range s {
+				s[j] = 0
+			}
+			return s
+		}
+	}
+	g.scratchMu.Unlock()
+	return make([]float64, n)
+}
+
+// putF64 recycles a scratch slice. The free list stays small: scratch
+// live at any instant is bounded by concurrent launches × (partials +
+// per-SM shared images).
+func (g *GPU) putF64(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	g.scratchMu.Lock()
+	if len(g.scratch) < 64 {
+		g.scratch = append(g.scratch, s[:0])
+	}
+	g.scratchMu.Unlock()
 }
 
 // cardCounters are the registry handles of one indexed card.
@@ -387,7 +426,8 @@ func (g *GPU) reduceSumFloat64(v Vec, cfg LaunchConfig) (float64, float64, error
 	}
 	partials := g.blockReduce(v.Len, cfg, load)
 	// Final pass: one block reduces the per-block partials.
-	total := treeReduce(partials)
+	total := treeReduceInPlace(partials)
+	g.putF64(partials)
 	g.countKernels(2)
 	return total, g.prof.ReduceKernelNs(int64(v.Len), v.Size, v.Stride, cfg.Blocks, cfg.ThreadsPerBlock), nil
 }
@@ -421,7 +461,8 @@ func (g *GPU) reduceSumInt64(v Vec, cfg LaunchConfig) (int64, float64, error) {
 	// Int64 sums in the engines stay well inside float64's exact-integer
 	// range; the shared block reducer keeps one code path.
 	partials := g.blockReduce(v.Len, cfg, load)
-	total := treeReduce(partials)
+	total := treeReduceInPlace(partials)
+	g.putF64(partials)
 	g.countKernels(2)
 	return int64(total), g.prof.ReduceKernelNs(int64(v.Len), v.Size, v.Stride, cfg.Blocks, cfg.ThreadsPerBlock), nil
 }
@@ -466,8 +507,10 @@ func (g *GPU) reduceSumFloat64Where(v Vec, lo, hi float64, cfg LaunchConfig) (fl
 		return 0, 0
 	}
 	sums, counts := g.blockReduce2(v.Len, cfg, load)
-	total := treeReduce(sums)
-	n := treeReduce(counts)
+	total := treeReduceInPlace(sums)
+	n := treeReduceInPlace(counts)
+	g.putF64(sums)
+	g.putF64(counts)
 	g.countKernels(2)
 	return total, int64(n), g.prof.ReduceKernelNs(int64(v.Len), v.Size, v.Stride, cfg.Blocks, cfg.ThreadsPerBlock), nil
 }
@@ -476,44 +519,60 @@ func (g *GPU) reduceSumFloat64Where(v Vec, lo, hi float64, cfg LaunchConfig) (fl
 // images fold side by side, the way a fused kernel carries both
 // accumulators in registers.
 func (g *GPU) blockReduce2(n int, cfg LaunchConfig, load func(int) (float64, float64)) (sums, counts []float64) {
-	sums = make([]float64, cfg.Blocks)
-	counts = make([]float64, cfg.Blocks)
-	sem := make(chan struct{}, g.prof.SMs)
-	var wg sync.WaitGroup
+	sums = g.getF64(cfg.Blocks)
+	counts = g.getF64(cfg.Blocks)
 	perBlock := (n + cfg.Blocks - 1) / cfg.Blocks
-	for b := 0; b < cfg.Blocks; b++ {
-		begin := b * perBlock
-		if begin >= n {
-			break
-		}
-		end := begin + perBlock
-		if end > n {
-			end = n
-		}
+	active := 0
+	if perBlock > 0 {
+		active = (n + perBlock - 1) / perBlock
+	}
+	workers := g.prof.SMs
+	if workers > active {
+		workers = active
+	}
+	// SM-worker model: the hardware runs SMs in parallel and
+	// time-slices blocks over them, so launch one goroutine per SM and
+	// let each pull block indices — per-block results are identical to
+	// a goroutine-per-block launch, but the shared-memory images are
+	// reused across a worker's blocks instead of reallocated.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(b, begin, end int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			sharedS := make([]float64, cfg.ThreadsPerBlock)
-			sharedC := make([]float64, cfg.ThreadsPerBlock)
-			for t := 0; t < cfg.ThreadsPerBlock; t++ {
-				var accS, accC float64
-				for i := begin + t; i < end; i += cfg.ThreadsPerBlock {
-					s, c := load(i)
-					accS += s
-					accC += c
+			sharedS := g.getF64(cfg.ThreadsPerBlock)
+			sharedC := g.getF64(cfg.ThreadsPerBlock)
+			defer g.putF64(sharedS)
+			defer g.putF64(sharedC)
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= active {
+					return
 				}
-				sharedS[t], sharedC[t] = accS, accC
-			}
-			for s := cfg.ThreadsPerBlock / 2; s > 0; s >>= 1 {
-				for t := 0; t < s; t++ {
-					sharedS[t] += sharedS[t+s]
-					sharedC[t] += sharedC[t+s]
+				begin := b * perBlock
+				end := begin + perBlock
+				if end > n {
+					end = n
 				}
+				for t := 0; t < cfg.ThreadsPerBlock; t++ {
+					var accS, accC float64
+					for i := begin + t; i < end; i += cfg.ThreadsPerBlock {
+						s, c := load(i)
+						accS += s
+						accC += c
+					}
+					sharedS[t], sharedC[t] = accS, accC
+				}
+				for s := cfg.ThreadsPerBlock / 2; s > 0; s >>= 1 {
+					for t := 0; t < s; t++ {
+						sharedS[t] += sharedS[t+s]
+						sharedC[t] += sharedC[t+s]
+					}
+				}
+				sums[b], counts[b] = sharedS[0], sharedC[0]
 			}
-			sums[b], counts[b] = sharedS[0], sharedC[0]
-		}(b, begin, end)
+		}()
 	}
 	wg.Wait()
 	return sums, counts
@@ -523,44 +582,55 @@ func (g *GPU) blockReduce2(n int, cfg LaunchConfig, load func(int) (float64, flo
 // owns the grid-stride element range and reduces it tree-style over a
 // shared-memory image of ThreadsPerBlock slots.
 func (g *GPU) blockReduce(n int, cfg LaunchConfig, load func(int) float64) []float64 {
-	partials := make([]float64, cfg.Blocks)
-	// Cap real concurrency at the SM count: the hardware runs SMs in
-	// parallel and time-slices blocks over them.
-	sem := make(chan struct{}, g.prof.SMs)
-	var wg sync.WaitGroup
+	partials := g.getF64(cfg.Blocks)
 	perBlock := (n + cfg.Blocks - 1) / cfg.Blocks
-	for b := 0; b < cfg.Blocks; b++ {
-		begin := b * perBlock
-		if begin >= n {
-			break
-		}
-		end := begin + perBlock
-		if end > n {
-			end = n
-		}
+	active := 0
+	if perBlock > 0 {
+		active = (n + perBlock - 1) / perBlock
+	}
+	// One worker per SM, blocks time-sliced over them (see
+	// blockReduce2): identical per-block partials, reused shared
+	// images.
+	workers := g.prof.SMs
+	if workers > active {
+		workers = active
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(b, begin, end int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
 			// Shared-memory image: each thread t accumulates elements
 			// begin+t, begin+t+T, ... then the tree reduction folds the
 			// T slots.
-			shared := make([]float64, cfg.ThreadsPerBlock)
-			for t := 0; t < cfg.ThreadsPerBlock; t++ {
-				var acc float64
-				for i := begin + t; i < end; i += cfg.ThreadsPerBlock {
-					acc += load(i)
+			shared := g.getF64(cfg.ThreadsPerBlock)
+			defer g.putF64(shared)
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= active {
+					return
 				}
-				shared[t] = acc
-			}
-			for s := cfg.ThreadsPerBlock / 2; s > 0; s >>= 1 {
-				for t := 0; t < s; t++ {
-					shared[t] += shared[t+s]
+				begin := b * perBlock
+				end := begin + perBlock
+				if end > n {
+					end = n
 				}
+				for t := 0; t < cfg.ThreadsPerBlock; t++ {
+					var acc float64
+					for i := begin + t; i < end; i += cfg.ThreadsPerBlock {
+						acc += load(i)
+					}
+					shared[t] = acc
+				}
+				for s := cfg.ThreadsPerBlock / 2; s > 0; s >>= 1 {
+					for t := 0; t < s; t++ {
+						shared[t] += shared[t+s]
+					}
+				}
+				partials[b] = shared[0]
 			}
-			partials[b] = shared[0]
-		}(b, begin, end)
+		}()
 	}
 	wg.Wait()
 	return partials
@@ -568,7 +638,12 @@ func (g *GPU) blockReduce(n int, cfg LaunchConfig, load func(int) float64) []flo
 
 // treeReduce folds a slice pairwise, mirroring the final one-block pass.
 func treeReduce(xs []float64) float64 {
-	buf := append([]float64(nil), xs...)
+	return treeReduceInPlace(append([]float64(nil), xs...))
+}
+
+// treeReduceInPlace is treeReduce over a buffer the caller owns — the
+// reducers fold their recycled partial slots without a defensive copy.
+func treeReduceInPlace(buf []float64) float64 {
 	for len(buf) > 1 {
 		half := (len(buf) + 1) / 2
 		for i := 0; i+half < len(buf); i++ {

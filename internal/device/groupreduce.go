@@ -1,10 +1,11 @@
 package device
 
 import (
+	"cmp"
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"hybridstore/internal/compress"
 )
@@ -219,6 +220,6 @@ func sortedGroups(table map[int64]*GroupPartial) []GroupPartial {
 	for _, gr := range table {
 		out = append(out, *gr)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	slices.SortFunc(out, func(a, b GroupPartial) int { return cmp.Compare(a.Key, b.Key) })
 	return out
 }

@@ -21,6 +21,7 @@ package hyper
 
 import (
 	"fmt"
+	"sync"
 
 	"hybridstore/internal/compress"
 	"hybridstore/internal/engine"
@@ -100,8 +101,15 @@ func (c *chunk) free() {
 }
 
 // Table is a HyPer relation.
+//
+// mu guards the chunk list, chunk contents, refcounts and the detached
+// set: writers (Insert via appendRecord, Update, Compact, snapshot
+// pin/release, Free) take it exclusively, readers (scans, point reads,
+// snapshot scans) share it. The promoted common.Table entry points are
+// re-declared in locked.go so every public method participates.
 type Table struct {
 	*common.Table
+	mu        sync.RWMutex
 	chunkRows uint64
 	chunks    []*chunk
 	// detached holds chunks that were replaced (by COW or compaction)
@@ -212,6 +220,8 @@ func (t *Table) chunkFor(row uint64) (*chunk, error) {
 // Update copy-on-writes the chunk when an analytic snapshot references
 // it, then writes in place and heats the chunk.
 func (t *Table) Update(row uint64, col int, v schema.Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if row >= t.Rel.Rows() {
 		return fmt.Errorf("%w: row %d of %d", engine.ErrNoSuchRow, row, t.Rel.Rows())
 	}
@@ -258,10 +268,16 @@ func (t *Table) cloneChunk(c *chunk) (*chunk, error) {
 }
 
 // Chunks returns the live chunk count.
-func (t *Table) Chunks() int { return len(t.chunks) }
+func (t *Table) Chunks() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.chunks)
+}
 
 // FrozenChunks counts compaction-produced chunks.
 func (t *Table) FrozenChunks() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := 0
 	for _, c := range t.chunks {
 		if c.frozen {
@@ -275,6 +291,8 @@ func (t *Table) FrozenChunks() int {
 // wider frozen chunks and cools every chunk for the next round. It
 // returns the number of chunks eliminated.
 func (t *Table) Compact() (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var out []*chunk
 	merged := 0
 	i := 0
@@ -376,6 +394,8 @@ func (t *Table) fuse(run []*chunk) (*chunk, error) {
 // host operator, where every write would otherwise invalidate their
 // cached image.
 func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	_, _, closed := exec.ClosedFloat64(p)
 	useDev := t.deviceScan && t.Env.Cache != nil && closed
 	if (!useDev && !t.compress) ||
@@ -437,6 +457,8 @@ func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, 
 // Group keys stay raw on the device path — the fused kernel reads them
 // alongside the value sweep.
 func (t *Table) GroupSumFloat64Where(keyCol, valCol int, p exec.Pred[float64]) ([]exec.GroupResult, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	_, _, closed := exec.ClosedFloat64(p)
 	useDev := t.deviceScan && t.Env.Cache != nil && closed
 	s := t.Rel.Schema()
@@ -517,6 +539,8 @@ type AnalyticSnapshot struct {
 
 // AnalyticSnapshot creates a snapshot of the table.
 func (t *Table) AnalyticSnapshot() *AnalyticSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	snap := &AnalyticSnapshot{t: t, rows: t.Rel.Rows()}
 	for _, c := range t.chunks {
 		c.refs++
@@ -530,6 +554,8 @@ func (s *AnalyticSnapshot) Rows() uint64 { return s.rows }
 
 // SumFloat64 aggregates col over the snapshot's pinned chunks.
 func (s *AnalyticSnapshot) SumFloat64(col int) (float64, error) {
+	s.t.mu.RLock()
+	defer s.t.mu.RUnlock()
 	if s.freed {
 		return 0, fmt.Errorf("hyper: %w: snapshot released", engine.ErrUnsupported)
 	}
@@ -555,6 +581,8 @@ func (s *AnalyticSnapshot) SumFloat64(col int) (float64, error) {
 // Release unpins the snapshot; parked chunks with no remaining
 // references are freed.
 func (s *AnalyticSnapshot) Release() {
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
 	if s.freed {
 		return
 	}
@@ -575,6 +603,8 @@ func (s *AnalyticSnapshot) Release() {
 
 // Free releases the table, its chunks and any parked chunks.
 func (t *Table) Free() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.Table.Free() // frees everything attached to the layout
 	for _, c := range t.detached {
 		c.free()

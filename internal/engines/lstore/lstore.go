@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"hybridstore/internal/compress"
 	"hybridstore/internal/engine"
@@ -73,7 +74,12 @@ type column struct {
 }
 
 // Table is an L-Store relation.
+// mu guards the column pages, the page dictionary and lineage chains:
+// writers (Insert, Update, Merge, Free) take it exclusively, readers
+// (point reads, scans, grouped scans, stats accessors) share it.
 type Table struct {
+	mu sync.RWMutex
+
 	env *engine.Env
 	rel *layout.Relation
 	cfg exec.Config
@@ -119,17 +125,31 @@ func (e *Engine) Create(name string, s *schema.Schema) (engine.Table, error) {
 func (t *Table) Schema() *schema.Schema { return t.s }
 
 // Rows returns the row count.
-func (t *Table) Rows() uint64 { return t.rows }
+func (t *Table) Rows() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
 
 // Merges returns how many merge passes have run.
-func (t *Table) Merges() int { return t.merges }
+func (t *Table) Merges() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.merges
+}
 
 // SealedRows returns how many rows live in the compressed base region.
-func (t *Table) SealedRows() uint64 { return t.sealedRows }
+func (t *Table) SealedRows() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.sealedRows
+}
 
 // CompressionRatio returns the aggregate base-region compression ratio
 // (uncompressed bytes / compressed bytes), or 1 before the first merge.
 func (t *Table) CompressionRatio() float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var raw, packed float64
 	for c, col := range t.cols {
 		if col.sealed == nil {
@@ -146,6 +166,8 @@ func (t *Table) CompressionRatio() float64 {
 
 // TailLength returns the total live tail records across all columns.
 func (t *Table) TailLength() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := 0
 	for _, c := range t.cols {
 		n += c.tail.Len()
@@ -155,6 +177,8 @@ func (t *Table) TailLength() int {
 
 // Insert appends a base record to the appendable region.
 func (t *Table) Insert(rec schema.Record) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(rec) != t.s.Arity() {
 		return 0, fmt.Errorf("%w: arity %d vs schema %d", schema.ErrArityMismatch, len(rec), t.s.Arity())
 	}
@@ -194,6 +218,8 @@ func newDictRow(arity int) []int32 {
 // state; the base region is never written (delegation between the base
 // and tail regions of the layout).
 func (t *Table) Update(row uint64, col int, v schema.Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if row >= t.rows {
 		return fmt.Errorf("%w: row %d of %d", engine.ErrNoSuchRow, row, t.rows)
 	}
@@ -249,6 +275,14 @@ func (t *Table) valueAsOf(row uint64, col int, back int) (schema.Value, error) {
 // Get materializes the current record, dereferencing base or tail slots
 // through the page dictionary.
 func (t *Table) Get(row uint64) (schema.Record, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.getLocked(row)
+}
+
+// getLocked is Get under an already-held lock (Materialize shares it;
+// RWMutex read locks must not recurse while a writer waits).
+func (t *Table) getLocked(row uint64) (schema.Record, error) {
 	if row >= t.rows {
 		return nil, fmt.Errorf("%w: row %d of %d", engine.ErrNoSuchRow, row, t.rows)
 	}
@@ -266,6 +300,8 @@ func (t *Table) Get(row uint64) (schema.Record, error) {
 // GetVersion materializes the record as of `back` updates ago per
 // attribute (0 = current) — L-Store's historic querying.
 func (t *Table) GetVersion(row uint64, back int) (schema.Record, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if row >= t.rows {
 		return nil, fmt.Errorf("%w: row %d of %d", engine.ErrNoSuchRow, row, t.rows)
 	}
@@ -287,6 +323,8 @@ func (t *Table) GetVersion(row uint64, back int) (schema.Record, error) {
 // fast path, the appendable region through the bulk operator, then rows
 // with tail versions are patched through the dictionary.
 func (t *Table) SumFloat64(col int) (float64, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if col < 0 || col >= t.s.Arity() {
 		return 0, fmt.Errorf("%w: col %d", layout.ErrOutOfRange, col)
 	}
@@ -335,7 +373,7 @@ func (t *Table) SumFloat64(col int) (float64, error) {
 func (t *Table) Materialize(positions []uint64) ([]schema.Record, error) {
 	out := make([]schema.Record, len(positions))
 	for i, p := range positions {
-		rec, err := t.Get(p)
+		rec, err := t.getLocked(p)
 		if err != nil {
 			return nil, err
 		}
@@ -350,6 +388,8 @@ func (t *Table) Materialize(positions []uint64) ([]schema.Record, error) {
 // scans fast. Historic versions are consolidated away, exactly like
 // L-Store's epoch-based merge.
 func (t *Table) Merge() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	l, _ := t.rel.Primary()
 	for col, c := range t.cols {
 		size := t.s.Attr(col).Size
@@ -452,6 +492,14 @@ func sealZone(image []byte, n int, a schema.Attribute) *stats.Zone {
 // zone is conservative: a base value matching p implies the sealed
 // region was scanned.
 func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.sumFloat64WhereLocked(col, p)
+}
+
+// sumFloat64WhereLocked is SumFloat64Where under an already-held lock
+// (CountWhereFloat64 shares it).
+func (t *Table) sumFloat64WhereLocked(col int, p exec.Pred[float64]) (float64, int64, error) {
 	if col < 0 || col >= t.s.Arity() {
 		return 0, 0, fmt.Errorf("%w: col %d", layout.ErrOutOfRange, col)
 	}
@@ -519,7 +567,9 @@ func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, 
 // CountWhereFloat64 counts the rows matching p on col with the same
 // pruning as SumFloat64Where.
 func (t *Table) CountWhereFloat64(col int, p exec.Pred[float64]) (int64, error) {
-	_, n, err := t.SumFloat64Where(col, p)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, n, err := t.sumFloat64WhereLocked(col, p)
 	return n, err
 }
 
@@ -533,6 +583,8 @@ func (t *Table) CountWhereFloat64(col int, p exec.Pred[float64]) (int64, error) 
 // are conservative: a base value matching p implies the sealed pair was
 // scanned.
 func (t *Table) GroupSumFloat64Where(keyCol, valCol int, p exec.Pred[float64]) ([]exec.GroupResult, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if keyCol < 0 || keyCol >= t.s.Arity() || valCol < 0 || valCol >= t.s.Arity() {
 		return nil, fmt.Errorf("%w: cols %d,%d", layout.ErrOutOfRange, keyCol, valCol)
 	}
@@ -640,6 +692,8 @@ func (t *Table) GroupSumFloat64Where(keyCol, valCol int, p exec.Pred[float64]) (
 // classifier see the combined (strong flexible) partitioning: vertical
 // per attribute, horizontal base/tail within each attribute.
 func (t *Table) Snapshot() layout.Snapshot {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	s := layout.Snapshot{Relation: t.rel.Name(), Arity: t.s.Arity(), Rows: t.rows}
 	li := layout.LayoutInfo{Name: "base+tail"}
 	for col, c := range t.cols {
@@ -664,6 +718,8 @@ func (t *Table) Snapshot() layout.Snapshot {
 
 // Free releases all storage.
 func (t *Table) Free() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, c := range t.cols {
 		c.tail.Free()
 	}

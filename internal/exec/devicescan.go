@@ -11,7 +11,6 @@ package exec
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"hybridstore/internal/device"
 	"hybridstore/internal/layout"
@@ -368,7 +367,7 @@ func (d DeviceScan) GroupSumFloat64Where(keyCol, valCol int, keys, vals []Piece,
 	for _, gr := range table {
 		out = append(out, *gr)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	SortGroupResults(out)
 	return out, nil
 }
 

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 
 	"hybridstore/internal/exec/pool"
@@ -93,7 +92,7 @@ func GroupSumFloat64(cfg Config, keys, vals []Piece) ([]GroupResult, error) {
 	for _, g := range merged {
 		out = append(out, *g)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	SortGroupResults(out)
 	cfg.chargeScan(keys)
 	cfg.chargeScan(vals)
 	ot.end()

@@ -1,27 +1,58 @@
 package exec
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
+
+// SortGroupResults orders a group table by key. Group tables are the
+// tail of every grouped-aggregate answer, so this runs on the serving
+// hot path — slices.SortFunc compiles to a monomorphic comparison,
+// where sort.Slice pays reflect.Swapper per element.
+func SortGroupResults(out []GroupResult) {
+	slices.SortFunc(out, func(a, b GroupResult) int { return cmp.Compare(a.Key, b.Key) })
+}
 
 // MergeGroupResults folds any number of partial group-result slices
 // (e.g. a host-fused table and a device-fused table over disjoint
-// fragments) into one table sorted by key.
+// fragments) into one table sorted by key. Each part must itself be a
+// group table — one entry per key — as every producer emits; a single
+// non-empty part short-circuits to a sorted copy.
 func MergeGroupResults(parts ...[]GroupResult) []GroupResult {
-	merged := make(map[int64]*GroupResult)
+	single := -1
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		if single >= 0 {
+			single = -2
+			break
+		}
+		single = i
+	}
+	if single == -1 {
+		return nil
+	}
+	if single >= 0 {
+		out := append([]GroupResult(nil), parts[single]...)
+		SortGroupResults(out)
+		return out
+	}
+	// Index into the output slice instead of a map of pointers: one
+	// allocation for the table, not one per group.
+	idx := make(map[int64]int)
+	var out []GroupResult
 	for _, part := range parts {
 		for _, g := range part {
-			if m, ok := merged[g.Key]; ok {
-				m.Sum += g.Sum
-				m.Count += g.Count
+			if j, ok := idx[g.Key]; ok {
+				out[j].Sum += g.Sum
+				out[j].Count += g.Count
 			} else {
-				cp := g
-				merged[g.Key] = &cp
+				idx[g.Key] = len(out)
+				out = append(out, g)
 			}
 		}
 	}
-	out := make([]GroupResult, 0, len(merged))
-	for _, g := range merged {
-		out = append(out, *g)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	SortGroupResults(out)
 	return out
 }

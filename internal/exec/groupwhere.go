@@ -1,10 +1,11 @@
 package exec
 
 import (
+	"cmp"
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -406,7 +407,7 @@ func GroupSumFloat64Where(cfg Config, keys, vals []Piece, p Pred[float64]) ([]Gr
 	for _, g := range merged {
 		out = append(out, *g)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	SortGroupResults(out)
 	mGroupFusedGroups.Add(int64(len(out)))
 	cfg.chargeScan(kKeys)
 	cfg.chargeScan(kVals)
@@ -481,7 +482,7 @@ func GroupSumInt64Where(cfg Config, keys, vals []Piece, p Pred[int64]) ([]GroupR
 	for _, g := range merged {
 		out = append(out, *g)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	slices.SortFunc(out, func(a, b GroupResultInt64) int { return cmp.Compare(a.Key, b.Key) })
 	mGroupFusedGroups.Add(int64(len(out)))
 	cfg.chargeScan(kKeys)
 	cfg.chargeScan(kVals)
@@ -693,6 +694,6 @@ func mergeCountTables(tables []map[int64]*GroupResult) []GroupResult {
 	for _, g := range merged {
 		out = append(out, *g)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	SortGroupResults(out)
 	return out
 }

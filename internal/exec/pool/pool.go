@@ -413,3 +413,39 @@ func PutFloat64s(s []float64) {
 	s = s[:0]
 	floatsPool.Put(&s)
 }
+
+var bytesPool = sync.Pool{New: func() any {
+	s := make([]byte, 0, 4096)
+	return &s
+}}
+
+// GetBytes returns an empty byte buffer with whatever capacity a
+// previous user left behind — response serialization and request
+// decoding in the serving layer run allocation-free at steady state by
+// appending into these.
+func GetBytes() []byte {
+	return (*bytesPool.Get().(*[]byte))[:0]
+}
+
+// GetBytesCap returns an empty byte buffer with capacity for at least n
+// bytes, with the same re-pool-if-too-small discipline as GetFloat64s:
+// an undersized fetch goes back for smaller callers and the grown
+// replacement joins the pool on PutBytes.
+func GetBytesCap(n int) []byte {
+	s := GetBytes()
+	if cap(s) < n {
+		PutBytes(s)
+		return make([]byte, 0, n)
+	}
+	return s
+}
+
+// PutBytes recycles a byte buffer. The contents become invalid; callers
+// must finish writing the bytes out first.
+func PutBytes(s []byte) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	bytesPool.Put(&s)
+}

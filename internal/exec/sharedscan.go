@@ -1,0 +1,147 @@
+package exec
+
+import (
+	"hybridstore/internal/obs"
+	"hybridstore/internal/stats"
+)
+
+// This file is the shared-scan operator behind the serving layer's
+// batching scheduler (Crescando/SharedDB-style): K sargable predicates
+// over the same column evaluated in ONE pass over the data instead of K.
+// Concurrent dashboard-style queries that arrive within a batching
+// window differ only in their predicate bounds; streaming each fragment
+// once and testing all predicates against the resident cache line
+// amortizes the memory traffic that dominates fused aggregation.
+//
+// Contract: result k is the answer SumFloat64Where(cfg, pieces,
+// preds[k]) would have produced. Under SingleThreaded the fold order per
+// predicate is piece-major exactly like the solo operator's sequential
+// fold, so results are bit-identical; under the parallel host policies
+// the solo operator folds worker partials in slot order, so shared and
+// solo agree exactly whenever the sums are fold-order insensitive
+// (integer-valued data, or any count). The serving layer runs requests
+// SingleThreaded — inter-query parallelism comes from the batch of
+// clients, not from intra-query threads — which keeps the bit-identity
+// guarantee end to end.
+
+// Shared-scan observability: ops counts operator invocations, preds the
+// predicates folded into them, and saved_passes the passes over the data
+// the sharing avoided (preds - ops). bytes_once records the union bytes
+// each invocation streamed.
+var (
+	obsSharedSum      = newOpObs("sharedsumwhere")
+	mSharedPreds      = obs.NewCounter("exec.sharedscan.preds")
+	mSharedSaved      = obs.NewCounter("exec.sharedscan.saved_passes")
+	gSharedBytesOnce  = obs.NewGauge("exec.sharedscan.last_bytes_once")
+	mSharedBytesSaved = obs.NewCounter("exec.sharedscan.saved_bytes_total")
+)
+
+// SumFloat64WhereMulti computes SUM(col), COUNT(*) WHERE preds[k] for
+// every k in one shared scan. Zone maps are consulted per predicate —
+// a piece is streamed when at least one predicate admits it and each
+// predicate only sees the pieces its own zone test admits, exactly as in
+// K solo scans — but the platform model is charged for the union of
+// surviving pieces once, not K times: that is the batching win.
+func SumFloat64WhereMulti(cfg Config, pieces []Piece, preds []Pred[float64]) ([]float64, []int64, error) {
+	sums := make([]float64, len(preds))
+	counts := make([]int64, len(preds))
+	if len(preds) == 0 {
+		return sums, counts, nil
+	}
+	if len(preds) == 1 {
+		s, n, err := SumFloat64Where(cfg, pieces, preds[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		sums[0], counts[0] = s, n
+		return sums, counts, nil
+	}
+	if err := checkSize8(pieces, "shared fused float64 sum"); err != nil {
+		return nil, nil, err
+	}
+	ot := obsSharedSum.start(cfg.Policy)
+	mSharedPreds.Add(int64(len(preds)))
+	mSharedSaved.Add(int64(len(preds) - 1))
+
+	// Per-predicate zone decisions, with the same counter/span/clock
+	// accounting K solo scans would have produced. The admit matrix
+	// drives the shared pass; kept[k] feeds the compressed-domain path.
+	admit := make([]bool, len(preds)*len(pieces))
+	kept := make([][]Piece, len(preds))
+	var perPredBytes int64
+	for k := range preds {
+		p := preds[k]
+		kp, _ := pruneByZone(cfg, pieces, func(z *stats.Zone) bool { return zoneAdmitsFloat64(z, p) })
+		kept[k] = kp
+		row := admit[k*len(pieces) : (k+1)*len(pieces)]
+		for i := range pieces {
+			row[i] = zoneAdmitsFloat64(pieces[i].Zone, p)
+			if row[i] {
+				perPredBytes += int64(pieces[i].Vec.Len) * int64(pieces[i].Vec.Size)
+			}
+		}
+	}
+
+	// Shared raw pass, piece-major: each surviving raw piece is streamed
+	// once and every admitting predicate folds it in original piece
+	// order — the solo sequential fold order per predicate.
+	for i := range pieces {
+		pc := &pieces[i]
+		if pc.Comp != nil {
+			continue
+		}
+		for k := range preds {
+			if !admit[k*len(pieces)+i] {
+				continue
+			}
+			s, n := sumWhereF64(pc.Vec, 0, pc.Vec.Len, preds[k])
+			sums[k] += s
+			counts[k] += n
+		}
+	}
+
+	// Compressed pieces fold after the raw ones per predicate, matching
+	// the solo operator's raw-then-compressed order. Encoded images are
+	// evaluated per predicate at encoding granularity; the encoded bytes
+	// are typically a small fraction of the raw union.
+	for k := range preds {
+		var comp []Piece
+		for _, pc := range kept[k] {
+			if pc.Comp != nil {
+				comp = append(comp, pc)
+			}
+		}
+		if len(comp) == 0 {
+			continue
+		}
+		cs, cn, err := compSumCountF64(cfg, comp, preds[k])
+		if err != nil {
+			ot.end()
+			return nil, nil, err
+		}
+		sums[k] += cs
+		counts[k] += cn
+	}
+
+	// Charge the union of surviving pieces once. K solo scans would have
+	// streamed perPredBytes in total; the difference is the traffic the
+	// shared pass saved.
+	var union []Piece
+	var unionBytes int64
+	for i := range pieces {
+		for k := range preds {
+			if admit[k*len(pieces)+i] {
+				union = append(union, pieces[i])
+				unionBytes += int64(pieces[i].Vec.Len) * int64(pieces[i].Vec.Size)
+				break
+			}
+		}
+	}
+	cfg.chargeScan(union)
+	gSharedBytesOnce.Set(unionBytes)
+	if saved := perPredBytes - unionBytes; saved > 0 {
+		mSharedBytesSaved.Add(saved)
+	}
+	ot.end()
+	return sums, counts, nil
+}

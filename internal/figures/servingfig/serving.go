@@ -1,0 +1,285 @@
+// Package servingfig measures the serving-layer panel: the warp-style
+// load harness against loopback HTTP front ends over one warm
+// device-cached store, batched vs unbatched, across a concurrency
+// sweep. It lives beside (not inside) the figures package because it
+// drives the public facade end to end, which the figures package —
+// imported by the facade's own benchmarks — cannot.
+package servingfig
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"hybridstore"
+	"hybridstore/internal/server"
+	"hybridstore/internal/server/loadgen"
+)
+
+// The serving panel measures the network serving layer end to end: the
+// warp-style load harness drives loopback HTTP against one warm
+// device-cached item table through two front ends over the same store —
+// one with the shared-scan batching scheduler on, one executing every
+// request solo — across a concurrency sweep. At one client the two
+// paths are near-identical (a cohort of one); as concurrency grows the
+// batched server folds compatible analytic requests into shared passes
+// and pulls ahead on wall-clock QPS.
+
+// ServingClass is one operation class of a leg: wall-clock throughput
+// and tail latency in microseconds.
+type ServingClass struct {
+	Name         string
+	Ops          int64
+	QPS          float64
+	P50us, P99us float64
+}
+
+// ServingLeg is one (concurrency, mode) cell of the sweep.
+type ServingLeg struct {
+	Concurrency int
+	// Batched reports whether the leg ran through the batching server.
+	Batched bool
+	// WallSeconds is the measured wall-clock time; QPS the aggregate
+	// completed-request rate over it.
+	WallSeconds float64
+	QPS         float64
+	Ops, Errors int64
+	// Classes holds the per-class breakdown (write, sum, group).
+	Classes []ServingClass
+}
+
+// ServingSweep is the full panel.
+type ServingSweep struct {
+	Rows          uint64
+	Mix           string
+	LegSeconds    float64
+	Concurrencies []int
+	Legs          []ServingLeg
+}
+
+// servingGroups is the group-key cardinality of the serving fixture: a
+// dashboard-scale domain (think warehouses or districts), not the item
+// generator's near-unique image ids.
+const servingGroups = 64
+
+// MeasureServing runs the sweep: for each concurrency, one leg against
+// the unbatched front end and one against the batched front end, both
+// over the same warm device-cached table. legDur is the wall time per
+// leg (default 1.2s).
+func MeasureServing(rows uint64, concurrencies []int, legDur time.Duration) (*ServingSweep, error) {
+	if len(concurrencies) == 0 {
+		concurrencies = DefaultServingConcurrencies()
+	}
+	if legDur <= 0 {
+		legDur = 1200 * time.Millisecond
+	}
+	db := hybridstore.Open(hybridstore.Options{ChunkRows: 256, DeviceCache: true})
+	tbl, err := db.CreateTable("item", hybridstore.ItemSchema())
+	if err != nil {
+		return nil, err
+	}
+	defer tbl.Free()
+	for i := uint64(0); i < rows; i++ {
+		if _, err := tbl.Insert(hybridstore.Item(i)); err != nil {
+			return nil, err
+		}
+	}
+	// Re-key i_im_id to a dashboard-cardinality group domain (the raw
+	// generator gives near-unique ids, which makes every group-by answer
+	// as wide as the table), then fold the rewrites so the legs run over
+	// clean base fragments.
+	for i := uint64(0); i < rows; i++ {
+		if err := tbl.Update(i, 1, hybridstore.Int32Value(int32(i%servingGroups))); err != nil {
+			return nil, err
+		}
+	}
+	if err := tbl.Merge(); err != nil {
+		return nil, err
+	}
+	// Warm the device cache before any leg: the sweep compares serving
+	// paths, not cold-start transfer costs.
+	if _, _, err := tbl.SumFloat64Where(hybridstore.ItemPriceColumn, hybridstore.GtFloat(0)); err != nil {
+		return nil, err
+	}
+
+	// Two front ends over the one store: solo execution and the batching
+	// scheduler at its tuned window.
+	urls := make(map[bool]string)
+	for _, batched := range []bool{false, true} {
+		window := time.Duration(0)
+		if batched {
+			window = server.DefaultBatchWindow
+		}
+		s := server.New(server.Config{DB: db, BatchWindow: window})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		defer l.Close()
+		go s.Serve(l)
+		urls[batched] = "http://" + l.Addr().String()
+	}
+
+	const mix = "write=20,sum=60,group=20"
+	m, err := loadgen.ParseMix(mix)
+	if err != nil {
+		return nil, err
+	}
+	sweep := &ServingSweep{
+		Rows:          rows,
+		Mix:           mix,
+		LegSeconds:    legDur.Seconds(),
+		Concurrencies: concurrencies,
+	}
+	// Short discarded shakeout leg per front end: connection setup, pool
+	// priming and JIT-warm paths happen off the clock.
+	for _, batched := range []bool{false, true} {
+		if _, err := loadgen.Run(loadgen.Options{
+			BaseURL: urls[batched], Rows: rows, Concurrency: 4,
+			Duration: 150 * time.Millisecond, Mix: m,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, conc := range concurrencies {
+		for _, batched := range []bool{false, true} {
+			res, err := loadgen.Run(loadgen.Options{
+				BaseURL:     urls[batched],
+				Rows:        rows,
+				Concurrency: conc,
+				Duration:    legDur,
+				Mix:         m,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if res.TotalErrs > 0 {
+				return nil, fmt.Errorf("figures: serving leg c=%d batched=%v had %d errors", conc, batched, res.TotalErrs)
+			}
+			leg := ServingLeg{
+				Concurrency: conc,
+				Batched:     batched,
+				WallSeconds: res.Wall.Seconds(),
+				QPS:         res.QPS,
+				Ops:         res.TotalOps,
+				Errors:      res.TotalErrs,
+			}
+			for _, c := range res.Classes {
+				leg.Classes = append(leg.Classes, ServingClass{
+					Name:  c.Name,
+					Ops:   c.Ops,
+					QPS:   c.QPS,
+					P50us: float64(c.P50.Nanoseconds()) / 1e3,
+					P99us: float64(c.P99.Nanoseconds()) / 1e3,
+				})
+			}
+			sweep.Legs = append(sweep.Legs, leg)
+		}
+	}
+	return sweep, nil
+}
+
+// DefaultServingConcurrencies is the published sweep: a lone client, a
+// small pool, and a 32-client burst.
+func DefaultServingConcurrencies() []int { return []int{1, 8, 32} }
+
+// Leg returns the (concurrency, batched) cell, or nil.
+func (s *ServingSweep) Leg(conc int, batched bool) *ServingLeg {
+	for i := range s.Legs {
+		if s.Legs[i].Concurrency == conc && s.Legs[i].Batched == batched {
+			return &s.Legs[i]
+		}
+	}
+	return nil
+}
+
+// Speedup returns batched QPS over unbatched QPS at one concurrency
+// (0 when either leg is missing).
+func (s *ServingSweep) Speedup(conc int) float64 {
+	b, u := s.Leg(conc, true), s.Leg(conc, false)
+	if b == nil || u == nil || u.QPS == 0 {
+		return 0
+	}
+	return b.QPS / u.QPS
+}
+
+// Render formats the sweep as a fixed-width table.
+func (s *ServingSweep) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serving panel: loopback HTTP over %d warm device-cached rows, mix %s, %.1fs per leg\n",
+		s.Rows, s.Mix, s.LegSeconds)
+	b.WriteString("batched = shared-scan batching scheduler; unbatched = every request executes solo\n")
+	rows := [][]string{{"clients", "mode", "qps", "write p99", "sum p99", "group p99", "speedup"}}
+	for _, leg := range s.Legs {
+		mode := "unbatched"
+		speed := ""
+		if leg.Batched {
+			mode = "batched"
+			speed = fmt.Sprintf("%.2fx", s.Speedup(leg.Concurrency))
+		}
+		row := []string{fmt.Sprintf("%d", leg.Concurrency), mode, fmt.Sprintf("%.0f", leg.QPS)}
+		for _, c := range leg.Classes {
+			row = append(row, fmt.Sprintf("%.0fµs", c.P99us))
+		}
+		for len(row) < 6 {
+			row = append(row, "")
+		}
+		row = append(row, speed)
+		rows = append(rows, row)
+	}
+	renderTable(&b, rows)
+	return b.String()
+}
+
+// CSV renders the sweep, one row per (concurrency, mode) leg.
+func (s *ServingSweep) CSV() string {
+	var b strings.Builder
+	b.WriteString("clients,mode,qps,ops,errors,write_qps,write_p99_us,sum_qps,sum_p99_us,group_qps,group_p99_us\n")
+	for _, leg := range s.Legs {
+		mode := "unbatched"
+		if leg.Batched {
+			mode = "batched"
+		}
+		fmt.Fprintf(&b, "%d,%s,%.1f,%d,%d", leg.Concurrency, mode, leg.QPS, leg.Ops, leg.Errors)
+		for _, c := range leg.Classes {
+			fmt.Fprintf(&b, ",%.1f,%.1f", c.QPS, c.P99us)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// renderTable formats rows as a fixed-width table with a rule under the
+// header (same layout the figures package uses).
+func renderTable(b *strings.Builder, rows [][]string) {
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for r, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+		if r == 0 {
+			total := 0
+			for i, w := range widths {
+				if i > 0 {
+					total += 2
+				}
+				total += w
+			}
+			b.WriteString(strings.Repeat("-", total))
+			b.WriteByte('\n')
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package servingfig
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServingSweep is the serving-layer acceptance gate: at a 32-client
+// burst over warm device-cached data, the batching front end must beat
+// the solo front end on wall-clock QPS, and every leg must report a
+// per-class p99. Real wall-clock measurement on shared CI hardware is
+// noisy, so the gate demands a conservative 1.2x (the published panel
+// typically shows well above 1.5x) and allows one retry.
+func TestServingSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving sweep measures wall-clock legs; skipped in -short")
+	}
+	const minSpeedup = 1.2
+	var s *ServingSweep
+	for attempt := 0; attempt < 2; attempt++ {
+		var err error
+		s, err = MeasureServing(4096, []int{1, 32}, 800*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Speedup(32) >= minSpeedup {
+			break
+		}
+		t.Logf("attempt %d: speedup at 32 clients %.2fx < %.1fx, retrying", attempt+1, s.Speedup(32), minSpeedup)
+	}
+	if got := s.Speedup(32); got < minSpeedup {
+		t.Errorf("batched front end %.2fx vs unbatched at 32 clients, want >= %.1fx\n%s", got, minSpeedup, s.Render())
+	}
+	for _, leg := range s.Legs {
+		if leg.Errors != 0 {
+			t.Errorf("leg c=%d batched=%v had %d errors", leg.Concurrency, leg.Batched, leg.Errors)
+		}
+		if len(leg.Classes) != 3 {
+			t.Fatalf("leg c=%d batched=%v has %d classes", leg.Concurrency, leg.Batched, len(leg.Classes))
+		}
+		for _, c := range leg.Classes {
+			if c.Ops > 0 && c.P99us <= 0 {
+				t.Errorf("leg c=%d batched=%v class %s: %d ops but p99 %.1fus",
+					leg.Concurrency, leg.Batched, c.Name, c.Ops, c.P99us)
+			}
+		}
+	}
+	out := s.Render()
+	for _, want := range []string{"batched", "unbatched", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	csv := s.CSV()
+	if !strings.HasPrefix(csv, "clients,mode,qps,ops,errors,write_qps,write_p99_us,sum_qps,sum_p99_us,group_qps,group_p99_us\n") {
+		t.Errorf("bad csv header:\n%s", csv)
+	}
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 1+len(s.Legs) {
+		t.Errorf("csv row count mismatch:\n%s", csv)
+	}
+}

@@ -94,19 +94,26 @@ func bucketFor(ns int64) int {
 }
 
 // Observe records one nanosecond measurement.
+//
+// Field order matters for snapshot consistency: sum, bucket and max are
+// published before count, so an observation that is visible in count is
+// fully visible everywhere else. Snapshot exploits this — it re-reads
+// count around the other fields and retries until the copy is stable —
+// which is what keeps WriteMetricsJSON taken mid-scan from tearing a
+// histogram (count without its bucket, or a bucket without its sum).
 func (h *Histogram) Observe(ns int64) {
 	if ns < 0 {
 		ns = 0
 	}
-	h.count.Add(1)
 	h.sum.Add(ns)
 	h.buckets[bucketFor(ns)].Add(1)
 	for {
 		cur := h.max.Load()
 		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
-			return
+			break
 		}
 	}
+	h.count.Add(1)
 }
 
 // ObserveSince records the time elapsed since t0.
@@ -143,6 +150,78 @@ func (h *Histogram) Quantile(q float64) int64 {
 		}
 	}
 	return h.max.Load()
+}
+
+// Snapshot returns a self-consistent summary of the histogram even while
+// other goroutines are observing into it. Consistency means the exported
+// Count equals the sum of the (copied) bucket populations the quantiles
+// are computed from, and SumNs covers exactly the counted observations.
+//
+// The implementation is an optimistic seqlock over the count field:
+// Observe publishes count last, so a copy whose count reading is stable
+// across the reads of sum/buckets/max — and whose bucket total equals
+// that count — contains only fully published observations. Under a
+// sustained write storm the loop relaxes after a bounded number of
+// attempts: it keeps the requirement that quantiles be computed from the
+// copied buckets (never torn against a moving count) and derives Count
+// from the bucket total itself, which is the invariant downstream
+// consumers rely on.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	const strictAttempts = 512
+	var (
+		sum, max int64
+		b        [histBuckets]int64
+		total    int64
+	)
+	for attempt := 0; ; attempt++ {
+		c1 := h.count.Load()
+		sum = h.sum.Load()
+		max = h.max.Load()
+		total = 0
+		for i := range b {
+			b[i] = h.buckets[i].Load()
+			total += b[i]
+		}
+		c2 := h.count.Load()
+		if c1 == c2 && total == c1 {
+			break
+		}
+		if attempt >= strictAttempts {
+			// Writers never went quiet; fall back to the bucket copy as
+			// the source of truth so the output is still internally
+			// consistent (Count == Σ buckets, quantiles from the same
+			// copy), merely a moment-in-time slice of a moving target.
+			break
+		}
+	}
+	snap := HistogramSnapshot{Count: total, SumNs: sum, MaxNs: max}
+	snap.P50Ns = quantileOf(b[:], total, max, 0.50)
+	snap.P95Ns = quantileOf(b[:], total, max, 0.95)
+	snap.P99Ns = quantileOf(b[:], total, max, 0.99)
+	return snap
+}
+
+// quantileOf computes the q-quantile upper bound from a copied bucket
+// array, mirroring Histogram.Quantile but over stable data.
+func quantileOf(buckets []int64, total, max int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i, n := range buckets {
+		seen += n
+		if seen > rank {
+			if i == 0 {
+				return 1
+			}
+			return int64(1) << uint(i)
+		}
+	}
+	return max
 }
 
 // reset zeroes the histogram.
@@ -363,6 +442,18 @@ func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
 func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
 
 // Snapshot copies the registry's current state.
+//
+// Two consistency guarantees hold even when the snapshot is taken in the
+// middle of concurrent scans:
+//
+//   - Each histogram summary is internally consistent (Count equals the
+//     bucket population its quantiles were computed from) via
+//     Histogram.Snapshot's optimistic retry.
+//   - Counter/histogram pairs written in the "observe latency, then
+//     increment the op counter" order (the server and exec convention)
+//     never tear backwards: counters are read before histograms here, so
+//     a snapshot can only see a histogram count >= its paired counter,
+//     never a counted op whose latency is missing.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:   make(map[string]int64),
@@ -377,10 +468,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Load()
 	}
 	for name, h := range r.histograms {
-		s.Histograms[name] = HistogramSnapshot{
-			Count: h.Count(), SumNs: h.Sum(), MaxNs: h.Max(),
-			P50Ns: h.Quantile(0.50), P95Ns: h.Quantile(0.95), P99Ns: h.Quantile(0.99),
-		}
+		s.Histograms[name] = h.Snapshot()
 	}
 	r.mu.Unlock()
 	r.spanMu.Lock()

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestHistogramSnapshotNeverTorn hammers one histogram from many writers
+// while a reader snapshots continuously, asserting every snapshot is
+// internally consistent: Count == sum of the bucket populations used for
+// the quantiles (checked indirectly via monotonicity and the final
+// total), Sum/Max plausible for the observed values, and Count never
+// goes backwards between snapshots.
+func TestHistogramSnapshotNeverTorn(t *testing.T) {
+	var h Histogram
+	const (
+		writers = 8
+		perW    = 20000
+	)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(seed int64) {
+			defer wg.Done()
+			x := uint64(seed)*2654435761 + 12345
+			for i := 0; i < perW; i++ {
+				x = x*6364136223846793005 + 1442695040888963407
+				h.Observe(int64(x % 5000)) // mixes bucket 0..13
+			}
+		}(int64(w + 1))
+	}
+
+	var prevCount int64
+	snaps := 0
+	for !stop.Load() {
+		s := h.Snapshot()
+		if s.Count < prevCount {
+			t.Fatalf("snapshot count went backwards: %d -> %d", prevCount, s.Count)
+		}
+		prevCount = s.Count
+		if s.Count > 0 {
+			if s.P50Ns == 0 {
+				t.Fatalf("count=%d but p50=0: quantiles torn from count", s.Count)
+			}
+			if s.P50Ns > s.P95Ns || s.P95Ns > s.P99Ns {
+				t.Fatalf("quantiles not monotone: p50=%d p95=%d p99=%d", s.P50Ns, s.P95Ns, s.P99Ns)
+			}
+			if s.SumNs < 0 || s.SumNs > s.Count*5000 {
+				t.Fatalf("sum %d implausible for count %d of values <5000", s.SumNs, s.Count)
+			}
+			if s.MaxNs >= 5000 {
+				t.Fatalf("max %d beyond any observed value", s.MaxNs)
+			}
+		}
+		snaps++
+		if snaps%64 == 0 {
+			// Give writers a chance on single-core runners.
+			select {
+			default:
+			}
+		}
+		// Exit once writers finished AND we've taken a final snapshot.
+		if h.Count() == writers*perW {
+			stop.Store(true)
+		}
+	}
+	wg.Wait()
+	final := h.Snapshot()
+	if final.Count != writers*perW {
+		t.Fatalf("final count = %d, want %d", final.Count, writers*perW)
+	}
+}
+
+// TestSnapshotDuringScanPairing emulates the serve-path metric
+// convention — Observe the latency histogram, then Inc the paired ops
+// counter — and asserts no snapshot ever shows a counted op whose
+// latency observation is missing (counter > histogram count would mean a
+// torn pair).
+func TestSnapshotDuringScanPairing(t *testing.T) {
+	r := NewRegistry()
+	ops := r.Counter("scan.ops")
+	lat := r.Histogram("scan.ns")
+
+	const (
+		writers = 8
+		perW    = 10000
+	)
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		go func(seed int64) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perW; i++ {
+				lat.Observe(seed + int64(i)%257)
+				ops.Inc()
+			}
+		}(int64(w + 1))
+	}
+	close(start)
+
+	for {
+		s := r.Snapshot()
+		c := s.Counter("scan.ops")
+		hc := s.Histograms["scan.ns"].Count
+		if hc < c {
+			t.Fatalf("torn pair: counter=%d but histogram count=%d", c, hc)
+		}
+		if c == writers*perW {
+			break
+		}
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Histograms["scan.ns"].Count; got != writers*perW {
+		t.Fatalf("final histogram count = %d, want %d", got, writers*perW)
+	}
+}
+
+// TestWriteJSONUnderLoad hammers WriteJSON itself (the WriteMetricsJSON
+// backing) during concurrent observes and checks each emitted document
+// parses and carries consistent pairs.
+func TestWriteJSONUnderLoad(t *testing.T) {
+	r := NewRegistry()
+	ops := r.Counter("exec.sum.ops")
+	lat := r.Histogram("exec.sum.ns")
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(4)
+	for w := 0; w < 4; w++ {
+		go func(seed int64) {
+			defer wg.Done()
+			i := int64(0)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				lat.Observe(seed*100 + i%1000)
+				ops.Inc()
+				i++
+			}
+		}(int64(w + 1))
+	}
+
+	for round := 0; round < 200; round++ {
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		var s Snapshot
+		if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+			t.Fatalf("round %d: emitted JSON does not parse: %v", round, err)
+		}
+		if c, hc := s.Counter("exec.sum.ops"), s.Histograms["exec.sum.ns"].Count; hc < c {
+			t.Fatalf("round %d: torn counter/histogram pair: ops=%d latencies=%d", round, c, hc)
+		}
+	}
+	close(done)
+	wg.Wait()
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"hybridstore"
+	"hybridstore/internal/obs"
+)
+
+// The batching scheduler collapses concurrent compatible requests into
+// one shared storage pass — the serving-layer half of shared-scan
+// batching (Crescando/SharedDB style), paired with the storage half in
+// core.SumFloat64WhereMulti.
+//
+// Compatibility classes:
+//
+//   - sum_where / count_where over the same (table, column): all
+//     predicates that arrive within one collection window ride a single
+//     SumFloat64WhereMulti call — the column is streamed once for the
+//     whole cohort, and textually identical predicates collapse to one
+//     slot of the batch.
+//   - group_sum_where with identical (table, keyCol, valCol, predicate):
+//     one fused grouped pass, its result slice fanned to every waiter.
+//
+// Linearizability: the first request of a class becomes the leader,
+// sleeps one collection window, then REMOVES the group from the intake
+// map before executing — every request that joined is answered from one
+// MVCC snapshot taken after all of them arrived, which is a valid
+// linearization point; requests arriving after the removal start a new
+// group. A failed pass propagates its error to every waiter.
+var (
+	mBatchFlushes   = obs.NewCounter("server.batch.flushes")
+	mBatchJoined    = obs.NewCounter("server.batch.joined")
+	mBatchCollapsed = obs.NewCounter("server.batch.collapsed")
+	mBatchPreds     = obs.NewCounter("server.batch.preds")
+	hBatchSize      = obs.NewHistogram("server.batch.size")
+)
+
+// sumKey identifies a sum/count compatibility class.
+type sumKey struct {
+	table string
+	col   int
+}
+
+// sumBatch is one in-flight sum/count cohort.
+type sumBatch struct {
+	preds []hybridstore.FloatPred
+	slot  map[hybridstore.FloatPred]int // identical predicates share a slot
+	done  chan struct{}
+	sums  []float64
+	cnts  []int64
+	err   error
+}
+
+// groupKey identifies a grouped-aggregation compatibility class: the
+// scheduler only merges textually identical grouped queries.
+type groupKey struct {
+	table          string
+	keyCol, valCol int
+	pred           hybridstore.FloatPred
+}
+
+// groupBatch is one in-flight grouped cohort.
+type groupBatch struct {
+	done   chan struct{}
+	joined int
+	res    []hybridstore.GroupResult
+	err    error
+}
+
+// batcher is the collection-window scheduler. A zero window degrades
+// every request to its solo execution path.
+type batcher struct {
+	window time.Duration
+	mu     sync.Mutex
+	sums   map[sumKey]*sumBatch
+	groups map[groupKey]*groupBatch
+}
+
+func newBatcher(window time.Duration) *batcher {
+	return &batcher{
+		window: window,
+		sums:   make(map[sumKey]*sumBatch),
+		groups: make(map[groupKey]*groupBatch),
+	}
+}
+
+// sumWhere answers one SELECT SUM(col), COUNT(*) WHERE p, riding a
+// shared pass when compatible requests are in flight.
+func (b *batcher) sumWhere(tbl *hybridstore.Table, col int, p hybridstore.FloatPred) (float64, int64, error) {
+	if b == nil || b.window <= 0 {
+		return tbl.SumFloat64Where(col, p)
+	}
+	k := sumKey{table: tbl.Name(), col: col}
+	b.mu.Lock()
+	if g := b.sums[k]; g != nil {
+		// Join the open cohort; identical predicates share one slot of
+		// the multi-scan.
+		idx, dup := g.slot[p]
+		if dup {
+			mBatchCollapsed.Inc()
+		} else {
+			idx = len(g.preds)
+			g.preds = append(g.preds, p)
+			g.slot[p] = idx
+		}
+		b.mu.Unlock()
+		mBatchJoined.Inc()
+		<-g.done
+		if g.err != nil {
+			return 0, 0, g.err
+		}
+		return g.sums[idx], g.cnts[idx], nil
+	}
+	g := &sumBatch{
+		preds: []hybridstore.FloatPred{p},
+		slot:  map[hybridstore.FloatPred]int{p: 0},
+		done:  make(chan struct{}),
+	}
+	b.sums[k] = g
+	b.mu.Unlock()
+
+	time.Sleep(b.window)
+
+	b.mu.Lock()
+	delete(b.sums, k) // close intake BEFORE executing: see linearizability note
+	b.mu.Unlock()
+	mBatchFlushes.Inc()
+	mBatchPreds.Add(int64(len(g.preds)))
+	hBatchSize.Observe(int64(len(g.preds)))
+	g.sums, g.cnts, g.err = tbl.SumFloat64WhereMulti(col, g.preds)
+	close(g.done)
+	if g.err != nil {
+		return 0, 0, g.err
+	}
+	return g.sums[0], g.cnts[0], nil
+}
+
+// groupSumWhere answers one fused grouped aggregation, sharing the pass
+// with every identical in-flight query. The returned slice is shared
+// read-only by all waiters — serialization must not mutate it.
+func (b *batcher) groupSumWhere(tbl *hybridstore.Table, keyCol, valCol int, p hybridstore.FloatPred) ([]hybridstore.GroupResult, error) {
+	if b == nil || b.window <= 0 {
+		return tbl.GroupBySumWhere(keyCol, valCol, p)
+	}
+	k := groupKey{table: tbl.Name(), keyCol: keyCol, valCol: valCol, pred: p}
+	b.mu.Lock()
+	if g := b.groups[k]; g != nil {
+		g.joined++
+		b.mu.Unlock()
+		mBatchJoined.Inc()
+		mBatchCollapsed.Inc()
+		<-g.done
+		return g.res, g.err
+	}
+	g := &groupBatch{done: make(chan struct{})}
+	b.groups[k] = g
+	b.mu.Unlock()
+
+	time.Sleep(b.window)
+
+	b.mu.Lock()
+	delete(b.groups, k)
+	b.mu.Unlock()
+	mBatchFlushes.Inc()
+	hBatchSize.Observe(int64(g.joined + 1))
+	g.res, g.err = tbl.GroupBySumWhere(keyCol, valCol, p)
+	close(g.done)
+	return g.res, g.err
+}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+
+	"hybridstore"
+	"hybridstore/internal/exec/pool"
+	"hybridstore/internal/obs"
+)
+
+// HTTP front end. Endpoints:
+//
+//	POST /v1/session  {"tenant":"t"}                          → {"session_id":"s1"}
+//	POST /v1/prepare  {"session_id","op","table","col",
+//	                   "key_col"}                             → {"stmt_id":0}
+//	POST /v1/exec     {"session_id","stmt_id", ...args}       → op-specific payload
+//	GET  /metrics                                             → full obs registry JSON
+//	GET  /healthz                                             → {"ok":true}
+//
+// The exec handler moves request and response bytes through recycled
+// pool buffers; session and prepare are cold-path and favour clarity.
+var mHTTPRequests = obs.NewCounter("server.http.requests")
+
+// Handler returns the server's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/session", s.handleSession)
+	mux.HandleFunc("/v1/prepare", s.handlePrepare)
+	mux.HandleFunc("/v1/exec", s.handleExec)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		mHTTPRequests.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		if err := hybridstore.WriteMetricsJSON(w); err != nil {
+			http.Error(w, err.Error(), 500)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		mHTTPRequests.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"ok":true}`)
+	})
+	return mux
+}
+
+// Serve answers HTTP on l until l closes.
+func (s *Server) Serve(l net.Listener) error {
+	return (&http.Server{Handler: s.Handler()}).Serve(l)
+}
+
+// readBody drains r into a pooled buffer sized by Content-Length.
+// Callers must PutBytes the result.
+func readBody(r *http.Request) ([]byte, error) {
+	n := int(r.ContentLength)
+	if n < 0 {
+		n = 512
+	}
+	buf := pool.GetBytesCap(n)
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		m, err := r.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+m]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			pool.PutBytes(buf)
+			return nil, err
+		}
+	}
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	mHTTPRequests.Inc()
+	body, err := readBody(r)
+	if err != nil {
+		http.Error(w, err.Error(), 400)
+		return
+	}
+	out := pool.GetBytes()[:0]
+	out, code := s.Exec(body, out)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(out)
+	pool.PutBytes(body)
+	pool.PutBytes(out)
+}
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	mHTTPRequests.Inc()
+	body, err := readBody(r)
+	if err != nil {
+		http.Error(w, err.Error(), 400)
+		return
+	}
+	defer pool.PutBytes(body)
+	tenant := ""
+	if len(body) > 0 {
+		_, err = scanObject(body, func(key, val []byte) error {
+			if string(key) == "tenant" {
+				tenant = string(val)
+			}
+			return nil
+		})
+		if err != nil {
+			http.Error(w, err.Error(), 400)
+			return
+		}
+	}
+	id := s.CreateSession(tenant)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"session_id":%q}`, id)
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	mHTTPRequests.Inc()
+	body, err := readBody(r)
+	if err != nil {
+		http.Error(w, err.Error(), 400)
+		return
+	}
+	defer pool.PutBytes(body)
+	var sid, op, table string
+	col, keyCol := -1, -1
+	_, err = scanObject(body, func(key, val []byte) error {
+		switch string(key) {
+		case "session_id":
+			sid = string(val)
+		case "op":
+			op = string(val)
+		case "table":
+			table = string(val)
+		case "col", "val_col":
+			n, err := parseI64(val)
+			if err != nil {
+				return fmt.Errorf("%w: col: %v", errProto, err)
+			}
+			col = int(n)
+		case "key_col":
+			n, err := parseI64(val)
+			if err != nil {
+				return fmt.Errorf("%w: key_col: %v", errProto, err)
+			}
+			keyCol = int(n)
+		}
+		return nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), 400)
+		return
+	}
+	id, err := s.Prepare(sid, op, table, col, keyCol)
+	if err != nil {
+		http.Error(w, err.Error(), 400)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"stmt_id":%d}`, id)
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hybridstore"
+)
+
+// post sends a JSON body and returns status and response body.
+func post(t *testing.T, client *http.Client, url, body string) (int, string) {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestHTTPEndToEnd drives the full wire protocol over a real TCP
+// loopback listener: session, prepare, exec of every op class, metrics
+// and health — the same path cmd/loadgen exercises.
+func TestHTTPEndToEnd(t *testing.T) {
+	s, tbl := newItemServer(t,
+		hybridstore.Options{ChunkRows: 128, DeviceCache: true},
+		Config{BatchWindow: 200 * time.Microsecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	code, body := post(t, c, ts.URL+"/v1/session", `{"tenant":"t1"}`)
+	if code != 200 || !strings.HasPrefix(body, `{"session_id":"`) {
+		t.Fatalf("session: %d %s", code, body)
+	}
+	sid := strings.TrimSuffix(strings.TrimPrefix(body, `{"session_id":"`), `"}`)
+
+	code, body = post(t, c, ts.URL+"/v1/prepare", fmt.Sprintf(
+		`{"session_id":"%s","op":"sum_where","table":"item","col":%d}`, sid, hybridstore.ItemPriceColumn))
+	if code != 200 || body != `{"stmt_id":0}` {
+		t.Fatalf("prepare: %d %s", code, body)
+	}
+
+	ws, wn, err := tbl.SumFloat64Where(hybridstore.ItemPriceColumn, hybridstore.LtFloat(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body = post(t, c, ts.URL+"/v1/exec", fmt.Sprintf(
+		`{"session_id":"%s","stmt_id":0,"pred":{"kind":"lt","hi":30}}`, sid))
+	want := fmt.Sprintf(`{"sum":%s,"count":%d}`, string(appendF64(nil, ws)), wn)
+	if code != 200 || body != want {
+		t.Fatalf("exec: %d %s, want %s", code, body, want)
+	}
+
+	// Protocol errors surface as HTTP statuses with error payloads.
+	code, body = post(t, c, ts.URL+"/v1/exec", `{"session_id":"zz","stmt_id":0}`)
+	if code != 404 || !strings.Contains(body, "error") {
+		t.Fatalf("unknown session over HTTP: %d %s", code, body)
+	}
+
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(mb), "server.exec.sum_where.ops") {
+		t.Fatalf("metrics: %d (%d bytes)", resp.StatusCode, len(mb))
+	}
+	resp, err = c.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(hb) != `{"ok":true}` {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, hb)
+	}
+}

@@ -1,0 +1,189 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hybridstore"
+	"hybridstore/internal/server"
+)
+
+func testServer(t *testing.T, window time.Duration) *httptest.Server {
+	t.Helper()
+	db := hybridstore.Open(hybridstore.Options{ChunkRows: 128, DeviceCache: true})
+	tbl, err := db.CreateTable("item", hybridstore.ItemSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tbl.Free)
+	for i := uint64(0); i < 512; i++ {
+		if _, err := tbl.Insert(hybridstore.Item(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := server.New(server.Config{DB: db, BatchWindow: window})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("write=10,sum=70,group=20")
+	if err != nil || m != (Mix{10, 70, 20}) {
+		t.Fatalf("got %+v, %v", m, err)
+	}
+	if m, err = ParseMix(""); err != nil || m != DefaultMix {
+		t.Fatalf("empty mix: %+v, %v", m, err)
+	}
+	if m, err = ParseMix("sum=100"); err != nil || m != (Mix{0, 100, 0}) {
+		t.Fatalf("single class: %+v, %v", m, err)
+	}
+	for _, bad := range []string{"write=0,sum=0,group=0", "read=5", "sum=x", "sum"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunClosedLoop drives a real loopback server with the full mix and
+// checks the report is coherent: every class served traffic, no errors,
+// latencies ordered, QPS consistent with the op counts.
+func TestRunClosedLoop(t *testing.T) {
+	ts := testServer(t, server.DefaultBatchWindow)
+	res, err := Run(Options{
+		BaseURL:     ts.URL,
+		Rows:        512,
+		Concurrency: 8,
+		Duration:    400 * time.Millisecond,
+		Mix:         Mix{Write: 30, Sum: 50, Group: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalErrs != 0 || res.TotalShed != 0 {
+		t.Fatalf("errors %d, shed %d:\n%s", res.TotalErrs, res.TotalShed, res)
+	}
+	if res.TotalOps == 0 || res.QPS <= 0 {
+		t.Fatalf("no throughput:\n%s", res)
+	}
+	var sumOps int64
+	for _, c := range res.Classes {
+		if c.Ops == 0 {
+			t.Errorf("class %s served nothing:\n%s", c.Name, res)
+		}
+		if c.P50 > c.P95 || c.P95 > c.P99 {
+			t.Errorf("class %s latencies out of order: %v %v %v", c.Name, c.P50, c.P95, c.P99)
+		}
+		sumOps += c.Ops
+	}
+	if sumOps != res.TotalOps {
+		t.Fatalf("class ops %d != total %d", sumOps, res.TotalOps)
+	}
+	out := res.String()
+	csv := res.CSV()
+	for _, want := range []string{"write", "sum", "group", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasPrefix(csv, "class,ops,qps,shed,errors,p50_us,p95_us,p99_us\n") || !strings.Contains(csv, "\ntotal,") {
+		t.Errorf("bad csv:\n%s", csv)
+	}
+}
+
+// TestRunOpenLoop paces arrivals at a modest fixed rate; completed ops
+// must track the offered load, not the service capacity.
+func TestRunOpenLoop(t *testing.T) {
+	ts := testServer(t, 0)
+	res, err := Run(Options{
+		BaseURL:     ts.URL,
+		Rows:        512,
+		Concurrency: 4,
+		Duration:    500 * time.Millisecond,
+		Mix:         Mix{Sum: 100},
+		OpenRate:    200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalErrs != 0 {
+		t.Fatalf("errors:\n%s", res)
+	}
+	// ~100 arrivals offered; the server clears them easily, so ops
+	// should sit near the offered count, far below closed-loop rates.
+	if res.TotalOps == 0 {
+		t.Fatalf("no throughput:\n%s", res)
+	}
+	if res.QPS > 400 {
+		t.Fatalf("open loop at 200 req/s measured %.0f qps — pacing is not limiting", res.QPS)
+	}
+}
+
+// TestAutoTerm ends a steady closed-loop run well before the duration
+// ceiling.
+func TestAutoTerm(t *testing.T) {
+	ts := testServer(t, server.DefaultBatchWindow)
+	res, err := Run(Options{
+		BaseURL:       ts.URL,
+		Rows:          512,
+		Concurrency:   4,
+		Duration:      30 * time.Second,
+		Mix:           Mix{Sum: 100},
+		AutoTerm:      true,
+		StabWindow:    100 * time.Millisecond,
+		StabCount:     3,
+		StabSpreadPct: 80, // generous: CI machines are noisy
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stabilized {
+		t.Fatalf("did not stabilize:\n%s", res)
+	}
+	if res.Wall > 10*time.Second {
+		t.Fatalf("autoterm took %v", res.Wall)
+	}
+}
+
+func TestRunRejectsWriteMixWithoutRows(t *testing.T) {
+	if _, err := Run(Options{BaseURL: "http://127.0.0.1:1", Mix: Mix{Write: 1}}); err == nil {
+		t.Fatal("accepted write mix without Rows")
+	}
+}
+
+// TestShedAccounting runs against a throttled tenant: admission
+// rejections must land in Shed, not Errors, and must not fail the run.
+func TestShedAccounting(t *testing.T) {
+	db := hybridstore.Open(hybridstore.Options{ChunkRows: 128})
+	tbl, err := db.CreateTable("item", hybridstore.ItemSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tbl.Free)
+	for i := uint64(0); i < 128; i++ {
+		if _, err := tbl.Insert(hybridstore.Item(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := server.New(server.Config{DB: db, Admission: server.Admission{Rate: 50, Burst: 5}})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	res, err := Run(Options{
+		BaseURL:     ts.URL,
+		Rows:        128,
+		Concurrency: 8,
+		Duration:    300 * time.Millisecond,
+		Mix:         Mix{Sum: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalErrs != 0 {
+		t.Fatalf("admission rejections counted as errors:\n%s", res)
+	}
+	if res.TotalShed == 0 {
+		t.Fatalf("throttled run shed nothing:\n%s", res)
+	}
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"hybridstore"
+	"hybridstore/internal/schema"
+)
+
+// opKind enumerates the prepared-statement operations — the serving
+// protocol's whole query surface. Analytic classes (sum_where,
+// count_where, group_sum_where) are batchable; the rest execute
+// directly.
+type opKind uint8
+
+const (
+	opGet opKind = iota
+	opGetPK
+	opUpdate
+	opInsert
+	opSum
+	opSumWhere
+	opCountWhere
+	opGroupSumWhere
+	opCount // number of kinds
+)
+
+// opName is the wire name of each kind, also the op-class label in
+// metrics and the load harness.
+var opName = [opCount]string{
+	opGet:           "get",
+	opGetPK:         "get_pk",
+	opUpdate:        "update",
+	opInsert:        "insert",
+	opSum:           "sum",
+	opSumWhere:      "sum_where",
+	opCountWhere:    "count_where",
+	opGroupSumWhere: "group_sum_where",
+}
+
+func opKindOf(name []byte) (opKind, bool) {
+	for k, n := range opName {
+		if n == string(name) {
+			return opKind(k), true
+		}
+	}
+	return 0, false
+}
+
+// stmt is one prepared statement: the parse/bind work — table lookup,
+// column validation, kind resolution — done once at Prepare so Exec
+// only decodes arguments.
+type stmt struct {
+	op      opKind
+	tbl     *hybridstore.Table
+	col     int         // value column (update/sum/sum_where/count_where, valCol alias)
+	keyCol  int         // group key column (group_sum_where)
+	colKind schema.Kind // kind of col, resolved at prepare
+}
+
+// session is one client's statement namespace. Statements are
+// append-only and identified by index, so Exec resolves a statement
+// with one bounds check under a read lock.
+type session struct {
+	id     string
+	tenant string
+	mu     sync.RWMutex
+	stmts  []*stmt
+}
+
+func (ss *session) stmt(id int64) *stmt {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	if id < 0 || id >= int64(len(ss.stmts)) {
+		return nil
+	}
+	return ss.stmts[id]
+}
+
+// CreateSession registers a new session for tenant (empty means
+// "default") and returns its id.
+func (s *Server) CreateSession(tenant string) string {
+	if tenant == "" {
+		tenant = "default"
+	}
+	id := fmt.Sprintf("s%d", s.nextSess.Add(1))
+	ss := &session{id: id, tenant: tenant}
+	s.mu.Lock()
+	s.sessions[id] = ss
+	s.mu.Unlock()
+	return id
+}
+
+func (s *Server) session(id []byte) *session {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sessions[string(id)] // map lookup by []byte key does not allocate
+}
+
+// Prepare resolves and validates a statement in session sid, returning
+// the statement id Exec uses.
+func (s *Server) Prepare(sid, op, table string, col, keyCol int) (int, error) {
+	ss := s.session([]byte(sid))
+	if ss == nil {
+		return 0, fmt.Errorf("server: unknown session %q", sid)
+	}
+	kind, ok := opKindOf([]byte(op))
+	if !ok {
+		return 0, fmt.Errorf("server: unknown op %q", op)
+	}
+	tbl := s.db.Table(table)
+	if tbl == nil {
+		return 0, fmt.Errorf("server: unknown table %q", table)
+	}
+	sc := tbl.Schema()
+	st := &stmt{op: kind, tbl: tbl, col: col, keyCol: keyCol}
+	switch kind {
+	case opGet, opGetPK, opInsert:
+		// No column binding.
+	case opUpdate:
+		if col < 0 || col >= sc.Arity() {
+			return 0, fmt.Errorf("server: col %d out of range", col)
+		}
+		st.colKind = sc.Attr(col).Kind
+	case opSum, opSumWhere, opCountWhere:
+		if col < 0 || col >= sc.Arity() || sc.Attr(col).Kind != schema.Float64 {
+			return 0, fmt.Errorf("server: col %d is not a float64 attribute", col)
+		}
+		st.colKind = schema.Float64
+	case opGroupSumWhere:
+		if col < 0 || col >= sc.Arity() || sc.Attr(col).Kind != schema.Float64 {
+			return 0, fmt.Errorf("server: val col %d is not a float64 attribute", col)
+		}
+		if keyCol < 0 || keyCol >= sc.Arity() {
+			return 0, fmt.Errorf("server: key col %d out of range", keyCol)
+		}
+		st.colKind = schema.Float64
+	}
+	ss.mu.Lock()
+	ss.stmts = append(ss.stmts, st)
+	id := len(ss.stmts) - 1
+	ss.mu.Unlock()
+	return id, nil
+}

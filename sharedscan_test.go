@@ -1,0 +1,96 @@
+package hybridstore
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSharedScanMatchesSoloFacade is the end-to-end bit-identity
+// property for the batching substrate: SumFloat64WhereMulti must answer
+// every predicate with exactly the bits SumFloat64Where produces, across
+// storage configurations (plain host, device cache, compression, device
+// placement, multi-card) and with unmerged MVCC deltas in flight.
+func TestSharedScanMatchesSoloFacade(t *testing.T) {
+	configs := []struct {
+		name string
+		opts Options
+	}{
+		{"host", Options{ChunkRows: 128, HotChunks: 1}},
+		{"devicecache", Options{ChunkRows: 128, HotChunks: 1, DeviceCache: true}},
+		{"compress+cache", Options{ChunkRows: 128, HotChunks: 1, DeviceCache: true, Compress: true}},
+		{"placement", Options{ChunkRows: 128, HotChunks: 1, DevicePlacement: true}},
+		{"fleet", Options{ChunkRows: 128, HotChunks: 1, DeviceCache: true, Devices: 2}},
+	}
+	preds := []FloatPred{
+		LtFloat(25),
+		GtFloat(50),
+		BetweenFloat(10, 60),
+		EqFloat(42),
+		BetweenFloat(2000, 3000), // pruned everywhere
+		LtFloat(80),
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			db := Open(cfg.opts)
+			tbl, err := db.CreateTable("item", ItemSchema())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tbl.Free()
+			const rows = 1000
+			for i := uint64(0); i < rows; i++ {
+				if _, err := tbl.Insert(Item(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if cfg.opts.DevicePlacement {
+				if err := tbl.PlaceColumn(ItemPriceColumn); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Unmerged deltas: the patch loop must agree per predicate.
+			for i := 0; i < rows; i += 37 {
+				if err := tbl.Update(uint64(i), ItemPriceColumn, FloatValue(float64(i%97))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Two rounds so the second hits warm device-cache images.
+			for round := 0; round < 2; round++ {
+				sums, counts, err := tbl.SumFloat64WhereMulti(ItemPriceColumn, preds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(sums) != len(preds) || len(counts) != len(preds) {
+					t.Fatalf("result arity %d/%d, want %d", len(sums), len(counts), len(preds))
+				}
+				for k, p := range preds {
+					ws, wn, err := tbl.SumFloat64Where(ItemPriceColumn, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if math.Float64bits(sums[k]) != math.Float64bits(ws) || counts[k] != wn {
+						t.Fatalf("round %d pred %d (%v): shared (%v, %d) != solo (%v, %d)",
+							round, k, p, sums[k], counts[k], ws, wn)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTableRegistry pins the name lookup the serving layer binds
+// prepared statements through.
+func TestTableRegistry(t *testing.T) {
+	db := Open(Options{})
+	if db.Table("nope") != nil {
+		t.Fatal("lookup of absent table returned non-nil")
+	}
+	tbl, err := db.CreateTable("item", ItemSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Free()
+	if got := db.Table("item"); got != tbl {
+		t.Fatalf("Table(item) = %p, want %p", got, tbl)
+	}
+}
