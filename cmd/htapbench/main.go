@@ -59,6 +59,7 @@ func main() {
 	multiRows := flag.Uint64("multidevice-rows", 1_048_576, "row count for the multidevice sweep (64 fragments hash-sharded across the fleet)")
 	servingRows := flag.Uint64("serving-rows", 4096, "row count for the serving sweep's warm device-cached item table")
 	servingLeg := flag.Duration("serving-leg", 1200*time.Millisecond, "wall-clock duration of each serving sweep leg")
+	walDir := flag.String("wal", "", "fresh directory for the serving sweep's write-ahead log: the item table runs durably and the write lane prices group-committed fsyncs")
 	flag.Parse()
 
 	cfg := figures.Default()
@@ -126,7 +127,7 @@ func main() {
 	var servingSweep *servingfig.ServingSweep
 	runServingSweep := func() *servingfig.ServingSweep {
 		if servingSweep == nil {
-			s, err := servingfig.MeasureServing(*servingRows, servingfig.DefaultServingConcurrencies(), *servingLeg)
+			s, err := servingfig.MeasureServing(*servingRows, servingfig.DefaultServingConcurrencies(), *servingLeg, *walDir)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "serving sweep failed:", err)
 				os.Exit(1)

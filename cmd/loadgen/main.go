@@ -46,6 +46,7 @@ func main() {
 	autoterm := flag.Bool("autoterm", false, "stop early once throughput stabilizes")
 	csvPath := flag.String("csv", "", "also write the per-class panel to this CSV file")
 	seed := flag.Int64("seed", 1, "workload seed")
+	walDir := flag.String("wal", "", "durability directory for -selfserve: the item table write-ahead-logs every acknowledged write and recovers on restart")
 	flag.Parse()
 
 	mix, err := loadgen.ParseMix(*mixFlag)
@@ -60,7 +61,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "loadgen: -addr and -selfserve are mutually exclusive")
 			os.Exit(2)
 		}
-		stop, url, err := serveLocal(*rows, *batchWindow, *unbatched)
+		stop, url, err := serveLocal(*rows, *batchWindow, *unbatched, *walDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen: selfserve:", err)
 			os.Exit(1)
@@ -110,44 +111,68 @@ func windowOf(w time.Duration, unbatched bool) time.Duration {
 }
 
 // serveLocal builds the warm device-cached item fixture and serves it
-// on a loopback port.
-func serveLocal(rows uint64, window time.Duration, unbatched bool) (stop func(), url string, err error) {
-	db := hybridstore.Open(hybridstore.Options{ChunkRows: 256, DeviceCache: true})
-	tbl, err := db.CreateTable("item", hybridstore.ItemSchema())
-	if err != nil {
+// on a loopback port. With a non-empty walDir the item table is opened
+// durably: a previous process's rows are recovered instead of reloaded,
+// and every write acknowledged over HTTP survives a kill.
+func serveLocal(rows uint64, window time.Duration, unbatched bool, walDir string) (stop func(), url string, err error) {
+	opts := hybridstore.Options{ChunkRows: 256, DeviceCache: true}
+	var db *hybridstore.DB
+	if walDir != "" {
+		opts.Durability = hybridstore.Durability{Tables: []string{"item"}}
+		if db, err = hybridstore.OpenDir(walDir, opts); err != nil {
+			return nil, "", err
+		}
+	} else {
+		db = hybridstore.Open(opts)
+	}
+	fail := func(tbl *hybridstore.Table, err error) (func(), string, error) {
+		if tbl != nil {
+			tbl.Free()
+		}
+		db.Close()
 		return nil, "", err
 	}
-	for i := uint64(0); i < rows; i++ {
-		if _, err := tbl.Insert(hybridstore.Item(i)); err != nil {
-			tbl.Free()
-			return nil, "", err
+	tbl := db.Table("item")
+	if tbl == nil { // fresh store (always, without -wal): load the fixture
+		if tbl, err = db.CreateTable("item", hybridstore.ItemSchema()); err != nil {
+			return fail(nil, err)
 		}
-	}
-	// Re-key i_im_id to a dashboard-cardinality group domain and fold
-	// the rewrites: the raw generator gives near-unique ids, which makes
-	// every group-by answer as wide as the table.
-	for i := uint64(0); i < rows; i++ {
-		if err := tbl.Update(i, 1, hybridstore.Int32Value(int32(i%64))); err != nil {
-			tbl.Free()
-			return nil, "", err
+		for i := uint64(0); i < rows; i++ {
+			if _, err := tbl.Insert(hybridstore.Item(i)); err != nil {
+				return fail(tbl, err)
+			}
 		}
+		// Re-key i_im_id to a dashboard-cardinality group domain and fold
+		// the rewrites: the raw generator gives near-unique ids, which makes
+		// every group-by answer as wide as the table.
+		for i := uint64(0); i < rows; i++ {
+			if err := tbl.Update(i, 1, hybridstore.Int32Value(int32(i%64))); err != nil {
+				return fail(tbl, err)
+			}
+		}
+	} else {
+		fmt.Printf("selfserve: recovered %d item rows from %s\n", tbl.Rows(), walDir)
 	}
 	if err := tbl.Merge(); err != nil {
-		tbl.Free()
-		return nil, "", err
+		return fail(tbl, err)
+	}
+	if walDir != "" {
+		// Cut a checkpoint of the loaded fixture so the next recovery
+		// restores sealed fragments instead of replaying the bulk load.
+		if err := db.Checkpoint(); err != nil {
+			return fail(tbl, err)
+		}
 	}
 	// Warm pass: populate the device cache before lanes arrive, so the
 	// measured run starts from the steady state.
 	if _, _, err := tbl.SumFloat64Where(hybridstore.ItemPriceColumn, hybridstore.GtFloat(0)); err != nil {
-		tbl.Free()
-		return nil, "", err
+		return fail(tbl, err)
 	}
 	s := server.New(server.Config{DB: db, BatchWindow: windowOf(window, unbatched)})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		tbl.Free()
-		return nil, "", err
+		return fail(tbl, err)
 	}
 	go s.Serve(l)
-	return func() { l.Close(); tbl.Free() }, "http://" + l.Addr().String(), nil
+	return func() { l.Close(); db.Close(); tbl.Free() }, "http://" + l.Addr().String(), nil
 }

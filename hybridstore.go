@@ -29,6 +29,7 @@ import (
 	"hybridstore/internal/obs"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/taxonomy"
+	"hybridstore/internal/wal"
 	"hybridstore/internal/workload"
 )
 
@@ -117,6 +118,9 @@ type Options struct {
 	// across all cards (and the host morsel pool) simultaneously.
 	// Meaningful together with DeviceCache.
 	Devices int
+	// Durability tunes write-ahead logging and checkpointing. Consulted
+	// only by OpenDir; Open builds a memory-only DB regardless.
+	Durability Durability
 }
 
 // DB is an open hybridstore instance: one simulated platform (host
@@ -124,6 +128,13 @@ type Options struct {
 type DB struct {
 	env *engine.Env
 	eng *core.Engine
+
+	// dir, wal and dur are set only on a DB opened with OpenDir: the
+	// durable directory, the shared write-ahead log, and the durability
+	// options (for the per-table opt-in list).
+	dir string
+	wal *wal.Log
+	dur Durability
 
 	mu     sync.RWMutex
 	tables map[string]*Table
@@ -140,6 +151,7 @@ func Open(opts Options) *DB {
 	env.ExecPolicy = opts.Policy
 	return &DB{
 		env: env,
+		dur: opts.Durability,
 		eng: core.New(env, core.Options{
 			ChunkRows:       opts.ChunkRows,
 			HotChunks:       opts.HotChunks,
@@ -198,15 +210,32 @@ type Table struct {
 	t   *core.Table
 	e   *core.Engine
 	nam string
+	// durable marks a table that logs to the DB's write-ahead log and
+	// participates in checkpoints.
+	durable bool
 }
 
-// CreateTable makes an empty table.
+// CreateTable makes an empty table. On a DB opened with OpenDir, a
+// table covered by the durability opt-in list logs its creation (and
+// from then on every write) before this call acknowledges.
 func (db *DB) CreateTable(name string, s *Schema) (*Table, error) {
 	t, err := db.eng.Create(name, s)
 	if err != nil {
 		return nil, fmt.Errorf("hybridstore: creating table %q: %w", name, err)
 	}
 	tbl := &Table{db: db, t: t.(*core.Table), e: db.eng, nam: name}
+	if db.wal != nil && db.durableName(name) {
+		lsn, err := db.wal.Append(&wal.Record{Kind: wal.KindCreate, Table: name, Engine: "core", Schema: s})
+		if err == nil {
+			err = db.wal.Sync(lsn)
+		}
+		if err != nil {
+			tbl.t.Free()
+			return nil, fmt.Errorf("hybridstore: logging create of %q: %w", name, err)
+		}
+		tbl.t.EnableWAL(db.wal)
+		tbl.durable = true
+	}
 	db.mu.Lock()
 	db.tables[name] = tbl
 	db.mu.Unlock()

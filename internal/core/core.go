@@ -41,6 +41,7 @@ import (
 	"hybridstore/internal/schema"
 	"hybridstore/internal/taxonomy"
 	"hybridstore/internal/tx"
+	"hybridstore/internal/wal"
 	"hybridstore/internal/workload"
 )
 
@@ -184,6 +185,11 @@ type Table struct {
 	// schema has no int64 key attribute).
 	pk *index.Hash
 
+	// walLog, when non-nil, receives a KindInsert record ahead of every
+	// insert; commit logging rides the tx.CommitLogger hook instead.
+	// Installed by EnableWAL after any recovery replay.
+	walLog *wal.Log
+
 	adapts  int
 	freezes int
 }
@@ -284,17 +290,49 @@ func (t *Table) invalidateFrag(f *layout.Fragment) {
 var ErrFrozen = errors.New("core: chunk is frozen")
 
 // Insert appends a record to the hot region, opening a new chunk (and
-// freezing the oldest hot chunk) as needed.
+// freezing the oldest hot chunk) as needed. On a WAL-enabled table the
+// record is appended to the log before the hot region mutates, and the
+// insert is acknowledged only once the log record is durable — the
+// durability wait runs outside the table lock so concurrent inserts
+// share one group-commit flush.
 func (t *Table) Insert(rec schema.Record) (uint64, error) {
+	row, lsn, err := t.insertLocked(rec)
+	if err != nil {
+		return 0, err
+	}
+	if lsn != 0 {
+		if err := t.walLog.Sync(lsn); err != nil {
+			return 0, fmt.Errorf("core: insert at row %d not durable: %w", row, err)
+		}
+	}
+	return row, nil
+}
+
+// insertLocked validates, logs and applies one insert under the
+// exclusive lock, returning the row and the log sequence number to wait
+// on (0 when the table has no WAL).
+func (t *Table) insertLocked(rec schema.Record) (uint64, uint64, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(rec) != t.s.Arity() {
-		return 0, fmt.Errorf("%w: arity %d vs schema %d", schema.ErrArityMismatch, len(rec), t.s.Arity())
+		return 0, 0, fmt.Errorf("%w: arity %d vs schema %d", schema.ErrArityMismatch, len(rec), t.s.Arity())
 	}
 	row := t.rel.Rows()
 	if t.pk != nil {
 		if _, err := t.pk.Get(rec[0].I); err == nil {
-			return 0, fmt.Errorf("core: inserting pk %d: %w", rec[0].I, index.ErrDuplicate)
+			return 0, 0, fmt.Errorf("core: inserting pk %d: %w", rec[0].I, index.ErrDuplicate)
+		}
+	}
+	// Log after validation, before mutation: a logged-but-failed insert
+	// can only come from allocation failure (ambiguous to the caller
+	// either way), while an applied-but-unlogged insert would shift
+	// every later logged row position — unrecoverable.
+	var lsn uint64
+	if t.walLog != nil {
+		var err error
+		lsn, err = t.walLog.Append(&wal.Record{Kind: wal.KindInsert, Table: t.rel.Name(), Row: row, Rec: rec})
+		if err != nil {
+			return 0, 0, fmt.Errorf("core: logging insert: %w", err)
 		}
 	}
 	tail := t.tailChunk()
@@ -302,20 +340,20 @@ func (t *Table) Insert(rec schema.Record) (uint64, error) {
 		var err error
 		tail, err = t.openChunk(row)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
 	vals := make([]schema.Value, len(rec))
 	copy(vals, rec)
 	if err := tail.nsm.AppendTuplet(vals); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	t.rel.SetRows(row + 1)
 	if err := t.indexInsert(rec, row); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	t.mon.Observe(workload.Op{Kind: workload.Insert})
-	return row, nil
+	return row, lsn, nil
 }
 
 // tailChunk returns the newest chunk, or nil.

@@ -30,6 +30,7 @@ import (
 	"hybridstore/internal/layout"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/taxonomy"
+	"hybridstore/internal/wal"
 )
 
 // DefaultChunkRows is the default chunk capacity.
@@ -118,6 +119,9 @@ type Table struct {
 	// deviceScan and compress mirror the Engine flags at creation time.
 	deviceScan bool
 	compress   bool
+	// wal, when set by EnableWAL, logs every Insert/Update before it
+	// mutates the chunks.
+	wal *wal.TableLog
 }
 
 // Create makes an empty relation.
@@ -218,21 +222,47 @@ func (t *Table) chunkFor(row uint64) (*chunk, error) {
 }
 
 // Update copy-on-writes the chunk when an analytic snapshot references
-// it, then writes in place and heats the chunk.
+// it, then writes in place and heats the chunk. With a WAL enabled the
+// update is logged under the lock (so log order matches apply order)
+// and waits for durability after the lock drops, sharing group-commit
+// flushes with concurrent writers.
 func (t *Table) Update(row uint64, col int, v schema.Value) error {
+	lsn, err := t.updateLocked(row, col, v)
+	if err != nil {
+		return err
+	}
+	if lsn != 0 {
+		if err := t.wal.L.Sync(lsn); err != nil {
+			return fmt.Errorf("hyper: update of row %d not durable: %w", row, err)
+		}
+	}
+	return nil
+}
+
+func (t *Table) updateLocked(row uint64, col int, v schema.Value) (uint64, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if row >= t.Rel.Rows() {
-		return fmt.Errorf("%w: row %d of %d", engine.ErrNoSuchRow, row, t.Rel.Rows())
+		return 0, fmt.Errorf("%w: row %d of %d", engine.ErrNoSuchRow, row, t.Rel.Rows())
 	}
 	c, err := t.chunkFor(row)
 	if err != nil {
-		return err
+		return 0, err
+	}
+	var lsn uint64
+	if t.wal != nil {
+		if col < 0 || col >= len(c.vectors) {
+			return 0, fmt.Errorf("%w: col %d", layout.ErrOutOfRange, col)
+		}
+		lsn, err = t.wal.L.Append(&wal.Record{Kind: wal.KindUpdate, Table: t.wal.Table, Row: row, Col: col, Val: v})
+		if err != nil {
+			return 0, fmt.Errorf("hyper: logging update: %w", err)
+		}
 	}
 	if c.refs > 0 {
 		clone, err := t.cloneChunk(c)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		for i := range t.chunks {
 			if t.chunks[i] == c {
@@ -241,14 +271,14 @@ func (t *Table) Update(row uint64, col int, v schema.Value) error {
 		}
 		t.detach(c)
 		if err := t.attach(clone); err != nil {
-			return err
+			return 0, err
 		}
 		c = clone
 	}
 	c.updates++
 	c.frozen = false
 	c.comp = nil // sealed images are stale the moment the chunk heats
-	return c.vectors[col].Set(int(row-c.rows.Begin), col, v)
+	return lsn, c.vectors[col].Set(int(row-c.rows.Begin), col, v)
 }
 
 // cloneChunk deep-copies a chunk's vectors (the COW step).

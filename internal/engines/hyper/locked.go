@@ -1,9 +1,12 @@
 package hyper
 
 import (
+	"fmt"
+
 	"hybridstore/internal/exec"
 	"hybridstore/internal/layout"
 	"hybridstore/internal/schema"
+	"hybridstore/internal/wal"
 )
 
 // This file makes the promoted common.Table surface participate in the
@@ -14,11 +17,40 @@ import (
 // GroupSumFloat64Where, Compact and Free lock in hyper.go where the
 // engine has its own implementations.)
 
-// Insert appends a record under the writer lock.
+// Insert appends a record under the writer lock. With a WAL enabled
+// the insert is logged under the lock at its predetermined row (log
+// order matches apply order, so recovery lands every row where it was)
+// and waits for durability only after the lock drops.
 func (t *Table) Insert(rec schema.Record) (uint64, error) {
+	row, lsn, err := t.insertLocked(rec)
+	if err != nil {
+		return 0, err
+	}
+	if lsn != 0 {
+		if err := t.wal.L.Sync(lsn); err != nil {
+			return 0, fmt.Errorf("hyper: insert at row %d not durable: %w", row, err)
+		}
+	}
+	return row, nil
+}
+
+func (t *Table) insertLocked(rec schema.Record) (uint64, uint64, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.Table.Insert(rec)
+	var lsn uint64
+	if t.wal != nil {
+		if len(rec) != t.Rel.Schema().Arity() {
+			return 0, 0, fmt.Errorf("%w: arity %d vs schema %d",
+				schema.ErrArityMismatch, len(rec), t.Rel.Schema().Arity())
+		}
+		var err error
+		lsn, err = t.wal.L.Append(&wal.Record{Kind: wal.KindInsert, Table: t.wal.Table, Row: t.Rel.Rows(), Rec: rec})
+		if err != nil {
+			return 0, 0, fmt.Errorf("hyper: logging insert: %w", err)
+		}
+	}
+	row, err := t.Table.Insert(rec)
+	return row, lsn, err
 }
 
 // Get materializes one record under the reader lock.

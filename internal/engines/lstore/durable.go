@@ -1,0 +1,44 @@
+package lstore
+
+import (
+	"fmt"
+
+	"hybridstore/internal/schema"
+	"hybridstore/internal/wal"
+)
+
+// EnableWAL threads the table's write path (Insert, Update) through a
+// shared log: each write appends a logical record under the table lock
+// — so log order matches apply order, tail lineage included — and
+// waits for durability after the lock drops, letting concurrent
+// writers share group-commit flushes. L-Store's lineage chains are
+// deterministic given update order, so logical replay rebuilds them
+// exactly. Call it once, after any replay and before concurrent use.
+func (t *Table) EnableWAL(l *wal.Log) {
+	t.mu.Lock()
+	t.wal = &wal.TableLog{L: l, Table: t.rel.Name()}
+	t.mu.Unlock()
+}
+
+// ReplayInsert re-applies a logged insert during recovery (before
+// EnableWAL, so it is not re-logged) and asserts the row lands where
+// the log recorded it — divergence means the log or restore logic is
+// corrupt, never something to skip.
+func (t *Table) ReplayInsert(row uint64, rec schema.Record) error {
+	got, err := t.Insert(rec)
+	if err != nil {
+		return fmt.Errorf("lstore: replaying insert at row %d: %w", row, err)
+	}
+	if got != row {
+		return fmt.Errorf("lstore: replay diverged: insert landed at row %d, log says %d", got, row)
+	}
+	return nil
+}
+
+// ReplayUpdate re-applies a logged update during recovery.
+func (t *Table) ReplayUpdate(row uint64, col int, v schema.Value) error {
+	if err := t.Update(row, col, v); err != nil {
+		return fmt.Errorf("lstore: replaying update of row %d col %d: %w", row, col, err)
+	}
+	return nil
+}

@@ -55,7 +55,11 @@ type ServingSweep struct {
 	Mix           string
 	LegSeconds    float64
 	Concurrencies []int
-	Legs          []ServingLeg
+	// Durable reports whether the item table ran with write-ahead
+	// logging on: the write lane then pays a group-committed fsync per
+	// acknowledged point write.
+	Durable bool
+	Legs    []ServingLeg
 }
 
 // servingGroups is the group-key cardinality of the serving fixture: a
@@ -66,15 +70,29 @@ const servingGroups = 64
 // MeasureServing runs the sweep: for each concurrency, one leg against
 // the unbatched front end and one against the batched front end, both
 // over the same warm device-cached table. legDur is the wall time per
-// leg (default 1.2s).
-func MeasureServing(rows uint64, concurrencies []int, legDur time.Duration) (*ServingSweep, error) {
+// leg (default 1.2s). A non-empty walDir opens the item table durably
+// from that directory: every acknowledged point write is group-committed
+// to the write-ahead log first, so the sweep prices the durable write
+// lane instead of the memory-only one.
+func MeasureServing(rows uint64, concurrencies []int, legDur time.Duration, walDir string) (*ServingSweep, error) {
 	if len(concurrencies) == 0 {
 		concurrencies = DefaultServingConcurrencies()
 	}
 	if legDur <= 0 {
 		legDur = 1200 * time.Millisecond
 	}
-	db := hybridstore.Open(hybridstore.Options{ChunkRows: 256, DeviceCache: true})
+	opts := hybridstore.Options{ChunkRows: 256, DeviceCache: true}
+	var db *hybridstore.DB
+	if walDir != "" {
+		opts.Durability = hybridstore.Durability{Tables: []string{"item"}}
+		var err error
+		if db, err = hybridstore.OpenDir(walDir, opts); err != nil {
+			return nil, err
+		}
+	} else {
+		db = hybridstore.Open(opts)
+	}
+	defer db.Close()
 	tbl, err := db.CreateTable("item", hybridstore.ItemSchema())
 	if err != nil {
 		return nil, err
@@ -131,6 +149,7 @@ func MeasureServing(rows uint64, concurrencies []int, legDur time.Duration) (*Se
 		Mix:           mix,
 		LegSeconds:    legDur.Seconds(),
 		Concurrencies: concurrencies,
+		Durable:       walDir != "",
 	}
 	// Short discarded shakeout leg per front end: connection setup, pool
 	// priming and JIT-warm paths happen off the clock.
@@ -209,6 +228,9 @@ func (s *ServingSweep) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "serving panel: loopback HTTP over %d warm device-cached rows, mix %s, %.1fs per leg\n",
 		s.Rows, s.Mix, s.LegSeconds)
+	if s.Durable {
+		b.WriteString("durable: point writes group-commit to the write-ahead log before acknowledging\n")
+	}
 	b.WriteString("batched = shared-scan batching scheduler; unbatched = every request executes solo\n")
 	rows := [][]string{{"clients", "mode", "qps", "write p99", "sum p99", "group p99", "speedup"}}
 	for _, leg := range s.Legs {

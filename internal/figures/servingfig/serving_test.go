@@ -20,7 +20,7 @@ func TestServingSweep(t *testing.T) {
 	var s *ServingSweep
 	for attempt := 0; attempt < 2; attempt++ {
 		var err error
-		s, err = MeasureServing(4096, []int{1, 32}, 800*time.Millisecond)
+		s, err = MeasureServing(4096, []int{1, 32}, 800*time.Millisecond, "")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"hybridstore/internal/mem"
+	"hybridstore/internal/obs"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/stats"
 )
@@ -524,11 +525,18 @@ func (f *Fragment) Stats(c int) *stats.Zone {
 	return f.zones[p]
 }
 
+// mSeals counts full zone-map seal passes. Each is a scan of the
+// fragment's bytes; a warm restart that re-seals anything is re-paying
+// work its checkpoint already paid, so recovery tests assert a zero
+// delta across restore.
+var mSeals = obs.NewCounter("layout.seals")
+
 // SealStats recomputes every zone map exactly from the stored bytes and
 // marks them sealed. Engines call this at their freeze points — the
 // paper's hot→cold transitions — where a fragment's contents become
 // (mostly) immutable and tight bounds pay off for the rest of its life.
 func (f *Fragment) SealStats() {
+	mSeals.Inc()
 	for p, z := range f.zones {
 		if z == nil {
 			continue

@@ -25,11 +25,15 @@ type Admission struct {
 	MaxInFlight int
 }
 
-// Admission outcome counters.
+// Admission outcome counters, plus the live in-flight gauge: every
+// admitted request raises it and its release lowers it, across all
+// tenants and regardless of policy — a gauge stuck above zero on an
+// idle server means a leaked admission token.
 var (
 	mAdmitted  = obs.NewCounter("server.admission.admitted")
 	mThrottled = obs.NewCounter("server.admission.throttled")
 	mOverload  = obs.NewCounter("server.admission.overload")
+	gInFlight  = obs.NewGauge("server.admission.inflight")
 )
 
 // tenantState is one tenant's token bucket plus in-flight count. Both
@@ -73,11 +77,15 @@ func (a *admitter) tenant(name string) *tenantState {
 // admit decides the request's fate now — it never blocks. On success
 // the returned release func must be called when the request finishes;
 // on rejection release is nil and code is the HTTP status to surface
-// (429 throttled, 503 overloaded).
+// (429 throttled, 503 overloaded). Release is idempotent: a path that
+// calls it twice (an error return racing a deferred cleanup) gives
+// back exactly one token, so the ceiling can never be over-admitted.
 func (a *admitter) admit(tenant string) (release func(), code int) {
 	if a.cfg.Rate <= 0 && a.cfg.MaxInFlight <= 0 {
 		mAdmitted.Inc()
-		return func() {}, 0
+		gInFlight.Add(1)
+		var once sync.Once
+		return func() { once.Do(func() { gInFlight.Add(-1) }) }, 0
 	}
 	ts := a.tenant(tenant)
 	ts.mu.Lock()
@@ -106,11 +114,16 @@ func (a *admitter) admit(tenant string) (release func(), code int) {
 		ts.inflight++
 	}
 	mAdmitted.Inc()
+	gInFlight.Add(1)
+	var once sync.Once
 	return func() {
-		ts.mu.Lock()
-		if a.cfg.MaxInFlight > 0 {
-			ts.inflight--
-		}
-		ts.mu.Unlock()
+		once.Do(func() {
+			ts.mu.Lock()
+			if a.cfg.MaxInFlight > 0 {
+				ts.inflight--
+			}
+			ts.mu.Unlock()
+			gInFlight.Add(-1)
+		})
 	}, 0
 }

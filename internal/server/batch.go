@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -76,6 +77,11 @@ type batcher struct {
 	mu     sync.Mutex
 	sums   map[sumKey]*sumBatch
 	groups map[groupKey]*groupBatch
+	// execSum and execGroup are the storage passes a flush leader runs.
+	// They default to the table methods; tests substitute failing or
+	// panicking ones to drive the leader-failure paths.
+	execSum   func(tbl *hybridstore.Table, col int, preds []hybridstore.FloatPred) ([]float64, []int64, error)
+	execGroup func(tbl *hybridstore.Table, keyCol, valCol int, p hybridstore.FloatPred) ([]hybridstore.GroupResult, error)
 }
 
 func newBatcher(window time.Duration) *batcher {
@@ -83,6 +89,12 @@ func newBatcher(window time.Duration) *batcher {
 		window: window,
 		sums:   make(map[sumKey]*sumBatch),
 		groups: make(map[groupKey]*groupBatch),
+		execSum: func(tbl *hybridstore.Table, col int, preds []hybridstore.FloatPred) ([]float64, []int64, error) {
+			return tbl.SumFloat64WhereMulti(col, preds)
+		},
+		execGroup: func(tbl *hybridstore.Table, keyCol, valCol int, p hybridstore.FloatPred) ([]hybridstore.GroupResult, error) {
+			return tbl.GroupBySumWhere(keyCol, valCol, p)
+		},
 	}
 }
 
@@ -129,8 +141,23 @@ func (b *batcher) sumWhere(tbl *hybridstore.Table, col int, p hybridstore.FloatP
 	mBatchFlushes.Inc()
 	mBatchPreds.Add(int64(len(g.preds)))
 	hBatchSize.Observe(int64(len(g.preds)))
-	g.sums, g.cnts, g.err = tbl.SumFloat64WhereMulti(col, g.preds)
-	close(g.done)
+	// The cohort must be released however the pass ends: a leader that
+	// panics mid-pass still owes every waiter an answer, so the panic
+	// becomes the group error instead of a permanent hang, and a pass
+	// that under-delivers results is an error, never a zero answer.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				g.err = fmt.Errorf("server: batch leader panicked: %v", r)
+			}
+			if g.err == nil && (len(g.sums) != len(g.preds) || len(g.cnts) != len(g.preds)) {
+				g.err = fmt.Errorf("server: batch pass returned %d sums, %d counts for %d predicates",
+					len(g.sums), len(g.cnts), len(g.preds))
+			}
+			close(g.done)
+		}()
+		g.sums, g.cnts, g.err = b.execSum(tbl, col, g.preds)
+	}()
 	if g.err != nil {
 		return 0, 0, g.err
 	}
@@ -165,7 +192,14 @@ func (b *batcher) groupSumWhere(tbl *hybridstore.Table, keyCol, valCol int, p hy
 	b.mu.Unlock()
 	mBatchFlushes.Inc()
 	hBatchSize.Observe(int64(g.joined + 1))
-	g.res, g.err = tbl.GroupBySumWhere(keyCol, valCol, p)
-	close(g.done)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				g.err = fmt.Errorf("server: batch leader panicked: %v", r)
+			}
+			close(g.done)
+		}()
+		g.res, g.err = b.execGroup(tbl, keyCol, valCol, p)
+	}()
 	return g.res, g.err
 }

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hybridstore"
+	"hybridstore/internal/obs"
+)
+
+// TestBatchLeaderError: when the shared pass fails, the leader AND
+// every waiter must see the error — never a zero answer, never a hang.
+func TestBatchLeaderError(t *testing.T) {
+	s, _ := newItemServer(t, hybridstore.Options{ChunkRows: 128},
+		Config{BatchWindow: 20 * time.Millisecond})
+	boom := errors.New("injected storage failure")
+	s.bat.execSum = func(_ *hybridstore.Table, _ int, preds []hybridstore.FloatPred) ([]float64, []int64, error) {
+		return nil, nil, boom
+	}
+	sid := s.CreateSession("")
+	sum := prep(t, s, sid, "sum_where", hybridstore.ItemPriceColumn, 0)
+
+	const waiters = 6
+	codes := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"session_id":"%s","stmt_id":%d,"pred":{"kind":"lt","hi":%d}}`, sid, sum, 10+i)
+			resp, code := exec1(s, body)
+			if code == 500 && !strings.Contains(resp, "injected storage failure") {
+				t.Errorf("request %d: 500 without the leader's error: %s", i, resp)
+			}
+			codes <- code
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch cohort hung on a failed leader")
+	}
+	close(codes)
+	for code := range codes {
+		if code != 500 {
+			t.Fatalf("cohort member finished %d, want 500", code)
+		}
+	}
+}
+
+// TestBatchLeaderPanic: a panicking shared pass must still release the
+// cohort, with the panic surfaced as the group error.
+func TestBatchLeaderPanic(t *testing.T) {
+	s, _ := newItemServer(t, hybridstore.Options{ChunkRows: 128},
+		Config{BatchWindow: 20 * time.Millisecond})
+	s.bat.execSum = func(_ *hybridstore.Table, _ int, _ []hybridstore.FloatPred) ([]float64, []int64, error) {
+		panic("injected leader panic")
+	}
+	sid := s.CreateSession("")
+	sum := prep(t, s, sid, "sum_where", hybridstore.ItemPriceColumn, 0)
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	fails := make(chan string, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"session_id":"%s","stmt_id":%d,"pred":{"kind":"lt","hi":%d}}`, sid, sum, 10+i)
+			resp, code := exec1(s, body)
+			if code != 500 || !strings.Contains(resp, "panicked") {
+				fails <- fmt.Sprintf("request %d: %d %s", i, code, resp)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch cohort hung on a panicked leader")
+	}
+	close(fails)
+	for f := range fails {
+		t.Error(f)
+	}
+}
+
+// TestBatchLeaderShortResults: a pass that returns fewer results than
+// predicates is an error for everyone, not an out-of-range panic or a
+// silently wrong zero.
+func TestBatchLeaderShortResults(t *testing.T) {
+	s, _ := newItemServer(t, hybridstore.Options{ChunkRows: 128},
+		Config{BatchWindow: 20 * time.Millisecond})
+	s.bat.execSum = func(_ *hybridstore.Table, _ int, _ []hybridstore.FloatPred) ([]float64, []int64, error) {
+		return []float64{1}, []int64{1}, nil // always short for a cohort >= 2
+	}
+	sid := s.CreateSession("")
+	sum := prep(t, s, sid, "sum_where", hybridstore.ItemPriceColumn, 0)
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	codes := make(chan int, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"session_id":"%s","stmt_id":%d,"pred":{"kind":"lt","hi":%d}}`, sid, sum, 10+i)
+			_, code := exec1(s, body)
+			codes <- code
+		}(i)
+	}
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != 500 {
+			t.Fatalf("cohort member finished %d, want 500", code)
+		}
+	}
+}
+
+// TestBatchGroupLeaderPanic drives the grouped cohort's release path.
+func TestBatchGroupLeaderPanic(t *testing.T) {
+	s, _ := newItemServer(t, hybridstore.Options{ChunkRows: 128},
+		Config{BatchWindow: 20 * time.Millisecond})
+	s.bat.execGroup = func(_ *hybridstore.Table, _, _ int, _ hybridstore.FloatPred) ([]hybridstore.GroupResult, error) {
+		panic("injected group leader panic")
+	}
+	sid := s.CreateSession("")
+	grp := prep(t, s, sid, "group_sum_where", hybridstore.ItemPriceColumn, 0)
+	body := fmt.Sprintf(`{"session_id":"%s","stmt_id":%d,"pred":{"kind":"lt","hi":30}}`, sid, grp)
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	fails := make(chan string, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, code := exec1(s, body)
+			if code != 500 || !strings.Contains(resp, "panicked") {
+				fails <- fmt.Sprintf("request %d: %d %s", i, code, resp)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("grouped cohort hung on a panicked leader")
+	}
+	close(fails)
+	for f := range fails {
+		t.Error(f)
+	}
+}
+
+// TestAdmissionInFlightStorm fires a storm of requests where many fail
+// (unknown rows, failing batch leaders, throttles and overloads mixed
+// in) and asserts the in-flight gauge returns exactly to its starting
+// level: no error path may leak an admission token.
+func TestAdmissionInFlightStorm(t *testing.T) {
+	s, _ := newItemServer(t, hybridstore.Options{ChunkRows: 128},
+		Config{BatchWindow: time.Millisecond,
+			Admission: Admission{Rate: 1e6, MaxInFlight: 8}})
+	boom := errors.New("injected storm failure")
+	s.bat.execSum = func(_ *hybridstore.Table, _ int, _ []hybridstore.FloatPred) ([]float64, []int64, error) {
+		return nil, nil, boom
+	}
+	sid := s.CreateSession("storm")
+	get := prep(t, s, sid, "get", 0, 0)
+	sum := prep(t, s, sid, "sum_where", hybridstore.ItemPriceColumn, 0)
+
+	before := obs.TakeSnapshot().Gauge("server.admission.inflight")
+	const workers, perWorker = 16, 60
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				var body string
+				switch i % 3 {
+				case 0: // bad row → 500
+					body = fmt.Sprintf(`{"session_id":"%s","stmt_id":%d,"row":999999}`, sid, get)
+				case 1: // failing batch leader → 500
+					body = fmt.Sprintf(`{"session_id":"%s","stmt_id":%d,"pred":{"kind":"lt","hi":%d}}`, sid, sum, i)
+				default: // fine
+					body = fmt.Sprintf(`{"session_id":"%s","stmt_id":%d,"row":1}`, sid, get)
+				}
+				exec1(s, body)
+			}
+		}(w)
+	}
+	wg.Wait()
+	after := obs.TakeSnapshot().Gauge("server.admission.inflight")
+	if after != before {
+		t.Fatalf("in-flight gauge leaked: %d before storm, %d after", before, after)
+	}
+}

@@ -82,13 +82,16 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), 400)
 		return
 	}
+	// Deferred so a panicking statement cannot leak the pooled buffers
+	// (net/http recovers the panic per connection; the server keeps
+	// serving and the pool keeps its pages).
+	defer pool.PutBytes(body)
 	out := pool.GetBytes()[:0]
+	defer func() { pool.PutBytes(out) }()
 	out, code := s.Exec(body, out)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	w.Write(out)
-	pool.PutBytes(body)
-	pool.PutBytes(out)
 }
 
 func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,116 @@
+package tx
+
+import (
+	"fmt"
+
+	"hybridstore/internal/schema"
+)
+
+// LoggedWrite is one write-set entry handed to a CommitLogger.
+type LoggedWrite struct {
+	// Row is the row the version installs at.
+	Row uint64
+	// Deleted marks a delete marker.
+	Deleted bool
+	// Rec is the after-image (nil when Deleted).
+	Rec schema.Record
+}
+
+// CommitLogger is the write-ahead hook a durable engine installs on its
+// Manager. It is invoked inside the commit critical section — after
+// validation succeeded and the commit timestamp was drawn, before any
+// version installs — so log append order equals commit-timestamp order.
+// It must enqueue the record and return quickly; the returned wait
+// function (may be nil) is called after the critical section ends and
+// blocks until the record is durable, giving group commit its window
+// without serializing concurrent committers. A non-nil error aborts the
+// commit: no versions install and the caller sees the error.
+type CommitLogger func(commitTS uint64, writes []LoggedWrite) (wait func() error, err error)
+
+// SetCommitLogger installs (or, with nil, removes) the write-ahead hook.
+func (m *Manager) SetCommitLogger(l CommitLogger) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.logger = l
+}
+
+// PinSnapshot pins the current clock as a read horizon without opening
+// a transaction: until release is called, MinActiveTS will not advance
+// past the returned timestamp, so Prune and merge folds cannot drop
+// versions a reader of that snapshot (e.g. a checkpoint writer) can
+// still see.
+func (m *Manager) PinSnapshot() (ts uint64, release func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	id := m.nextID
+	m.active[id] = m.clock
+	return m.clock, func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		delete(m.active, id)
+	}
+}
+
+// AdvanceTo raises the logical clock to at least ts. Recovery uses it
+// to restore the pre-crash clock before new transactions begin, so
+// fresh commit timestamps stay above every replayed one.
+func (m *Manager) AdvanceTo(ts uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ts > m.clock {
+		m.clock = ts
+	}
+}
+
+// InstallAt installs a version of row directly at commit timestamp ts —
+// the recovery replay path. Replay must apply commits in their original
+// timestamp order; finding an equal or newer version already in the
+// chain means the log and store disagree (first-committer-wins was
+// violated), which is corruption, not a conflict to skip.
+func (s *Store) InstallAt(row uint64, rec schema.Record, deleted bool, ts uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v := s.chains[row]; v != nil && v.ts >= ts {
+		return fmt.Errorf("wal replay: row %d already has version at ts %d, replaying ts %d out of order", row, v.ts, ts)
+	}
+	var r schema.Record
+	if !deleted {
+		r = rec.Clone()
+	}
+	s.chains[row] = &version{ts: ts, rec: r, deleted: deleted, next: s.chains[row]}
+	return nil
+}
+
+// VersionAt returns the newest version of row committed at or before
+// ts: its record, delete flag and commit timestamp. ok is false when no
+// version is visible.
+func (s *Store) VersionAt(row uint64, ts uint64) (rec schema.Record, deleted bool, verTS uint64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v := s.visible(row, ts)
+	if v == nil {
+		return nil, false, 0, false
+	}
+	return v.rec, v.deleted, v.ts, true
+}
+
+// RangeVisible calls fn for every row with a version visible at ts,
+// passing the visible record, delete flag and its commit timestamp.
+// Iteration order is unspecified. fn returning false stops the walk.
+// The store lock is held throughout: fn must not call back into the
+// store.
+func (s *Store) RangeVisible(ts uint64, fn func(row uint64, rec schema.Record, deleted bool, verTS uint64) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for row, v := range s.chains {
+		for ; v != nil; v = v.next {
+			if v.ts <= ts {
+				if !fn(row, v.rec, v.deleted, v.ts) {
+					return
+				}
+				break
+			}
+		}
+	}
+}

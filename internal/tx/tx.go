@@ -22,6 +22,7 @@ package tx
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"hybridstore/internal/obs"
@@ -165,6 +166,7 @@ type Manager struct {
 	clock  uint64
 	active map[uint64]uint64 // txID → beginTS
 	nextID uint64
+	logger CommitLogger // write-ahead hook; nil when the table is not durable
 }
 
 // NewManager creates a transaction manager.
@@ -283,15 +285,37 @@ func (t *Tx) Pending() int { return len(t.writes) }
 
 // Commit validates and installs the buffered writes atomically at a fresh
 // commit timestamp. On conflict everything is discarded and ErrConflict
-// returned; the transaction is finished either way.
+// returned; the transaction is finished either way. When the manager has
+// a CommitLogger, the write set is appended to the log inside the commit
+// critical section (before versions install) and Commit blocks on
+// durability after the critical section ends.
 func (t *Tx) Commit() error {
 	if t.closed {
 		return ErrClosed
 	}
 	t.closed = true
 
+	wait, err := t.commitCritical()
+	if err != nil {
+		return err
+	}
+	// Durability wait happens outside the commit lock: concurrent
+	// committers pile into the same group-commit flush instead of
+	// serializing on fsync.
+	if wait != nil {
+		if err := wait(); err != nil {
+			return fmt.Errorf("tx: commit not durable: %w", err)
+		}
+	}
+	return nil
+}
+
+// commitCritical is Commit's validate+log+install section under the
+// manager lock. It returns the durability wait hook from the logger.
+func (t *Tx) commitCritical() (func() error, error) {
 	// The manager lock is held across validate+install, making Commit the
-	// serial commit point: commit-timestamp order equals validation order.
+	// serial commit point: commit-timestamp order equals validation order,
+	// and — because the logger runs here too — equals log append order.
 	t.m.mu.Lock()
 	defer t.m.mu.Unlock()
 	defer delete(t.m.active, t.id)
@@ -307,7 +331,7 @@ func (t *Tx) Commit() error {
 			if v := s.chains[k.row]; v != nil && v.ts > t.beginTS {
 				s.mu.Unlock()
 				mConflicts.Inc()
-				return fmt.Errorf("%w: row %d written at ts %d after snapshot %d",
+				return nil, fmt.Errorf("%w: row %d written at ts %d after snapshot %d",
 					ErrConflict, k.row, v.ts, t.beginTS)
 			}
 		}
@@ -316,6 +340,22 @@ func (t *Tx) Commit() error {
 
 	t.m.clock++
 	commitTS := t.m.clock
+
+	var wait func() error
+	if t.m.logger != nil && len(t.writes) > 0 {
+		writes := make([]LoggedWrite, 0, len(t.writes))
+		for k, w := range t.writes {
+			writes = append(writes, LoggedWrite{Row: k.row, Deleted: w.deleted, Rec: w.rec})
+		}
+		sort.Slice(writes, func(i, j int) bool { return writes[i].Row < writes[j].Row })
+		w, err := t.m.logger(commitTS, writes)
+		if err != nil {
+			mAborts.Inc()
+			return nil, fmt.Errorf("tx: write-ahead append failed, commit aborted: %w", err)
+		}
+		wait = w
+	}
+
 	for s, keys := range stores {
 		s.mu.Lock()
 		for _, k := range keys {
@@ -325,7 +365,7 @@ func (t *Tx) Commit() error {
 		s.mu.Unlock()
 	}
 	mCommits.Inc()
-	return nil
+	return wait, nil
 }
 
 // Abort discards the buffered writes and finishes the transaction.

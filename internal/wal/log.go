@@ -1,0 +1,367 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"hybridstore/internal/obs"
+)
+
+// Process-wide WAL counters.
+var (
+	mAppends   = obs.NewCounter("wal.appends")
+	mFlushes   = obs.NewCounter("wal.flushes")
+	mFsyncs    = obs.NewCounter("wal.fsyncs")
+	mBytes     = obs.NewCounter("wal.bytes")
+	mTornTail  = obs.NewCounter("wal.torn_tail_truncations")
+	mCompacts  = obs.NewCounter("wal.compactions")
+	mGroupSize = obs.NewHistogram("wal.group_size")
+)
+
+// SyncPolicy selects when appended records are forced to stable storage.
+type SyncPolicy int
+
+// Fsync policies, cheapest first.
+const (
+	// SyncGrouped batches concurrent committers behind one flush leader:
+	// the leader waits GroupWindow for cohort arrivals, writes the whole
+	// group, and issues a single fsync for all of it.
+	SyncGrouped SyncPolicy = iota
+	// SyncAlways fsyncs on every Sync call with no grouping window.
+	SyncAlways
+	// SyncNone writes to the OS on every Sync but never fsyncs: cheap,
+	// survives process kill but not machine crash.
+	SyncNone
+)
+
+// String names the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncGrouped:
+		return "grouped"
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// Options configure a Log.
+type Options struct {
+	// Sync is the fsync policy (default SyncGrouped).
+	Sync SyncPolicy
+	// GroupWindow is how long a flush leader waits for cohort commits
+	// under SyncGrouped. Zero still groups whatever arrived while the
+	// previous flush was in flight, without an explicit wait.
+	GroupWindow time.Duration
+}
+
+// frameHeaderSize is the per-record overhead: u32 length + u32 CRC.
+const frameHeaderSize = 8
+
+// Log is an append-only record log with CRC framing and group commit.
+// Safe for concurrent use.
+type Log struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	f        *os.File
+	path     string
+	opts     Options
+	buf      []byte // encoded frames appended but not yet written
+	nextLSN  uint64 // LSN the next Append receives
+	written  uint64 // highest LSN handed to the OS
+	durable  uint64 // highest LSN known durable per policy
+	flushing bool   // a flush leader is running
+	err      error  // sticky I/O error; poisons all later operations
+	closed   bool
+}
+
+// Open opens (creating if absent) the log at path, validates every
+// frame, truncates a torn tail, and returns the log positioned for
+// appending plus the decoded records that survived validation.
+func Open(path string, opts Options) (*Log, []*Record, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: reading %s: %w", path, err)
+	}
+	recs, good := scan(data)
+	if good < int64(len(data)) {
+		mTornTail.Inc()
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{f: f, path: path, opts: opts, nextLSN: uint64(len(recs)) + 1}
+	l.written = l.nextLSN - 1
+	l.durable = l.written
+	l.cond = sync.NewCond(&l.mu)
+	return l, recs, nil
+}
+
+// scan walks frames in data, returning the decoded records and the byte
+// offset just past the last intact frame. Any framing or CRC damage
+// stops the scan: everything after the last good frame is a torn tail.
+func scan(data []byte) ([]*Record, int64) {
+	var recs []*Record
+	off := 0
+	for {
+		if len(data)-off < frameHeaderSize {
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n <= 0 || len(data)-off-frameHeaderSize < n {
+			break
+		}
+		payload := data[off+frameHeaderSize : off+frameHeaderSize+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		off += frameHeaderSize + n
+	}
+	return recs, int64(off)
+}
+
+// Path returns the log file path.
+func (l *Log) Path() string { return l.path }
+
+// Append encodes and enqueues rec, returning its log sequence number.
+// The record is not durable until Sync(lsn) returns.
+func (l *Log) Append(rec *Record) (uint64, error) {
+	var e Encoder
+	rec.encode(&e)
+	payload := e.Bytes()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.closed {
+		return 0, fmt.Errorf("wal: log closed")
+	}
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	l.buf = append(l.buf, hdr[:]...)
+	l.buf = append(l.buf, payload...)
+	l.nextLSN++
+	mAppends.Inc()
+	return l.nextLSN - 1, nil
+}
+
+// Sync blocks until every record up to and including lsn is durable
+// under the configured policy. Concurrent callers form a group: one
+// becomes the flush leader, writes the whole pending buffer and fsyncs
+// once; the rest wait on the result.
+func (l *Log) Sync(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.err != nil {
+			return l.err
+		}
+		if l.durable >= lsn {
+			return nil
+		}
+		if l.closed {
+			return fmt.Errorf("wal: log closed")
+		}
+		if !l.flushing {
+			l.flushLocked()
+			continue // re-check: our lsn may still be undurable on error
+		}
+		l.cond.Wait()
+	}
+}
+
+// flushLocked is the group-commit leader body. Called with l.mu held;
+// releases and reacquires it around the I/O.
+func (l *Log) flushLocked() {
+	l.flushing = true
+	if l.opts.Sync == SyncGrouped && l.opts.GroupWindow > 0 {
+		// Hold the leader open for the cohort: commits arriving during
+		// the window ride this flush's single fsync.
+		l.mu.Unlock()
+		time.Sleep(l.opts.GroupWindow)
+		l.mu.Lock()
+	}
+	buf := l.buf
+	l.buf = nil
+	target := l.nextLSN - 1
+	group := target - l.written
+	l.mu.Unlock()
+
+	var err error
+	if len(buf) > 0 {
+		_, err = l.f.Write(buf)
+		mFlushes.Inc()
+		mBytes.Add(int64(len(buf)))
+		mGroupSize.Observe(int64(group))
+	}
+	if err == nil && l.opts.Sync != SyncNone {
+		err = l.f.Sync()
+		mFsyncs.Inc()
+	}
+
+	l.mu.Lock()
+	l.flushing = false
+	if err != nil {
+		l.err = fmt.Errorf("wal: flush: %w", err)
+	} else {
+		l.written = target
+		l.durable = target
+	}
+	l.cond.Broadcast()
+}
+
+// Compact rewrites the log keeping only records for which keep returns
+// true — the checkpoint truncation path. It drains any in-flight flush,
+// writes the survivors to a temp file, fsyncs and atomically renames it
+// over the log.
+func (l *Log) Compact(keep func(*Record) bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.flushing {
+		l.cond.Wait()
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	// Flush the pending buffer so the file holds everything appended.
+	if len(l.buf) > 0 {
+		if _, err := l.f.Write(l.buf); err != nil {
+			l.err = fmt.Errorf("wal: flush before compact: %w", err)
+			return l.err
+		}
+		l.buf = nil
+		l.written = l.nextLSN - 1
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	data, err := io.ReadAll(l.f)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	recs, _ := scan(data)
+
+	tmp := l.path + ".tmp"
+	out, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	var e Encoder
+	kept := 0
+	for _, rec := range recs {
+		if !keep(rec) {
+			continue
+		}
+		kept++
+		e.Reset()
+		rec.encode(&e)
+		payload := e.Bytes()
+		var hdr [frameHeaderSize]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+		if _, err := out.Write(hdr[:]); err == nil {
+			_, err = out.Write(payload)
+		}
+		if err != nil {
+			out.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("wal: compact: %w", err)
+		}
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	old := l.f
+	f, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		l.err = fmt.Errorf("wal: reopen after compact: %w", err)
+		return l.err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		l.err = fmt.Errorf("wal: %w", err)
+		return l.err
+	}
+	old.Close()
+	l.f = f
+	// LSNs restart over the compacted file; durability state is clean.
+	l.nextLSN = uint64(kept) + 1
+	l.written = uint64(kept)
+	l.durable = uint64(kept)
+	mCompacts.Inc()
+	return nil
+}
+
+// Close flushes pending records (with a final fsync unless SyncNone)
+// and closes the file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.flushing {
+		l.cond.Wait()
+	}
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	l.cond.Broadcast()
+	var err error
+	if l.err == nil && len(l.buf) > 0 {
+		_, err = l.f.Write(l.buf)
+		l.buf = nil
+	}
+	if err == nil && l.err == nil && l.opts.Sync != SyncNone {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return l.err
+}

@@ -1,0 +1,42 @@
+package wal
+
+import "hybridstore/internal/schema"
+
+// TableLog binds one table name to a shared log — the hook non-MVCC
+// engines (HyPer's in-place updates, L-Store's tail appends) thread
+// their write paths through. Each call appends one logical record and
+// blocks until it is durable under the log's sync policy; concurrent
+// writers across all tables of the log share group-commit flushes.
+type TableLog struct {
+	// L is the shared log.
+	L *Log
+	// Table is the owning table name.
+	Table string
+}
+
+// LogCreate records the table's creation (name, engine, schema).
+func (t *TableLog) LogCreate(engine string, s *schema.Schema) error {
+	lsn, err := t.L.Append(&Record{Kind: KindCreate, Table: t.Table, Engine: engine, Schema: s})
+	if err != nil {
+		return err
+	}
+	return t.L.Sync(lsn)
+}
+
+// LogInsert records one base insert at a known row position.
+func (t *TableLog) LogInsert(row uint64, rec schema.Record) error {
+	lsn, err := t.L.Append(&Record{Kind: KindInsert, Table: t.Table, Row: row, Rec: rec})
+	if err != nil {
+		return err
+	}
+	return t.L.Sync(lsn)
+}
+
+// LogUpdate records one single-cell update.
+func (t *TableLog) LogUpdate(row uint64, col int, v schema.Value) error {
+	lsn, err := t.L.Append(&Record{Kind: KindUpdate, Table: t.Table, Row: row, Col: col, Val: v})
+	if err != nil {
+		return err
+	}
+	return t.L.Sync(lsn)
+}
