@@ -323,24 +323,28 @@ func (t *Table) insertLocked(rec schema.Record) (uint64, uint64, error) {
 			return 0, 0, fmt.Errorf("core: inserting pk %d: %w", rec[0].I, index.ErrDuplicate)
 		}
 	}
-	// Log after validation, before mutation: a logged-but-failed insert
-	// can only come from allocation failure (ambiguous to the caller
-	// either way), while an applied-but-unlogged insert would shift
-	// every later logged row position — unrecoverable.
-	var lsn uint64
-	if t.walLog != nil {
-		var err error
-		lsn, err = t.walLog.Append(&wal.Record{Kind: wal.KindInsert, Table: t.rel.Name(), Row: row, Rec: rec})
-		if err != nil {
-			return 0, 0, fmt.Errorf("core: logging insert: %w", err)
-		}
-	}
 	tail := t.tailChunk()
 	if tail == nil || tail.filled() == int(tail.rows.Len()) {
 		var err error
 		tail, err = t.openChunk(row)
 		if err != nil {
 			return 0, 0, err
+		}
+	}
+	// Log after every fallible step — validation, pk precheck, chunk
+	// allocation — and before mutation: the log must never hold an
+	// insert the caller saw fail (recovery would replay it), while an
+	// applied-but-unlogged insert would shift every later logged row
+	// position — unrecoverable either way.
+	var lsn uint64
+	if t.walLog != nil {
+		if err := schema.ValidateRecord(t.s, rec); err != nil {
+			return 0, 0, err
+		}
+		var err error
+		lsn, err = t.walLog.Append(&wal.Record{Kind: wal.KindInsert, Table: t.rel.Name(), Row: row, Rec: rec})
+		if err != nil {
+			return 0, 0, fmt.Errorf("core: logging insert: %w", err)
 		}
 	}
 	vals := make([]schema.Value, len(rec))

@@ -182,23 +182,31 @@ func (t *Table) detach(c *chunk) {
 	}
 }
 
+// ensureTail guarantees the tail chunk has room for a record landing at
+// row, allocating and attaching a fresh chunk when the current tail is
+// full (or absent). It is the fallible part of an insert, split out so
+// the WAL path can run it before logging.
+func (t *Table) ensureTail(row uint64) (*chunk, error) {
+	if n := len(t.chunks); n > 0 && t.chunks[n-1].len() < t.chunks[n-1].Cap() {
+		return t.chunks[n-1], nil
+	}
+	c, err := t.newChunk(row, t.chunkRows)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.attach(c); err != nil {
+		c.free()
+		return nil, err
+	}
+	t.chunks = append(t.chunks, c)
+	return c, nil
+}
+
 // appendRecord routes an insert into the tail chunk.
 func (t *Table) appendRecord(row uint64, rec schema.Record) error {
-	var tail *chunk
-	if n := len(t.chunks); n > 0 && t.chunks[n-1].len() < t.chunks[n-1].Cap() {
-		tail = t.chunks[n-1]
-	}
-	if tail == nil {
-		c, err := t.newChunk(row, t.chunkRows)
-		if err != nil {
-			return err
-		}
-		if err := t.attach(c); err != nil {
-			c.free()
-			return err
-		}
-		t.chunks = append(t.chunks, c)
-		tail = c
+	tail, err := t.ensureTail(row)
+	if err != nil {
+		return err
 	}
 	for col, v := range tail.vectors {
 		if err := v.AppendTuplet([]schema.Value{rec[col]}); err != nil {
@@ -249,15 +257,14 @@ func (t *Table) updateLocked(row uint64, col int, v schema.Value) (uint64, error
 	if err != nil {
 		return 0, err
 	}
-	var lsn uint64
-	if t.wal != nil {
-		if col < 0 || col >= len(c.vectors) {
-			return 0, fmt.Errorf("%w: col %d", layout.ErrOutOfRange, col)
-		}
-		lsn, err = t.wal.L.Append(&wal.Record{Kind: wal.KindUpdate, Table: t.wal.Table, Row: row, Col: col, Val: v})
-		if err != nil {
-			return 0, fmt.Errorf("hyper: logging update: %w", err)
-		}
+	if col < 0 || col >= len(c.vectors) {
+		return 0, fmt.Errorf("%w: col %d", layout.ErrOutOfRange, col)
+	}
+	// Every fallible step — bounds, value validation, the COW
+	// clone/attach — runs before the WAL append, so the log never holds
+	// an update the caller saw fail (recovery would otherwise replay it).
+	if err := schema.ValidateValue(t.Rel.Schema().Attr(col), v); err != nil {
+		return 0, err
 	}
 	if c.refs > 0 {
 		clone, err := t.cloneChunk(c)
@@ -274,6 +281,13 @@ func (t *Table) updateLocked(row uint64, col int, v schema.Value) (uint64, error
 			return 0, err
 		}
 		c = clone
+	}
+	var lsn uint64
+	if t.wal != nil {
+		lsn, err = t.wal.L.Append(&wal.Record{Kind: wal.KindUpdate, Table: t.wal.Table, Row: row, Col: col, Val: v})
+		if err != nil {
+			return 0, fmt.Errorf("hyper: logging update: %w", err)
+		}
 	}
 	c.updates++
 	c.frozen = false

@@ -39,9 +39,15 @@ func (t *Table) insertLocked(rec schema.Record) (uint64, uint64, error) {
 	defer t.mu.Unlock()
 	var lsn uint64
 	if t.wal != nil {
-		if len(rec) != t.Rel.Schema().Arity() {
-			return 0, 0, fmt.Errorf("%w: arity %d vs schema %d",
-				schema.ErrArityMismatch, len(rec), t.Rel.Schema().Arity())
+		// Exhaust every fallible step — record validation and tail-chunk
+		// allocation — before the WAL append, so the log never holds an
+		// insert the caller saw fail (recovery would replay it, shifting
+		// every later logged row position).
+		if err := schema.ValidateRecord(t.Rel.Schema(), rec); err != nil {
+			return 0, 0, err
+		}
+		if _, err := t.ensureTail(t.Rel.Rows()); err != nil {
+			return 0, 0, err
 		}
 		var err error
 		lsn, err = t.wal.L.Append(&wal.Record{Kind: wal.KindInsert, Table: t.wal.Table, Row: t.Rel.Rows(), Rec: rec})

@@ -203,16 +203,12 @@ func (t *Table) insertLocked(rec schema.Record) (uint64, uint64, error) {
 	if len(rec) != t.s.Arity() {
 		return 0, 0, fmt.Errorf("%w: arity %d vs schema %d", schema.ErrArityMismatch, len(rec), t.s.Arity())
 	}
-	var lsn uint64
-	if t.wal != nil {
-		var err error
-		lsn, err = t.wal.L.Append(&wal.Record{Kind: wal.KindInsert, Table: t.wal.Table, Row: t.rows, Rec: rec})
-		if err != nil {
-			return 0, 0, fmt.Errorf("lstore: logging insert: %w", err)
-		}
-	}
+	// Exhaust every fallible step — base-buffer growth and record
+	// validation — before the WAL append, so the log never holds an
+	// insert the caller saw fail (recovery would replay it, shifting
+	// every later logged row position).
 	l, _ := t.rel.Primary()
-	for c, col := range t.cols {
+	for _, col := range t.cols {
 		if col.active.Len() == col.active.Cap() {
 			grown, err := col.active.Grow(t.env.Host, col.active.Cap()*2)
 			if err != nil {
@@ -223,6 +219,19 @@ func (t *Table) insertLocked(rec schema.Record) (uint64, uint64, error) {
 			}
 			col.active = grown
 		}
+	}
+	var lsn uint64
+	if t.wal != nil {
+		if err := schema.ValidateRecord(t.s, rec); err != nil {
+			return 0, 0, err
+		}
+		var err error
+		lsn, err = t.wal.L.Append(&wal.Record{Kind: wal.KindInsert, Table: t.wal.Table, Row: t.rows, Rec: rec})
+		if err != nil {
+			return 0, 0, fmt.Errorf("lstore: logging insert: %w", err)
+		}
+	}
+	for c, col := range t.cols {
 		if err := col.active.AppendTuplet([]schema.Value{rec[c]}); err != nil {
 			return 0, 0, err
 		}
@@ -270,14 +279,9 @@ func (t *Table) updateLocked(row uint64, col int, v schema.Value) (uint64, error
 	if col < 0 || col >= t.s.Arity() {
 		return 0, fmt.Errorf("%w: col %d", layout.ErrOutOfRange, col)
 	}
-	var lsn uint64
-	if t.wal != nil {
-		var err error
-		lsn, err = t.wal.L.Append(&wal.Record{Kind: wal.KindUpdate, Table: t.wal.Table, Row: row, Col: col, Val: v})
-		if err != nil {
-			return 0, fmt.Errorf("lstore: logging update: %w", err)
-		}
-	}
+	// Fallible preparation — tail growth and value validation — runs
+	// before the WAL append, so the log never holds an update the caller
+	// saw fail.
 	c := t.cols[col]
 	if c.tail.Len() == c.tail.Cap() {
 		grown, err := c.tail.Grow(t.env.Host, c.tail.Cap()*2)
@@ -285,6 +289,17 @@ func (t *Table) updateLocked(row uint64, col int, v schema.Value) (uint64, error
 			return 0, fmt.Errorf("lstore: growing tail: %w", err)
 		}
 		c.tail = grown
+	}
+	var lsn uint64
+	if t.wal != nil {
+		if err := schema.ValidateValue(t.s.Attr(col), v); err != nil {
+			return 0, err
+		}
+		var err error
+		lsn, err = t.wal.L.Append(&wal.Record{Kind: wal.KindUpdate, Table: t.wal.Table, Row: row, Col: col, Val: v})
+		if err != nil {
+			return 0, fmt.Errorf("lstore: logging update: %w", err)
+		}
 	}
 	slot := c.tail.Len()
 	if err := c.tail.AppendTuplet([]schema.Value{v}); err != nil {

@@ -94,14 +94,48 @@ var (
 	ErrShortBuffer = errors.New("schema: buffer shorter than attribute size")
 )
 
+// ValidateValue checks that v can be encoded under a without writing
+// anywhere: the kinds must match and CHAR payloads must fit. Engines
+// call it before logging a write so the WAL only ever holds records
+// that will apply.
+func ValidateValue(a Attribute, v Value) error {
+	if v.Kind != a.Kind {
+		return fmt.Errorf("%w: attribute %s is %s, value is %s", ErrKindMismatch, a.Name, a.Kind, v.Kind)
+	}
+	switch a.Kind {
+	case Int32, Int64, Float64:
+	case Char:
+		if len(v.S) > a.Size {
+			return fmt.Errorf("%w: %q into CHAR(%d)", ErrCharTooLong, v.S, a.Size)
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %d", ErrBadAttribute, a.Kind)
+	}
+	return nil
+}
+
+// ValidateRecord applies ValidateValue across a record positionally
+// aligned with s's attributes, checking arity first.
+func ValidateRecord(s *Schema, rec Record) error {
+	if len(rec) != s.Arity() {
+		return fmt.Errorf("%w: arity %d vs schema %d", ErrArityMismatch, len(rec), s.Arity())
+	}
+	for i, v := range rec {
+		if err := ValidateValue(s.Attr(i), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // EncodeValue writes v into dst according to a. dst must be at least a.Size
 // bytes; only the first a.Size bytes are written.
 func EncodeValue(dst []byte, a Attribute, v Value) error {
 	if len(dst) < a.Size {
 		return fmt.Errorf("%w: need %d, have %d", ErrShortBuffer, a.Size, len(dst))
 	}
-	if v.Kind != a.Kind {
-		return fmt.Errorf("%w: attribute %s is %s, value is %s", ErrKindMismatch, a.Name, a.Kind, v.Kind)
+	if err := ValidateValue(a, v); err != nil {
+		return err
 	}
 	switch a.Kind {
 	case Int32:
@@ -111,15 +145,10 @@ func EncodeValue(dst []byte, a Attribute, v Value) error {
 	case Float64:
 		binary.LittleEndian.PutUint64(dst, math.Float64bits(v.F))
 	case Char:
-		if len(v.S) > a.Size {
-			return fmt.Errorf("%w: %q into CHAR(%d)", ErrCharTooLong, v.S, a.Size)
-		}
 		n := copy(dst[:a.Size], v.S)
 		for i := n; i < a.Size; i++ {
 			dst[i] = 0
 		}
-	default:
-		return fmt.Errorf("%w: unknown kind %d", ErrBadAttribute, a.Kind)
 	}
 	return nil
 }

@@ -244,7 +244,10 @@ func (l *Log) flushLocked() {
 // Compact rewrites the log keeping only records for which keep returns
 // true — the checkpoint truncation path. It drains any in-flight flush,
 // writes the survivors to a temp file, fsyncs and atomically renames it
-// over the log.
+// over the log (fsyncing the directory so the swap survives power
+// loss). Compact runs under concurrent writers: LSN numbering stays
+// monotonic across it, so an Append that raced ahead of the compaction
+// can still Sync its pre-compact LSN afterwards.
 func (l *Log) Compact(keep func(*Record) bool) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -281,12 +284,10 @@ func (l *Log) Compact(keep func(*Record) bool) error {
 		return fmt.Errorf("wal: compact: %w", err)
 	}
 	var e Encoder
-	kept := 0
 	for _, rec := range recs {
 		if !keep(rec) {
 			continue
 		}
-		kept++
 		e.Reset()
 		rec.encode(&e)
 		payload := e.Bytes()
@@ -315,6 +316,12 @@ func (l *Log) Compact(keep func(*Record) bool) error {
 		os.Remove(tmp)
 		return fmt.Errorf("wal: compact: %w", err)
 	}
+	if err := syncDir(filepath.Dir(l.path)); err != nil {
+		// The rename may not be durably published; poison the log rather
+		// than acknowledge writes against an uncertain file.
+		l.err = err
+		return l.err
+	}
 	old := l.f
 	f, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
 	if err != nil {
@@ -328,10 +335,16 @@ func (l *Log) Compact(keep func(*Record) bool) error {
 	}
 	old.Close()
 	l.f = f
-	// LSNs restart over the compacted file; durability state is clean.
-	l.nextLSN = uint64(kept) + 1
-	l.written = uint64(kept)
-	l.durable = uint64(kept)
+	// LSN numbering must stay monotonic: writers that appended before we
+	// took the lock may still hold their LSNs and Sync them after we
+	// return. Everything appended so far is durable now — kept records
+	// were fsynced into the compacted file, and dropped ones are covered
+	// by the checkpoint image whose publication triggered this
+	// truncation — so those Syncs return immediately instead of waiting
+	// on numbering that restarted underneath them.
+	l.written = l.nextLSN - 1
+	l.durable = l.written
+	l.cond.Broadcast()
 	mCompacts.Inc()
 	return nil
 }

@@ -12,9 +12,10 @@ import (
 var snapshotMagic = [8]byte{'H', 'S', 'C', 'K', 1, 0, 0, 0}
 
 // WriteSnapshotFile writes payload to path with a magic header and a
-// trailing CRC-32, via a temp file and atomic rename, fsyncing before
-// the swap. A crash mid-write leaves the previous snapshot (or none)
-// intact; a torn file fails ReadSnapshotFile's checksum.
+// trailing CRC-32, via a temp file and atomic rename, fsyncing the
+// file before the swap and the parent directory after it. A crash
+// mid-write leaves the previous snapshot (or none) intact; a torn file
+// fails ReadSnapshotFile's checksum.
 func WriteSnapshotFile(path string, payload []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("wal: snapshot: %w", err)
@@ -44,6 +45,27 @@ func WriteSnapshotFile(path string, payload []byte) error {
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	// The rename must itself be durable before the caller drops the log
+	// records this snapshot covers: fsyncing the file alone does not
+	// persist its directory entry, and a power failure that kept the WAL
+	// truncation but lost the rename would lose acknowledged writes.
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed file inside it is
+// durably reachable after power failure.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: syncing dir %s: %w", dir, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: syncing dir %s: %w", dir, err)
 	}
 	return nil
 }

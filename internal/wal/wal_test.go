@@ -263,6 +263,125 @@ func TestLogCompact(t *testing.T) {
 	}
 }
 
+func TestLogCompactPreservesLSNs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _, err := Open(path, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 0; i < 10; i++ {
+		last, err = l.Append(&Record{Kind: KindCommit, Table: "t", TS: uint64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compact while an appender still holds an unacknowledged LSN (the
+	// records were never synced): the writer's Sync must still return —
+	// the regression was numbering restarting underneath it, leaving
+	// durable < lsn forever.
+	if err := l.Compact(func(*Record) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- l.Sync(last) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Sync(pre-compact LSN): %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Sync on a pre-compact LSN hung after Compact")
+	}
+	// Numbering continues monotonically over the compacted file.
+	lsn, err := l.Append(&Record{Kind: KindCommit, Table: "t", TS: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn <= last {
+		t.Fatalf("LSN numbering restarted across Compact: got %d after %d", lsn, last)
+	}
+	if err := l.Sync(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].TS != 11 {
+		t.Fatalf("compacted log holds %d records", len(recs))
+	}
+}
+
+func TestLogCompactConcurrentWriters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _, err := Open(path, Options{Sync: SyncGrouped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 40
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				lsn, err := l.Append(&Record{Kind: KindCommit, Table: "t",
+					TS: uint64(w*perWriter + i + 1)})
+				if err == nil {
+					err = l.Sync(lsn)
+				}
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var cwg sync.WaitGroup
+	var compactErr error
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := l.Compact(func(*Record) bool { return false }); err != nil {
+				compactErr = err
+				return
+			}
+		}
+	}()
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(60 * time.Second):
+		t.Fatal("writers hung against concurrent Compact")
+	}
+	close(stop)
+	cwg.Wait()
+	if compactErr != nil {
+		t.Fatal(compactErr)
+	}
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSnapshotFileRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "checkpoint.db")
 	payload := []byte("hello checkpoint payload")
