@@ -21,12 +21,15 @@
 // selectivity, cold and warm passes with fleet-wide bus metering), and
 // the "serving" panel the network serving sweep (the warp-style load
 // harness over loopback HTTP, concurrency × batched/unbatched, wall-clock
-// QPS and per-class tail latency): -panel <name> prints one alone, and
-// -json always embeds all six beside the four model panels.
+// QPS and per-class tail latency), and the "resultcache" panel the
+// version-stamped result-cache sweep (twin engines under read-heavy,
+// mixed and write-storm legs, every cached answer bit-compared against
+// uncached execution): -panel <name> prints one alone, and -json
+// always embeds all of them beside the four model panels.
 //
 // Usage:
 //
-//	htapbench [-panel 0-4|selectivity|devicecache|compression|fusion|multidevice|serving] [-csv] [-json] [-verify] [-verify-rows N] [-metrics]
+//	htapbench [-panel 0-4|selectivity|devicecache|compression|fusion|multidevice|serving|resultcache] [-csv] [-json] [-verify] [-verify-rows N] [-metrics]
 package main
 
 import (
@@ -58,6 +61,8 @@ func main() {
 	fusionRows := flag.Uint64("fusion-rows", 1_048_576, "row count for the fusion sweep (64 fragments; keep the two-column working set beyond L3 so gathers price at miss latency)")
 	multiRows := flag.Uint64("multidevice-rows", 1_048_576, "row count for the multidevice sweep (64 fragments hash-sharded across the fleet)")
 	servingRows := flag.Uint64("serving-rows", 4096, "row count for the serving sweep's warm device-cached item table")
+	resCacheRows := flag.Uint64("resultcache-rows", 262_144, "row count for the resultcache sweep's item table")
+	resCacheQueries := flag.Int("resultcache-queries", 64, "timed query pairs per resultcache leg")
 	servingLeg := flag.Duration("serving-leg", 1200*time.Millisecond, "wall-clock duration of each serving sweep leg")
 	walDir := flag.String("wal", "", "fresh directory for the serving sweep's write-ahead log: the item table runs durably and the write lane prices group-committed fsyncs")
 	flag.Parse()
@@ -137,6 +142,19 @@ func main() {
 		return servingSweep
 	}
 
+	var resCacheSweep *figures.ResultCacheSweep
+	runResCacheSweep := func() *figures.ResultCacheSweep {
+		if resCacheSweep == nil {
+			s, err := figures.MeasureResultCache(*resCacheRows, *resCacheQueries)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "resultcache sweep failed:", err)
+				os.Exit(1)
+			}
+			resCacheSweep = s
+		}
+		return resCacheSweep
+	}
+
 	var panels []figures.Panel
 	switch *panel {
 	case "selectivity":
@@ -181,10 +199,17 @@ func main() {
 		} else {
 			fmt.Print(s.Render())
 		}
+	case "resultcache":
+		s := runResCacheSweep()
+		if *csv {
+			fmt.Print(s.CSV())
+		} else {
+			fmt.Print(s.Render())
+		}
 	default:
 		n, err := strconv.Atoi(*panel)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "htapbench: -panel wants 0-4, \"selectivity\", \"devicecache\", \"compression\", \"fusion\", \"multidevice\" or \"serving\", got %q\n", *panel)
+			fmt.Fprintf(os.Stderr, "htapbench: -panel wants 0-4, \"selectivity\", \"devicecache\", \"compression\", \"fusion\", \"multidevice\", \"serving\" or \"resultcache\", got %q\n", *panel)
 			os.Exit(2)
 		}
 		panels, err = cfg.Panels(n)
@@ -235,8 +260,9 @@ func main() {
 			Fusion      *figures.FusionSweep
 			MultiDevice *figures.MultiDeviceSweep
 			Serving     *servingfig.ServingSweep
+			ResultCache *figures.ResultCacheSweep
 			Obs         *hybridstore.MetricsSnapshot `json:"obs,omitempty"`
-		}{panels, f, runSweep(), runCacheSweep(), runCompSweep(), runFusionSweep(), runMultiSweep(), runServingSweep(), obsSnap}, "", "  ")
+		}{panels, f, runSweep(), runCacheSweep(), runCompSweep(), runFusionSweep(), runMultiSweep(), runServingSweep(), runResCacheSweep(), obsSnap}, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "json encoding failed:", err)
 			os.Exit(1)

@@ -1,8 +1,10 @@
 // Command loadgen is the warp-style concurrent load driver for the
 // serving layer: it points a swarm of client lanes at a running server
 // (or spins up its own with -selfserve) and reports wall-clock QPS and
-// p50/p95/p99 latency per operation class — point writes, predicate
-// sums and fused group-bys, mixed by -mix.
+// p50/p95/p99 latency per operation class — point writes, zipfian
+// point reads, predicate sums and fused group-bys, mixed by -mix. The
+// per-class result-cache hit rate is scraped from /metrics and lands
+// in the report and the -csv panel.
 //
 // Closed loop by default (each lane fires its next request when the
 // last answers); -rate N switches to open-loop arrivals at N requests
@@ -11,12 +13,17 @@
 //
 // The exit status is the CI contract: 0 when every request succeeded
 // (admission sheds are reported separately and do not fail the run),
-// 1 when any request errored.
+// 1 when any request errored. With -selfserve the run additionally
+// verifies, after the lanes quiesce, that served bytes are
+// bit-identical to direct facade execution — point reads and predicate
+// sums are replayed over HTTP and compared byte for byte; any
+// divergence (a stale cache entry, a broken gather fan-out) exits 1.
 //
 // Usage:
 //
 //	loadgen -selfserve [-rows N] [-batch-window D] [-unbatched]
-//	        [-concurrency N] [-duration D] [-mix write=20,sum=60,group=20]
+//	        [-result-cache BYTES] [-concurrency N] [-duration D]
+//	        [-mix write=20,point=20,sum=45,group=15]
 //	        [-rate N] [-autoterm] [-csv serving_panel.csv]
 //	loadgen -addr http://host:port ...
 package main
@@ -24,11 +31,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"hybridstore"
+	"hybridstore/internal/schema"
 	"hybridstore/internal/server"
 	"hybridstore/internal/server/loadgen"
 )
@@ -39,9 +51,10 @@ func main() {
 	rows := flag.Uint64("rows", 4096, "item rows to load (-selfserve) and the point-write row domain")
 	batchWindow := flag.Duration("batch-window", server.DefaultBatchWindow, "shared-scan batching window for -selfserve")
 	unbatched := flag.Bool("unbatched", false, "disable shared-scan batching in the -selfserve server")
+	resCache := flag.Int64("result-cache", 64<<20, "result cache capacity in bytes for -selfserve (0 disables)")
 	concurrency := flag.Int("concurrency", 16, "client lanes")
 	duration := flag.Duration("duration", 5*time.Second, "run length (upper bound with -autoterm)")
-	mixFlag := flag.String("mix", "write=20,sum=60,group=20", "operation mix in percent")
+	mixFlag := flag.String("mix", "write=20,point=20,sum=45,group=15", "operation mix in percent")
 	rate := flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
 	autoterm := flag.Bool("autoterm", false, "stop early once throughput stabilizes")
 	csvPath := flag.String("csv", "", "also write the per-class panel to this CSV file")
@@ -56,19 +69,21 @@ func main() {
 	}
 
 	base := *addr
+	var localTbl *hybridstore.Table
 	if *selfserve {
 		if base != "" {
 			fmt.Fprintln(os.Stderr, "loadgen: -addr and -selfserve are mutually exclusive")
 			os.Exit(2)
 		}
-		stop, url, err := serveLocal(*rows, *batchWindow, *unbatched, *walDir)
+		stop, url, tbl, err := serveLocal(*rows, *batchWindow, *unbatched, *resCache, *walDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen: selfserve:", err)
 			os.Exit(1)
 		}
 		defer stop()
-		base = url
-		fmt.Printf("selfserve: %d item rows on %s (batch window %v)\n", *rows, url, windowOf(*batchWindow, *unbatched))
+		base, localTbl = url, tbl
+		fmt.Printf("selfserve: %d item rows on %s (batch window %v, result cache %d B)\n",
+			*rows, url, windowOf(*batchWindow, *unbatched), *resCache)
 	}
 	if base == "" {
 		fmt.Fprintln(os.Stderr, "loadgen: need -addr or -selfserve")
@@ -101,6 +116,142 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: %d request(s) errored\n", res.TotalErrs)
 		os.Exit(1)
 	}
+	if localTbl != nil {
+		n, err := verifyBits(base, localTbl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: bit-match verification FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bit-match verification: %d served responses identical to direct execution\n", n)
+	}
+}
+
+// verifyBits replays point reads and predicate sums over HTTP against
+// the quiesced table and compares each response byte for byte with the
+// facade's direct answer rendered the way the server renders it
+// (shortest-exact float formatting). A single divergent byte — a stale
+// cache entry surviving invalidation, a gather pass fanning out the
+// wrong record — fails the run.
+func verifyBits(base string, tbl *hybridstore.Table) (int, error) {
+	c := &http.Client{Timeout: 10 * time.Second}
+	post := func(path, body string) (string, error) {
+		resp, err := c.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != 200 {
+			return "", fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, b)
+		}
+		return string(b), nil
+	}
+	sessResp, err := post("/v1/session", `{"tenant":"verify"}`)
+	if err != nil {
+		return 0, err
+	}
+	sid := strings.TrimSuffix(strings.TrimPrefix(sessResp, `{"session_id":"`), `"}`)
+	prepare := func(spec string) (int, error) {
+		resp, err := post("/v1/prepare", spec)
+		if err != nil {
+			return 0, err
+		}
+		var id int
+		if _, err := fmt.Sscanf(resp, `{"stmt_id":%d}`, &id); err != nil {
+			return 0, fmt.Errorf("bad prepare response %q", resp)
+		}
+		return id, nil
+	}
+	get, err := prepare(fmt.Sprintf(`{"session_id":"%s","op":"get","table":"item"}`, sid))
+	if err != nil {
+		return 0, err
+	}
+	sum, err := prepare(fmt.Sprintf(`{"session_id":"%s","op":"sum_where","table":"item","col":4}`, sid))
+	if err != nil {
+		return 0, err
+	}
+
+	checked := 0
+	// Point reads: the zipfian hot head (re-read twice so the second
+	// pass crosses the result cache) plus a stride across the table.
+	rows := tbl.Rows()
+	var sample []uint64
+	for r := uint64(0); r < 8 && r < rows; r++ {
+		sample = append(sample, r, r)
+	}
+	for r := uint64(0); r < rows; r += rows/16 + 1 {
+		sample = append(sample, r)
+	}
+	for _, row := range sample {
+		rec, err := tbl.Get(row)
+		if err != nil {
+			return checked, err
+		}
+		want := renderRecord(rec)
+		got, err := post("/v1/exec", fmt.Sprintf(`{"session_id":"%s","stmt_id":%d,"row":%d}`, sid, get, row))
+		if err != nil {
+			return checked, err
+		}
+		if got != want {
+			return checked, fmt.Errorf("get(%d):\n served %s\n direct %s", row, got, want)
+		}
+		checked++
+	}
+	// Predicate sums: the same cuts the lanes fired, twice each.
+	cuts := []struct {
+		wire string
+		p    hybridstore.FloatPred
+	}{
+		{`{"kind":"lt","hi":30}`, hybridstore.LtFloat(30)},
+		{`{"kind":"gt","lo":50}`, hybridstore.GtFloat(50)},
+		{`{"kind":"between","lo":10,"hi":60}`, hybridstore.BetweenFloat(10, 60)},
+		{`{"kind":"between","lo":20,"hi":80}`, hybridstore.BetweenFloat(20, 80)},
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, cut := range cuts {
+			s, n, err := tbl.SumFloat64Where(hybridstore.ItemPriceColumn, cut.p)
+			if err != nil {
+				return checked, err
+			}
+			want := fmt.Sprintf(`{"sum":%s,"count":%d}`, strconv.FormatFloat(s, 'g', -1, 64), n)
+			got, err := post("/v1/exec", fmt.Sprintf(`{"session_id":"%s","stmt_id":%d,"pred":%s}`, sid, sum, cut.wire))
+			if err != nil {
+				return checked, err
+			}
+			if got != want {
+				return checked, fmt.Errorf("sum_where %s:\n served %s\n direct %s", cut.wire, got, want)
+			}
+			checked++
+		}
+	}
+	return checked, nil
+}
+
+// renderRecord mirrors the server's record serialization: a JSON array
+// with shortest-exact floats.
+func renderRecord(rec hybridstore.Record) string {
+	var b strings.Builder
+	b.WriteString(`{"record":[`)
+	for i, v := range rec {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		switch v.Kind {
+		case schema.Float64:
+			b.WriteString(strconv.FormatFloat(v.F, 'g', -1, 64))
+		case schema.Char:
+			b.WriteByte('"')
+			b.WriteString(v.S)
+			b.WriteByte('"')
+		default:
+			b.WriteString(strconv.FormatInt(v.I, 10))
+		}
+	}
+	b.WriteString(`]}`)
+	return b.String()
 }
 
 func windowOf(w time.Duration, unbatched bool) time.Duration {
@@ -114,23 +265,24 @@ func windowOf(w time.Duration, unbatched bool) time.Duration {
 // on a loopback port. With a non-empty walDir the item table is opened
 // durably: a previous process's rows are recovered instead of reloaded,
 // and every write acknowledged over HTTP survives a kill.
-func serveLocal(rows uint64, window time.Duration, unbatched bool, walDir string) (stop func(), url string, err error) {
-	opts := hybridstore.Options{ChunkRows: 256, DeviceCache: true}
+func serveLocal(rows uint64, window time.Duration, unbatched bool, resCache int64, walDir string) (stop func(), url string, vtbl *hybridstore.Table, err error) {
+	opts := hybridstore.Options{ChunkRows: 256, DeviceCache: true,
+		ResultCache: hybridstore.ResultCacheOptions{Cap: resCache}}
 	var db *hybridstore.DB
 	if walDir != "" {
 		opts.Durability = hybridstore.Durability{Tables: []string{"item"}}
 		if db, err = hybridstore.OpenDir(walDir, opts); err != nil {
-			return nil, "", err
+			return nil, "", nil, err
 		}
 	} else {
 		db = hybridstore.Open(opts)
 	}
-	fail := func(tbl *hybridstore.Table, err error) (func(), string, error) {
+	fail := func(tbl *hybridstore.Table, err error) (func(), string, *hybridstore.Table, error) {
 		if tbl != nil {
 			tbl.Free()
 		}
 		db.Close()
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	tbl := db.Table("item")
 	if tbl == nil { // fresh store (always, without -wal): load the fixture
@@ -174,5 +326,5 @@ func serveLocal(rows uint64, window time.Duration, unbatched bool, walDir string
 		return fail(tbl, err)
 	}
 	go s.Serve(l)
-	return func() { l.Close(); db.Close(); tbl.Free() }, "http://" + l.Addr().String(), nil
+	return func() { l.Close(); db.Close(); tbl.Free() }, "http://" + l.Addr().String(), tbl, nil
 }

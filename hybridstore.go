@@ -21,12 +21,14 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"hybridstore/internal/core"
 	"hybridstore/internal/device"
 	"hybridstore/internal/engine"
 	"hybridstore/internal/exec"
 	"hybridstore/internal/obs"
+	"hybridstore/internal/rescache"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/taxonomy"
 	"hybridstore/internal/wal"
@@ -121,6 +123,26 @@ type Options struct {
 	// Durability tunes write-ahead logging and checkpointing. Consulted
 	// only by OpenDir; Open builds a memory-only DB regardless.
 	Durability Durability
+	// ResultCache enables the cross-request query-result cache: answers
+	// to point reads and analytic aggregates are kept stamped with the
+	// fragment-version vector they were computed over, and a repeat of
+	// the same query over unchanged fragments is served with an
+	// O(#fragments) version compare instead of a scan. Invalidation is
+	// purely passive — any write bumps a fragment version, the stamp
+	// stops matching, and the entry dies on its next probe. Zero Cap
+	// leaves caching off.
+	ResultCache ResultCacheOptions
+}
+
+// ResultCacheOptions tunes the cross-request result cache.
+type ResultCacheOptions struct {
+	// Cap bounds resident entry bytes; the cache evicts LRU-first above
+	// it. Cap <= 0 disables the cache entirely.
+	Cap int64
+	// TTL optionally expires entries by age even when their stamp still
+	// matches. Zero means stamp-only invalidation (recommended: stamps
+	// are exact, age adds nothing for correctness).
+	TTL time.Duration
 }
 
 // DB is an open hybridstore instance: one simulated platform (host
@@ -153,12 +175,14 @@ func Open(opts Options) *DB {
 		env: env,
 		dur: opts.Durability,
 		eng: core.New(env, core.Options{
-			ChunkRows:       opts.ChunkRows,
-			HotChunks:       opts.HotChunks,
-			Affinity:        opts.Affinity,
-			DevicePlacement: opts.DevicePlacement,
-			DeviceCache:     opts.DeviceCache,
-			Compress:        opts.Compress,
+			ChunkRows:        opts.ChunkRows,
+			HotChunks:        opts.HotChunks,
+			Affinity:         opts.Affinity,
+			DevicePlacement:  opts.DevicePlacement,
+			DeviceCache:      opts.DeviceCache,
+			Compress:         opts.Compress,
+			ResultCacheBytes: opts.ResultCache.Cap,
+			ResultCacheTTL:   opts.ResultCache.TTL,
 		}),
 		tables: make(map[string]*Table),
 	}
@@ -184,6 +208,20 @@ func (db *DB) DeviceCacheStats() DeviceCacheStats {
 		s.Entries += f.Entries
 	}
 	return s
+}
+
+// ResultCacheStats is a snapshot of the result cache's meters: lookups,
+// hits, misses (stale a subset of misses), evictions, puts, resident
+// bytes and entries. Hits + misses always equals lookups.
+type ResultCacheStats = rescache.Stats
+
+// ResultCacheStats returns the result cache's meters; all-zero when
+// Options.ResultCache left caching off.
+func (db *DB) ResultCacheStats() ResultCacheStats {
+	if c := db.eng.ResultCache(); c != nil {
+		return c.Stats()
+	}
+	return ResultCacheStats{}
 }
 
 // Devices returns the simulated card count: 1 for the default single
@@ -364,6 +402,36 @@ func (t *Table) GetByPK(pk int64) (Record, error) { return t.t.GetByPK(pk) }
 
 // LookupPK resolves a primary key to its row position.
 func (t *Table) LookupPK(pk int64) (uint64, bool) { return t.t.LookupPK(pk) }
+
+// GetMulti materializes many rows from one MVCC snapshot, bit-identical
+// to one Get per row against that snapshot but with one lock
+// acquisition and device gathers charged per chunk instead of per row —
+// the storage half of the serving layer's point-read fan-in.
+func (t *Table) GetMulti(rowIDs []uint64) ([]Record, error) { return t.t.GetMulti(rowIDs) }
+
+// The Cached* methods consult the result cache WITHOUT executing
+// anything: ok=false means disabled, unanswerable from the cache, or
+// simply absent — run the real query. They are the serving layer's
+// pre-admission fast path and are valid linearizations: a hit's
+// version stamp matches the live fragment state at probe time.
+
+// CachedGet answers Get(row) from the result cache only.
+func (t *Table) CachedGet(row uint64) (Record, bool) { return t.t.CachedGet(row) }
+
+// CachedSumFloat64 answers SumFloat64(col) from the result cache only.
+func (t *Table) CachedSumFloat64(col int) (float64, bool) { return t.t.CachedSumFloat64(col) }
+
+// CachedSumFloat64Where answers SumFloat64Where(col, p) from the result
+// cache only; CountWhereFloat64 shares the entry (second return).
+func (t *Table) CachedSumFloat64Where(col int, p FloatPred) (float64, int64, bool) {
+	return t.t.CachedSumFloat64Where(col, p)
+}
+
+// CachedGroupBySumWhere answers GroupBySumWhere from the result cache
+// only.
+func (t *Table) CachedGroupBySumWhere(keyCol, valCol int, p FloatPred) ([]GroupResult, bool) {
+	return t.t.CachedGroupSumFloat64Where(keyCol, valCol, p)
+}
 
 // Begin opens a snapshot-isolated multi-operation transaction.
 func (t *Table) Begin() *Txn { return &Txn{x: t.t.Begin()} }

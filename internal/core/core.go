@@ -32,12 +32,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"hybridstore/internal/compress"
 	"hybridstore/internal/engine"
 	"hybridstore/internal/exec"
 	"hybridstore/internal/index"
 	"hybridstore/internal/layout"
+	"hybridstore/internal/rescache"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/taxonomy"
 	"hybridstore/internal/tx"
@@ -64,6 +66,18 @@ type Options struct {
 	// unchanged data costs zero bus bytes. Independent of
 	// DevicePlacement, which *moves* fragments instead of caching images.
 	DeviceCache bool
+	// ResultCacheBytes bounds the cross-request result cache: query
+	// answers (predicate aggregates, fused group-bys, point reads) are
+	// memoized under the fragment-version vector their snapshot saw, so
+	// a repeat query over unchanged data costs a map probe plus
+	// O(#fragments) version compares instead of a scan. Invalidation is
+	// purely passive — any write bumps a fragment version (or replaces
+	// the fragment), and the next lookup misses. 0 disables the cache.
+	ResultCacheBytes int64
+	// ResultCacheTTL additionally ages result-cache entries out. 0 means
+	// entries live until a version bump or LRU eviction — correct on its
+	// own; a TTL only bounds memory held by never-revisited keys.
+	ResultCacheTTL time.Duration
 	// Compress seals side-car compressed images of the cold region's
 	// singleton 8-byte numeric columns at the freeze point (the same point
 	// that seals zone maps), re-sealing whenever the cold bytes are
@@ -93,12 +107,23 @@ func (o Options) withDefaults() Options {
 type Engine struct {
 	env  *engine.Env
 	opts Options
+	// rescache is the engine-wide cross-request result cache
+	// (Options.ResultCacheBytes); nil when disabled.
+	rescache *rescache.Cache
 }
 
 // New creates the engine.
 func New(env *engine.Env, opts Options) *Engine {
-	return &Engine{env: env, opts: opts.withDefaults()}
+	e := &Engine{env: env, opts: opts.withDefaults()}
+	if e.opts.ResultCacheBytes > 0 {
+		e.rescache = rescache.New(e.opts.ResultCacheBytes, e.opts.ResultCacheTTL)
+	}
+	return e
 }
+
+// ResultCache exposes the engine's result cache (nil when disabled) —
+// the facade surfaces its Stats.
+func (e *Engine) ResultCache() *rescache.Cache { return e.rescache }
 
 // Name returns the engine name.
 func (e *Engine) Name() string { return "HybridStore" }
@@ -553,6 +578,20 @@ func (t *Table) baseRecord(row uint64) (schema.Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec, err := t.recordFromChunk(c, row)
+	if err != nil {
+		return nil, err
+	}
+	// Device-resident fragments were read directly above; charge the bus
+	// for the gathered field bytes.
+	t.chargeDeviceGather(c, 1)
+	return rec, nil
+}
+
+// recordFromChunk materializes row from chunk c's base fragments without
+// charging the device gather cost: GetMulti batches the charge per chunk
+// (one bus latency for the whole cohort), solo reads charge per call.
+func (t *Table) recordFromChunk(c *chunk, row uint64) (schema.Record, error) {
 	i := int(row - c.rows.Begin)
 	if c.state == hot {
 		vals, err := c.nsm.Tuplet(i)
@@ -571,9 +610,6 @@ func (t *Table) baseRecord(row uint64) (schema.Record, error) {
 			rec[col] = v
 		}
 	}
-	// Device-resident fragments were read directly above; charge the bus
-	// for the gathered field bytes.
-	t.chargeDeviceGather(c, 1)
 	return rec, nil
 }
 

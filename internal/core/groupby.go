@@ -6,6 +6,7 @@ import (
 
 	"hybridstore/internal/exec"
 	"hybridstore/internal/layout"
+	"hybridstore/internal/rescache"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/tx"
 	"hybridstore/internal/workload"
@@ -34,6 +35,13 @@ func (t *Table) GroupSumFloat64(keyCol, valCol int) ([]exec.GroupResult, error) 
 	reader := t.txm.Begin()
 	defer reader.Abort()
 	t.mon.Observe(workload.Op{Kind: workload.ColumnScan, Cols: []int{keyCol, valCol}})
+
+	cache, ck, cst, cacheable := t.aggCacheBegin(rescache.OpGroupSum, valCol, keyCol, exec.Pred[float64]{}, false)
+	if cacheable {
+		if v, ok := cache.Lookup(ck, cst); ok {
+			return v.Groups, nil
+		}
+	}
 
 	rows := t.rel.Rows()
 	var keys, vals []exec.Piece
@@ -104,6 +112,7 @@ func (t *Table) GroupSumFloat64(keyCol, valCol int) ([]exec.GroupResult, error) 
 		}
 	}
 	exec.SortGroupResults(out)
+	t.aggCachePut(cache, ck, cst, rescache.Value{Groups: out}, cacheable)
 	return out, nil
 }
 
@@ -133,6 +142,13 @@ func (t *Table) GroupSumFloat64Where(keyCol, valCol int, p exec.Pred[float64]) (
 	reader := t.txm.Begin()
 	defer reader.Abort()
 	t.mon.Observe(workload.Op{Kind: workload.ColumnScan, Cols: []int{keyCol, valCol}})
+
+	cache, ck, cst, cacheable := t.aggCacheBegin(rescache.OpGroupSumWhere, valCol, keyCol, p, true)
+	if cacheable {
+		if v, ok := cache.Lookup(ck, cst); ok {
+			return v.Groups, nil
+		}
+	}
 
 	rows := t.rel.Rows()
 	_, _, closed := exec.ClosedFloat64(p)
@@ -235,6 +251,7 @@ func (t *Table) GroupSumFloat64Where(keyCol, valCol int, p exec.Pred[float64]) (
 		}
 	}
 	if table == nil {
+		t.aggCachePut(cache, ck, cst, rescache.Value{Groups: merged}, cacheable)
 		return merged, nil
 	}
 	out := make([]exec.GroupResult, 0, len(table))
@@ -244,6 +261,7 @@ func (t *Table) GroupSumFloat64Where(keyCol, valCol int, p exec.Pred[float64]) (
 		}
 	}
 	exec.SortGroupResults(out)
+	t.aggCachePut(cache, ck, cst, rescache.Value{Groups: out}, cacheable)
 	return out, nil
 }
 

@@ -8,13 +8,16 @@ import (
 	"hybridstore/internal/engine"
 	"hybridstore/internal/exec"
 	"hybridstore/internal/layout"
+	"hybridstore/internal/rescache"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/tx"
 	"hybridstore/internal/workload"
 )
 
 // Get materializes the current record at row: the newest committed delta
-// version if one exists, else the base fragments.
+// version if one exists, else the base fragments. Delta-free rows are
+// served from / published to the result cache under the stamp of just
+// their chunk's fragments (see rescache.go for the validity argument).
 func (t *Table) Get(row uint64) (schema.Record, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -22,9 +25,34 @@ func (t *Table) Get(row uint64) (schema.Record, error) {
 		return nil, fmt.Errorf("%w: row %d of %d", engine.ErrNoSuchRow, row, t.rel.Rows())
 	}
 	t.mon.Observe(workload.Op{Kind: workload.PointRead, Cols: layout.AllCols(t.s)})
+	cache := t.eng.rescache
+	var key rescache.Key
+	var st rescache.Stamp
+	cacheable := false
+	if cache != nil {
+		if t.deltas.LatestTS(row) == 0 {
+			if c, err := t.chunkFor(row); err == nil {
+				key, st = t.rowCacheKey(row), t.chunkStampLocked(c)
+				cacheable = true
+				if v, ok := cache.Lookup(key, st); ok {
+					return v.Rec, nil
+				}
+			}
+		}
+		if !cacheable {
+			cache.Bypass()
+		}
+	}
 	reader := t.txm.Begin()
 	defer reader.Abort()
-	return t.recordAt(reader, row)
+	rec, err := t.recordAt(reader, row)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable && t.deltas.LatestTS(row) == 0 {
+		cache.Put(key, st, rescache.Value{Rec: rec})
+	}
+	return rec, nil
 }
 
 // recordAt resolves row under the given transaction's snapshot.
@@ -108,6 +136,13 @@ func (t *Table) SumFloat64(col int) (float64, error) {
 	defer reader.Abort()
 	t.mon.Observe(workload.Op{Kind: workload.ColumnScan, Cols: []int{col}})
 
+	cache, ck, cst, cacheable := t.aggCacheBegin(rescache.OpSum, col, 0, exec.Pred[float64]{}, false)
+	if cacheable {
+		if v, ok := cache.Lookup(ck, cst); ok {
+			return v.Sum, nil
+		}
+	}
+
 	rows := t.rel.Rows()
 	var sum float64
 	var hostPieces, cachePieces []exec.Piece
@@ -182,6 +217,7 @@ func (t *Table) SumFloat64(col int) (float64, error) {
 		}
 		sum += rec[col].F - base.F
 	}
+	t.aggCachePut(cache, ck, cst, rescache.Value{Sum: sum}, cacheable)
 	return sum, nil
 }
 
@@ -204,6 +240,13 @@ func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, 
 	reader := t.txm.Begin()
 	defer reader.Abort()
 	t.mon.Observe(workload.Op{Kind: workload.ColumnScan, Cols: []int{col}})
+
+	cache, ck, cst, cacheable := t.aggCacheBegin(rescache.OpSumWhere, col, 0, p, true)
+	if cacheable {
+		if v, ok := cache.Lookup(ck, cst); ok {
+			return v.Sum, v.Count, nil
+		}
+	}
 
 	rows := t.rel.Rows()
 	_, _, closed := exec.ClosedFloat64(p)
@@ -305,6 +348,7 @@ func (t *Table) SumFloat64Where(col int, p exec.Pred[float64]) (float64, int64, 
 			n++
 		}
 	}
+	t.aggCachePut(cache, ck, cst, rescache.Value{Sum: sum, Count: n}, cacheable)
 	return sum, n, nil
 }
 

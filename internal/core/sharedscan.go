@@ -7,6 +7,7 @@ import (
 	"hybridstore/internal/device"
 	"hybridstore/internal/exec"
 	"hybridstore/internal/layout"
+	"hybridstore/internal/rescache"
 	"hybridstore/internal/schema"
 	"hybridstore/internal/stats"
 	"hybridstore/internal/tx"
@@ -33,6 +34,13 @@ import (
 // Because all K answers derive from one snapshot taken after every
 // batched request arrived, handing result k to requester k is a valid
 // linearization of the batch.
+//
+// The result cache rides the same pass: each predicate is probed
+// individually (under the one stamp the shared RLock section freezes),
+// hits drop out of the batch, and only the missing predicates pay the
+// scan — their answers are published for future repeats. Mixing cached
+// and fresh answers is sound because a hit requires stamp equality:
+// both were computed over byte-identical base state.
 func (t *Table) SumFloat64WhereMulti(col int, preds []exec.Pred[float64]) ([]float64, []int64, error) {
 	if col < 0 || col >= t.s.Arity() {
 		return nil, nil, fmt.Errorf("%w: col %d", layout.ErrOutOfRange, col)
@@ -47,14 +55,71 @@ func (t *Table) SumFloat64WhereMulti(col int, preds []exec.Pred[float64]) ([]flo
 	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	reader := t.txm.Begin()
-	defer reader.Abort()
 	// The monitor sees K logical column scans: the batch changes the
 	// execution cost, not the workload the adaptation layer reasons
 	// about.
 	for range preds {
 		t.mon.Observe(workload.Op{Kind: workload.ColumnScan, Cols: []int{col}})
 	}
+
+	cache := t.eng.rescache
+	if cache == nil {
+		return t.sumWhereMultiLocked(col, preds, sums, counts, identityIdx(len(preds)))
+	}
+	cacheable := t.deltas.Versions() == 0
+	var st rescache.Stamp
+	if cacheable {
+		st, cacheable = t.stampLocked(col)
+	}
+	keys := make([]rescache.Key, len(preds))
+	var missIdx []int
+	var missPreds []exec.Pred[float64]
+	for k, p := range preds {
+		if !cacheable {
+			cache.Bypass()
+			missIdx = append(missIdx, k)
+			missPreds = append(missPreds, p)
+			continue
+		}
+		keys[k] = t.aggCacheKey(rescache.OpSumWhere, col, 0, p, true)
+		if v, ok := cache.Lookup(keys[k], st); ok {
+			sums[k], counts[k] = v.Sum, v.Count
+			continue
+		}
+		missIdx = append(missIdx, k)
+		missPreds = append(missPreds, p)
+	}
+	if len(missPreds) == 0 {
+		return sums, counts, nil
+	}
+	if _, _, err := t.sumWhereMultiLocked(col, missPreds, sums, counts, missIdx); err != nil {
+		return nil, nil, err
+	}
+	if cacheable && t.deltas.Versions() == 0 {
+		for _, k := range missIdx {
+			cache.Put(keys[k], st, rescache.Value{Sum: sums[k], Count: counts[k]})
+		}
+	}
+	return sums, counts, nil
+}
+
+// identityIdx returns [0, 1, ..., n-1].
+func identityIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// sumWhereMultiLocked runs the shared pass for preds under the caller's
+// read lock, scattering result j into sums[outIdx[j]]/counts[outIdx[j]].
+// It returns the same slices for the no-cache fast path.
+func (t *Table) sumWhereMultiLocked(col int, preds []exec.Pred[float64], outSums []float64, outCounts []int64, outIdx []int) ([]float64, []int64, error) {
+	sums := make([]float64, len(preds))
+	counts := make([]int64, len(preds))
+	reader := t.txm.Begin()
+	defer reader.Abort()
 
 	closed := make([]bool, len(preds))
 	anyClosed := false
@@ -225,5 +290,9 @@ func (t *Table) SumFloat64WhereMulti(col int, preds []exec.Pred[float64]) ([]flo
 			}
 		}
 	}
-	return sums, counts, nil
+	for j := range preds {
+		outSums[outIdx[j]] = sums[j]
+		outCounts[outIdx[j]] = counts[j]
+	}
+	return outSums, outCounts, nil
 }

@@ -1,0 +1,28 @@
+package hyper
+
+import "hybridstore/internal/rescache"
+
+// VersionStamp collects the fragment-version vector a scan over cols
+// folds, in chunk order. Every HyPer mutation — Insert (tail append),
+// Update (in-place bump on an unshared chunk or COW clone with fresh
+// fragment IDs), Compact (replacement frozen chunks) — holds the
+// exclusive table lock, so two equal stamps bracket a window in which
+// the observed column state was byte-identical. HyPer keeps no MVCC
+// side store: the stamp alone is the complete correctness token for a
+// result cache. ok is false only for an out-of-range column.
+func (t *Table) VersionStamp(cols ...int) (rescache.Stamp, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var st rescache.Stamp
+	for _, c := range t.chunks {
+		st.Rows += uint64(c.len())
+		for _, col := range cols {
+			if col < 0 || col >= len(c.vectors) {
+				return rescache.Stamp{}, false
+			}
+			f := c.vectors[col]
+			st.Frags = append(st.Frags, rescache.FragVer{ID: f.ID(), Ver: f.Version()})
+		}
+	}
+	return st, true
+}

@@ -1,0 +1,30 @@
+package lstore
+
+import "hybridstore/internal/rescache"
+
+// VersionStamp collects the version vector a column read folds in
+// L-Store: per requested column the active base fragment and the tail
+// fragment (inserts append to active, updates append to the tail —
+// both bump the fragment version; growth swaps in a fresh fragment
+// ID), plus Epoch = the merge counter, because Merge rebuilds the
+// sealed compressed region, which carries no fragment versions of its
+// own. All three mutators hold the exclusive table lock, so two equal
+// stamps bracket a window in which the observed column state —
+// sealed + active + tail + lineage — was byte-identical. ok is false
+// only for an out-of-range column.
+func (t *Table) VersionStamp(cols ...int) (rescache.Stamp, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	st := rescache.Stamp{Rows: t.rows, Epoch: uint64(t.merges)}
+	for _, col := range cols {
+		if col < 0 || col >= len(t.cols) {
+			return rescache.Stamp{}, false
+		}
+		c := t.cols[col]
+		st.Frags = append(st.Frags,
+			rescache.FragVer{ID: c.active.ID(), Ver: c.active.Version()},
+			rescache.FragVer{ID: c.tail.ID(), Ver: c.tail.Version()},
+		)
+	}
+	return st, true
+}

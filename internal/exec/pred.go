@@ -103,6 +103,43 @@ func Gt[T Number](v T) Pred[T] { return Pred[T]{Op: OpGT, Lo: v} }
 // Between returns the predicate lo <= x <= hi (inclusive both sides).
 func Between[T Number](lo, hi T) Pred[T] { return Pred[T]{Op: OpBetween, Lo: lo, Hi: hi} }
 
+// Normalize canonicalizes a predicate so that semantically identical
+// spellings compare equal as values: a between with equal bounds is an
+// equality, and bound fields the operator never reads are zeroed (a
+// wire-level `{"kind":"lt","lo":7,"hi":9}` matches the same rows as
+// Lt(9) and must share its cohort and cache key). A degenerate NaN
+// between stays a between: NaN == NaN is false, so the eq collapse
+// does not fire and the (unmatchable) predicate keeps its shape.
+func Normalize[T Number](p Pred[T]) Pred[T] {
+	var zero T
+	// canon scrubs float64 negative zero to positive zero: the two
+	// compare equal and match the same rows, but carry different bit
+	// patterns, which would split hash-sharded cohorts.
+	canon := func(v T) T {
+		if v == zero {
+			return zero
+		}
+		return v
+	}
+	switch p.Op {
+	case OpEQ:
+		v := canon(p.Lo)
+		return Pred[T]{Op: OpEQ, Lo: v, Hi: v}
+	case OpLT:
+		return Pred[T]{Op: OpLT, Lo: zero, Hi: canon(p.Hi)}
+	case OpGT:
+		return Pred[T]{Op: OpGT, Lo: canon(p.Lo), Hi: zero}
+	case OpBetween:
+		if p.Lo == p.Hi {
+			v := canon(p.Lo)
+			return Pred[T]{Op: OpEQ, Lo: v, Hi: v}
+		}
+		return Pred[T]{Op: OpBetween, Lo: canon(p.Lo), Hi: canon(p.Hi)}
+	default:
+		return p
+	}
+}
+
 // Match evaluates the predicate on one value.
 func (p Pred[T]) Match(x T) bool {
 	switch p.Op {

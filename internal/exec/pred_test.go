@@ -301,3 +301,52 @@ func TestWhereValidation(t *testing.T) {
 		t.Fatalf("empty view: (%v,%d,%v)", sum, cnt, err)
 	}
 }
+
+// TestNormalize checks that Normalize canonicalizes equivalent
+// spellings to identical values without changing the match set.
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		in, want Pred[float64]
+	}{
+		{Between(7.0, 7.0), Eq(7.0)},                                 // degenerate between is eq
+		{Pred[float64]{Op: OpLT, Lo: 3, Hi: 9}, Lt(9.0)},             // unused lo zeroed
+		{Pred[float64]{Op: OpGT, Lo: 4, Hi: 8}, Gt(4.0)},             // unused hi zeroed
+		{Pred[float64]{Op: OpEQ, Lo: 5, Hi: 99}, Eq(5.0)},            // eq hi rewritten from lo
+		{Between(math.Copysign(0, -1), 0.0), Eq(0.0)},                // -0..+0 collapses to eq(+0)
+		{Pred[float64]{Op: OpLT, Hi: math.Copysign(0, -1)}, Lt(0.0)}, // -0 bound scrubbed
+		{Between(1.0, 2.0), Between(1.0, 2.0)},                       // proper ranges untouched
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%+v) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+
+	// NaN bounds: the eq collapse must not fire (NaN != NaN), and the
+	// result stays degenerate / unmatchable like the input.
+	nan := Normalize(Between(math.NaN(), math.NaN()))
+	if nan.Op != OpBetween {
+		t.Fatalf("NaN between collapsed to %v", nan.Op)
+	}
+
+	// Semantics: normalized and raw predicates match the same values.
+	probes := []float64{-1, math.Copysign(0, -1), 0, 0.5, 1, 2, 3, 7, 9, math.Inf(1)}
+	raws := []Pred[float64]{
+		Between(7.0, 7.0), Between(math.Copysign(0, -1), 0),
+		{Op: OpLT, Lo: 3, Hi: 9}, {Op: OpGT, Lo: 4, Hi: 8},
+		Between(1.0, 2.0), Eq(0.0), Lt(0.0), Gt(7.0),
+	}
+	for _, p := range raws {
+		n := Normalize(p)
+		for _, x := range probes {
+			if p.Match(x) != n.Match(x) {
+				t.Errorf("Normalize(%+v) changed Match(%v): %v vs %v", p, x, p.Match(x), n.Match(x))
+			}
+		}
+	}
+
+	// Int64 predicates normalize too (shared cohort keys are generic).
+	if got := Normalize(Between[int64](5, 5)); got != Eq[int64](5) {
+		t.Errorf("int64 degenerate between = %+v", got)
+	}
+}

@@ -1,0 +1,284 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"hybridstore/internal/core"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/exec"
+	"hybridstore/internal/schema"
+	"hybridstore/internal/workload"
+)
+
+// The resultcache panel measures the version-stamped cross-request
+// result cache on the serving path: twin engines — one with the cache,
+// one without — execute an identical operation sequence, and every
+// answer pair is compared bit for bit. Three legs span the reuse
+// spectrum:
+//
+//   - read-heavy: pure repeats of a small dashboard cut set. The cache
+//     answers from an O(#fragments) version-vector compare instead of a
+//     column scan — this is the headline p50 speedup.
+//   - mixed: periodic point writes with periodic merges. Writes make
+//     hot chunks uncacheable, merges bump fragment versions, so cached
+//     entries go stale and are re-published — the leg exercises
+//     invalidation-by-version under a realistic HTAP rhythm.
+//   - write-storm: a write lands before every query. Nothing is ever
+//     validly reusable; the leg proves the cache never serves a stale
+//     byte when the table churns as fast as it is read.
+//
+// Correctness is structural, not sampled: a single divergent bit in any
+// leg fails the measurement, and the cache's own accounting must
+// satisfy hits+misses == lookups with stale counted on every
+// invalidation.
+
+// ResultCacheLeg is one workload leg of the sweep.
+type ResultCacheLeg struct {
+	// Name is "read-heavy", "mixed" or "write-storm".
+	Name string
+	// Queries is the number of timed query pairs the leg executed.
+	Queries int
+	// CachedP50Ns and UncachedP50Ns are the median per-query latencies
+	// of the cached and uncached engines.
+	CachedP50Ns, UncachedP50Ns float64
+	// Speedup is UncachedP50Ns / CachedP50Ns.
+	Speedup float64
+	// Cache accounting deltas over the leg (cached engine only).
+	Lookups, Hits, Misses, Stale int64
+	// BitIdentical reports that every cached answer equalled the
+	// uncached answer bit for bit.
+	BitIdentical bool
+}
+
+// ResultCacheSweep is the full panel.
+type ResultCacheSweep struct {
+	// Rows is the item-table size; ChunkRows the fragment granularity.
+	Rows, ChunkRows uint64
+	// CacheBytes is the cache capacity the cached engine ran with.
+	CacheBytes int64
+	Legs       []ResultCacheLeg
+}
+
+// MeasureResultCache executes the sweep for real. rows is the item
+// table size; queriesPerLeg the number of timed query pairs per leg.
+func MeasureResultCache(rows uint64, queriesPerLeg int) (*ResultCacheSweep, error) {
+	const chunkRows = 4096
+	const cacheBytes = 64 << 20
+	if queriesPerLeg < 8 {
+		queriesPerLeg = 8
+	}
+	sweep := &ResultCacheSweep{Rows: rows, ChunkRows: chunkRows, CacheBytes: cacheBytes}
+
+	// Twin engines: identical data, one result cache between them.
+	envC, envP := engine.NewEnv(), engine.NewEnv()
+	engC := core.New(envC, core.Options{ChunkRows: chunkRows, ResultCacheBytes: cacheBytes})
+	engP := core.New(envP, core.Options{ChunkRows: chunkRows})
+	items := workload.ItemSchema()
+	tcI, err := engC.Create("item", items)
+	if err != nil {
+		return nil, err
+	}
+	tc := tcI.(*core.Table)
+	defer tc.Free()
+	tpI, err := engP.Create("item", items)
+	if err != nil {
+		return nil, err
+	}
+	tp := tpI.(*core.Table)
+	defer tp.Free()
+	for i := uint64(0); i < rows; i++ {
+		rec := workload.Item(i)
+		if _, err := tc.Insert(rec); err != nil {
+			return nil, err
+		}
+		if _, err := tp.Insert(rec); err != nil {
+			return nil, err
+		}
+	}
+	both := func(f func(t *core.Table) error) error {
+		if err := f(tc); err != nil {
+			return err
+		}
+		return f(tp)
+	}
+	if err := both(func(t *core.Table) error { return t.Merge() }); err != nil {
+		return nil, err
+	}
+
+	// The dashboard cut set, inside the generator's price domain
+	// [1, 101): repeats across queries are what the cache monetizes.
+	preds := []exec.Pred[float64]{
+		exec.Lt[float64](30),
+		exec.Gt[float64](50),
+		exec.Between[float64](10, 60),
+		exec.Between[float64](42, 42), // normalizes to eq(42)
+	}
+	const keyCol = 1 // i_im_id, the grouping key
+
+	// query runs pair q of a leg on both engines, times each side, and
+	// verifies bit-identity. Every 4th query is the fused group-by.
+	runLeg := func(name string, pre func(q int) error) (ResultCacheLeg, error) {
+		leg := ResultCacheLeg{Name: name, BitIdentical: true}
+		s0 := engC.ResultCache().Stats()
+		cNs := make([]float64, 0, queriesPerLeg)
+		pNs := make([]float64, 0, queriesPerLeg)
+		for q := 0; q < queriesPerLeg; q++ {
+			if pre != nil {
+				if err := pre(q); err != nil {
+					return leg, err
+				}
+			}
+			p := preds[q%len(preds)]
+			if q%4 == 3 {
+				t0 := time.Now()
+				gc, err := tc.GroupSumFloat64Where(keyCol, workload.ItemPriceCol, p)
+				d0 := time.Since(t0)
+				if err != nil {
+					return leg, err
+				}
+				t1 := time.Now()
+				gp, err := tp.GroupSumFloat64Where(keyCol, workload.ItemPriceCol, p)
+				d1 := time.Since(t1)
+				if err != nil {
+					return leg, err
+				}
+				cNs = append(cNs, float64(d0.Nanoseconds()))
+				pNs = append(pNs, float64(d1.Nanoseconds()))
+				if len(gc) != len(gp) {
+					leg.BitIdentical = false
+				} else {
+					for i := range gc {
+						if gc[i].Key != gp[i].Key || gc[i].Count != gp[i].Count ||
+							math.Float64bits(gc[i].Sum) != math.Float64bits(gp[i].Sum) {
+							leg.BitIdentical = false
+							break
+						}
+					}
+				}
+			} else {
+				t0 := time.Now()
+				sc, nc, err := tc.SumFloat64Where(workload.ItemPriceCol, p)
+				d0 := time.Since(t0)
+				if err != nil {
+					return leg, err
+				}
+				t1 := time.Now()
+				sp, np, err := tp.SumFloat64Where(workload.ItemPriceCol, p)
+				d1 := time.Since(t1)
+				if err != nil {
+					return leg, err
+				}
+				cNs = append(cNs, float64(d0.Nanoseconds()))
+				pNs = append(pNs, float64(d1.Nanoseconds()))
+				if math.Float64bits(sc) != math.Float64bits(sp) || nc != np {
+					leg.BitIdentical = false
+				}
+			}
+			leg.Queries++
+		}
+		s1 := engC.ResultCache().Stats()
+		leg.Lookups = s1.Lookups - s0.Lookups
+		leg.Hits = s1.Hits - s0.Hits
+		leg.Misses = s1.Misses - s0.Misses
+		leg.Stale = s1.Stale - s0.Stale
+		leg.CachedP50Ns = p50(cNs)
+		leg.UncachedP50Ns = p50(pNs)
+		leg.Speedup = leg.UncachedP50Ns / math.Max(leg.CachedP50Ns, 1)
+		return leg, nil
+	}
+
+	// Leg 1 — read-heavy: pure repeats over a quiesced table.
+	leg, err := runLeg("read-heavy", nil)
+	if err != nil {
+		return nil, err
+	}
+	sweep.Legs = append(sweep.Legs, leg)
+
+	// Leg 2 — mixed: every 8th query a point write lands and is merged,
+	// so the cut set repeats inside each cacheable window (hits) and
+	// every merge bumps fragment versions under published entries
+	// (stale). Both engines take identical writes so answers stay
+	// comparable.
+	wrow := uint64(0)
+	leg, err = runLeg("mixed", func(q int) error {
+		if q%8 != 0 {
+			return nil
+		}
+		wrow = (wrow + 7919) % rows
+		v := schema.FloatValue(float64(30 + q%40))
+		return both(func(t *core.Table) error {
+			if err := t.Update(wrow, workload.ItemPriceCol, v); err != nil {
+				return err
+			}
+			return t.Merge()
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	sweep.Legs = append(sweep.Legs, leg)
+
+	// Leg 3 — write-storm: a write lands before every single query.
+	leg, err = runLeg("write-storm", func(q int) error {
+		wrow = (wrow + 104729) % rows
+		v := schema.FloatValue(float64(1 + q%100))
+		return both(func(t *core.Table) error {
+			return t.Update(wrow, workload.ItemPriceCol, v)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	sweep.Legs = append(sweep.Legs, leg)
+	return sweep, nil
+}
+
+// p50 is the median of xs (xs is consumed).
+func p50(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+// Render formats the sweep as a fixed-width table.
+func (s *ResultCacheSweep) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "resultcache panel: version-stamped result cache, %d item rows (%d-row chunks, %d B cache)\n",
+		s.Rows, s.ChunkRows, s.CacheBytes)
+	b.WriteString("twin engines run identical ops; every cached answer is bit-compared against uncached execution\n")
+	rows := [][]string{{"leg", "queries", "cached p50", "uncached p50", "speedup", "hits", "misses", "stale", "bit-identical"}}
+	for _, l := range s.Legs {
+		rows = append(rows, []string{
+			l.Name,
+			fmt.Sprintf("%d", l.Queries),
+			fmt.Sprintf("%.1fµs", l.CachedP50Ns/1e3),
+			fmt.Sprintf("%.1fµs", l.UncachedP50Ns/1e3),
+			fmt.Sprintf("%.1fx", l.Speedup),
+			fmt.Sprintf("%d", l.Hits),
+			fmt.Sprintf("%d", l.Misses),
+			fmt.Sprintf("%d", l.Stale),
+			fmt.Sprintf("%v", l.BitIdentical),
+		})
+	}
+	renderTable(&b, rows)
+	return b.String()
+}
+
+// CSV renders the sweep as comma-separated values, one row per leg —
+// the resultcache_panel.csv artifact CI uploads.
+func (s *ResultCacheSweep) CSV() string {
+	var b strings.Builder
+	b.WriteString("leg,queries,cached_p50_us,uncached_p50_us,speedup,lookups,hits,misses,stale,bit_identical\n")
+	for _, l := range s.Legs {
+		fmt.Fprintf(&b, "%s,%d,%.1f,%.1f,%.2f,%d,%d,%d,%d,%v\n",
+			l.Name, l.Queries, l.CachedP50Ns/1e3, l.UncachedP50Ns/1e3, l.Speedup,
+			l.Lookups, l.Hits, l.Misses, l.Stale, l.BitIdentical)
+	}
+	return b.String()
+}

@@ -185,6 +185,12 @@ func MeasureServing(rows uint64, concurrencies []int, legDur time.Duration, walD
 				Errors:      res.TotalErrs,
 			}
 			for _, c := range res.Classes {
+				// The harness reports every class it knows (including the
+				// zipfian point-read lane); the panel's published mix runs
+				// write/sum/group only, so drop classes that saw no traffic.
+				if c.Ops == 0 && c.Shed == 0 && c.Errors == 0 {
+					continue
+				}
 				leg.Classes = append(leg.Classes, ServingClass{
 					Name:  c.Name,
 					Ops:   c.Ops,

@@ -1,0 +1,429 @@
+// Package rescache is the cross-request query-result cache: a bounded,
+// sharded LRU keyed by (table, op, normalized predicate / group spec)
+// whose entries are stamped with the fragment-version vector the
+// executing snapshot saw.
+//
+// Correctness rests on a property the storage layer already provides:
+// fragment IDs are process-globally unique and fragment versions are
+// bumped on every in-place mutation, so the vector of (ID, Version)
+// pairs a scan folded is a complete fingerprint of the bytes it read.
+// A cached result is valid exactly while that vector is unchanged —
+// the validity check is O(#fragments) integer compares, no data reads.
+// Invalidation is purely passive: a write bumps a version (or replaces
+// a fragment, changing its ID), the next lookup sees a stale stamp,
+// counts it, drops the entry, and the caller recomputes. There are no
+// write-path hooks and therefore no lock-order risk.
+//
+// Queries whose snapshot overlaps hot MVCC deltas are uncacheable (the
+// delta store has no version vector); callers report them via Bypass so
+// the accounting invariant hits + misses == lookups holds for every
+// query that consulted the cache, cacheable or not.
+package rescache
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridstore/internal/exec"
+	"hybridstore/internal/obs"
+	"hybridstore/internal/schema"
+)
+
+// Op names the cached operation class. It is part of the key: the same
+// (table, col, pred) means different things to sum-where and
+// count-where only in which field of the shared Value the caller reads,
+// so those two share OpSumWhere; group-bys and point reads get their
+// own classes.
+type Op uint8
+
+const (
+	// OpSum caches unpredicated column sums.
+	OpSum Op = iota + 1
+	// OpSumWhere caches fused predicate sum+count pairs (count-where
+	// reads the Count field of the same entry).
+	OpSumWhere
+	// OpGroupSum caches unpredicated fused group-bys.
+	OpGroupSum
+	// OpGroupSumWhere caches predicated fused group-bys.
+	OpGroupSumWhere
+	// OpGet caches single-row point reads.
+	OpGet
+)
+
+// Key identifies a cacheable query. It is a comparable value type so it
+// can index the shard maps directly; unused dimensions stay zero.
+// Predicates must be normalized (exec.Normalize) before keying so that
+// semantically identical spellings share an entry.
+type Key struct {
+	// Table is the serving name of the table.
+	Table string
+	// Op is the operation class.
+	Op Op
+	// Col is the aggregated / gathered column (unused for OpGet: a
+	// point read returns the whole record).
+	Col int
+	// KeyCol is the grouping column for the group-by classes.
+	KeyCol int
+	// Row is the row position for OpGet.
+	Row uint64
+	// Pred is the normalized predicate for the *Where classes.
+	Pred exec.Pred[float64]
+	// HasPred distinguishes a zero-valued predicate from no predicate.
+	HasPred bool
+}
+
+// Cacheable reports whether the key may be stored. NaN predicate
+// bounds never compare equal to themselves, which would make the map
+// entry unreachable by any future lookup — refuse it up front.
+func (k Key) Cacheable() bool {
+	if !k.HasPred {
+		return true
+	}
+	return k.Pred.Lo == k.Pred.Lo && k.Pred.Hi == k.Pred.Hi
+}
+
+// FragVer is one fragment's identity and write version.
+type FragVer struct {
+	// ID is the process-globally unique fragment ID.
+	ID uint64
+	// Ver is the fragment's write version at stamp time.
+	Ver uint64
+}
+
+// Stamp is the fragment-version vector a result was computed over,
+// together with the row count and an engine-specific epoch (engines
+// whose structural reorganizations do not touch every fragment — e.g.
+// an L-Store merge counter — fold them in here so a reorganization
+// invalidates even stamps whose surviving fragments kept their IDs).
+type Stamp struct {
+	// Rows is the table's row count at stamp time.
+	Rows uint64
+	// Epoch is an engine-specific structural version (0 when unused).
+	Epoch uint64
+	// Frags are the (ID, Version) pairs of every fragment the
+	// executing snapshot folded, in walk order.
+	Frags []FragVer
+}
+
+// Equal reports whether two stamps describe the same base state.
+func (s Stamp) Equal(o Stamp) bool {
+	if s.Rows != o.Rows || s.Epoch != o.Epoch || len(s.Frags) != len(o.Frags) {
+		return false
+	}
+	for i, f := range s.Frags {
+		if f != o.Frags[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Value is the cached answer. Which fields are meaningful depends on
+// the key's Op; the rest stay zero. Groups and Rec are cloned on both
+// Put and hit so no caller can alias (and later scribble on) the
+// cached copy.
+type Value struct {
+	// Sum is the aggregate total (OpSum, OpSumWhere).
+	Sum float64
+	// Count is the qualifying-row count (OpSumWhere).
+	Count int64
+	// Groups is the sorted group table (OpGroupSum, OpGroupSumWhere).
+	Groups []exec.GroupResult
+	// Rec is the point-read record (OpGet).
+	Rec schema.Record
+}
+
+// Stats is a point-in-time snapshot of one cache's accounting. Stale
+// is a subset of Misses, so Hits + Misses == Lookups always holds.
+type Stats struct {
+	Lookups   int64
+	Hits      int64
+	Misses    int64
+	Stale     int64
+	Evictions int64
+	Puts      int64
+	Bytes     int64
+	Entries   int64
+}
+
+// Process-wide observability: every cache in the process feeds the same
+// obs series (caches are per-engine, the registry is global, so gauges
+// are maintained by delta).
+var (
+	mLookups   = obs.NewCounter("rescache.lookups")
+	mHits      = obs.NewCounter("rescache.hits")
+	mMisses    = obs.NewCounter("rescache.misses")
+	mStale     = obs.NewCounter("rescache.stale")
+	mEvictions = obs.NewCounter("rescache.evictions")
+	mPuts      = obs.NewCounter("rescache.puts")
+	gBytes     = obs.NewGauge("rescache.bytes")
+	gEntries   = obs.NewGauge("rescache.entries")
+)
+
+const numShards = 16
+
+type entry struct {
+	key   Key
+	stamp Stamp
+	val   Value
+	bytes int64
+	// expires is the TTL deadline; zero means no expiry.
+	expires time.Time
+	elem    *list.Element
+}
+
+type shard struct {
+	mu    sync.Mutex
+	m     map[Key]*entry
+	lru   list.List // front = most recently used
+	bytes int64
+}
+
+// Cache is a bounded, sharded, version-stamped LRU result cache. The
+// zero value is not usable; call New.
+type Cache struct {
+	capBytes int64 // per-shard budget
+	ttl      time.Duration
+	shards   [numShards]shard
+
+	lookups   atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	stale     atomic.Int64
+	evictions atomic.Int64
+	puts      atomic.Int64
+	bytes     atomic.Int64
+	entries   atomic.Int64
+}
+
+// New builds a cache bounded at capBytes total. ttl == 0 disables
+// expiry (entries live until a version bump or eviction); a positive
+// ttl additionally ages entries out, which bounds staleness windows
+// for engines whose mutations the stamp cannot see.
+func New(capBytes int64, ttl time.Duration) *Cache {
+	if capBytes <= 0 {
+		capBytes = 64 << 20
+	}
+	c := &Cache{capBytes: (capBytes + numShards - 1) / numShards, ttl: ttl}
+	for i := range c.shards {
+		c.shards[i].m = make(map[Key]*entry)
+		c.shards[i].lru.Init()
+	}
+	return c
+}
+
+// shardFor hashes the key (FNV-1a over every dimension) to a shard.
+func (c *Cache) shardFor(k Key) *shard {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(k.Table); i++ {
+		h = (h ^ uint64(k.Table[i])) * prime
+	}
+	h = (h ^ uint64(k.Op)) * prime
+	h = (h ^ uint64(uint32(k.Col))) * prime
+	h = (h ^ uint64(uint32(k.KeyCol))) * prime
+	h = (h ^ k.Row) * prime
+	if k.HasPred {
+		h = (h ^ uint64(k.Pred.Op+1)) * prime
+		h = (h ^ math.Float64bits(k.Pred.Lo)) * prime
+		h = (h ^ math.Float64bits(k.Pred.Hi)) * prime
+	}
+	return &c.shards[h%numShards]
+}
+
+// sizeOf estimates an entry's resident bytes. It only needs to be
+// proportional and stable, not exact: it bounds memory and prices
+// eviction, nothing else.
+func sizeOf(k Key, st Stamp, v Value) int64 {
+	n := int64(len(k.Table)) + 96
+	n += int64(len(st.Frags)) * 16
+	n += int64(len(v.Groups)) * 24
+	n += int64(len(v.Rec)) * 32
+	return n
+}
+
+// Lookup consults the cache. cur must be the fragment-version vector
+// the caller's current snapshot sees: a stored entry answers only if
+// its stamp equals cur (and its TTL, if any, has not lapsed). Stale or
+// expired entries are dropped on the spot and counted as stale misses.
+func (c *Cache) Lookup(k Key, cur Stamp) (Value, bool) {
+	c.lookups.Add(1)
+	mLookups.Inc()
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.m[k]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		mMisses.Inc()
+		return Value{}, false
+	}
+	if (!e.expires.IsZero() && time.Now().After(e.expires)) || !e.stamp.Equal(cur) {
+		s.removeLocked(e)
+		s.mu.Unlock()
+		c.entries.Add(-1)
+		gEntries.Add(-1)
+		c.bytes.Add(-e.bytes)
+		gBytes.Add(-e.bytes)
+		c.stale.Add(1)
+		mStale.Inc()
+		c.misses.Add(1)
+		mMisses.Inc()
+		return Value{}, false
+	}
+	s.lru.MoveToFront(e.elem)
+	v := e.val
+	s.mu.Unlock()
+	if v.Rec != nil {
+		v.Rec = v.Rec.Clone()
+	}
+	if v.Groups != nil {
+		v.Groups = append([]exec.GroupResult(nil), v.Groups...)
+	}
+	c.hits.Add(1)
+	mHits.Inc()
+	return v, true
+}
+
+// Peek is the serving-path pre-check flavor of Lookup: a hit counts
+// (and refreshes the LRU) exactly like Lookup, and a stale entry is
+// dropped and counted, but a plain absence counts NOTHING — the caller
+// is about to fall through to the executing path, whose own Lookup
+// will record the miss, so counting it here would double-book one
+// logical query.
+func (c *Cache) Peek(k Key, cur Stamp) (Value, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.m[k]
+	if !ok {
+		s.mu.Unlock()
+		return Value{}, false
+	}
+	if (!e.expires.IsZero() && time.Now().After(e.expires)) || !e.stamp.Equal(cur) {
+		s.removeLocked(e)
+		s.mu.Unlock()
+		c.entries.Add(-1)
+		gEntries.Add(-1)
+		c.bytes.Add(-e.bytes)
+		gBytes.Add(-e.bytes)
+		c.lookups.Add(1)
+		mLookups.Inc()
+		c.stale.Add(1)
+		mStale.Inc()
+		c.misses.Add(1)
+		mMisses.Inc()
+		return Value{}, false
+	}
+	s.lru.MoveToFront(e.elem)
+	v := e.val
+	s.mu.Unlock()
+	if v.Rec != nil {
+		v.Rec = v.Rec.Clone()
+	}
+	if v.Groups != nil {
+		v.Groups = append([]exec.GroupResult(nil), v.Groups...)
+	}
+	c.lookups.Add(1)
+	mLookups.Inc()
+	c.hits.Add(1)
+	mHits.Inc()
+	return v, true
+}
+
+// Bypass records a query that consulted the cache but was uncacheable
+// (hot MVCC deltas in its snapshot, non-cacheable key). It counts one
+// lookup and one miss so the hits + misses == lookups invariant covers
+// the whole serving path.
+func (c *Cache) Bypass() {
+	c.lookups.Add(1)
+	mLookups.Inc()
+	c.misses.Add(1)
+	mMisses.Inc()
+}
+
+// Put stores a result computed over the base state st. Oversized
+// entries (larger than a full shard budget) are refused rather than
+// flushing everything else. The stored Rec is deep-cloned.
+func (c *Cache) Put(k Key, st Stamp, v Value) {
+	if !k.Cacheable() {
+		return
+	}
+	if v.Rec != nil {
+		v.Rec = v.Rec.Clone()
+	}
+	if v.Groups != nil {
+		v.Groups = append([]exec.GroupResult(nil), v.Groups...)
+	}
+	bytes := sizeOf(k, st, v)
+	if bytes > c.capBytes {
+		return
+	}
+	var exp time.Time
+	if c.ttl > 0 {
+		exp = time.Now().Add(c.ttl)
+	}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if old, ok := s.m[k]; ok {
+		s.removeLocked(old)
+		c.entries.Add(-1)
+		gEntries.Add(-1)
+		c.bytes.Add(-old.bytes)
+		gBytes.Add(-old.bytes)
+	}
+	e := &entry{key: k, stamp: st, val: v, bytes: bytes, expires: exp}
+	e.elem = s.lru.PushFront(e)
+	s.m[k] = e
+	s.bytes += bytes
+	var evictedBytes int64
+	var evicted int64
+	for s.bytes > c.capBytes {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*entry)
+		s.removeLocked(victim)
+		evictedBytes += victim.bytes
+		evicted++
+	}
+	s.mu.Unlock()
+	c.puts.Add(1)
+	mPuts.Inc()
+	c.entries.Add(1 - evicted)
+	gEntries.Add(1 - evicted)
+	c.bytes.Add(bytes - evictedBytes)
+	gBytes.Add(bytes - evictedBytes)
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+		mEvictions.Add(evicted)
+	}
+}
+
+// removeLocked unlinks e from the shard's map, list and byte count.
+// Caller holds s.mu and settles the cache-level/global accounting.
+func (s *shard) removeLocked(e *entry) {
+	delete(s.m, e.key)
+	s.lru.Remove(e.elem)
+	s.bytes -= e.bytes
+}
+
+// Stats snapshots the cache's accounting.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Lookups:   c.lookups.Load(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Stale:     c.stale.Load(),
+		Evictions: c.evictions.Load(),
+		Puts:      c.puts.Load(),
+		Bytes:     c.bytes.Load(),
+		Entries:   c.entries.Load(),
+	}
+}

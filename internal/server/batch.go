@@ -36,6 +36,12 @@ var (
 	mBatchCollapsed = obs.NewCounter("server.batch.collapsed")
 	mBatchPreds     = obs.NewCounter("server.batch.preds")
 	hBatchSize      = obs.NewHistogram("server.batch.size")
+
+	mGatherFlushes   = obs.NewCounter("server.gather.flushes")
+	mGatherJoined    = obs.NewCounter("server.gather.joined")
+	mGatherCollapsed = obs.NewCounter("server.gather.collapsed")
+	mGatherRows      = obs.NewCounter("server.gather.rows")
+	hGatherSize      = obs.NewHistogram("server.gather.size")
 )
 
 // sumKey identifies a sum/count compatibility class.
@@ -52,6 +58,21 @@ type sumBatch struct {
 	sums  []float64
 	cnts  []int64
 	err   error
+}
+
+// getKey identifies a point-read fan-in class: every concurrent point
+// read on one table rides a single shared gather pass.
+type getKey struct {
+	table string
+}
+
+// getBatch is one in-flight gather cohort.
+type getBatch struct {
+	rows []uint64
+	slot map[uint64]int // duplicate row IDs share a slot
+	done chan struct{}
+	recs []hybridstore.Record
+	err  error
 }
 
 // groupKey identifies a grouped-aggregation compatibility class: the
@@ -77,11 +98,13 @@ type batcher struct {
 	mu     sync.Mutex
 	sums   map[sumKey]*sumBatch
 	groups map[groupKey]*groupBatch
-	// execSum and execGroup are the storage passes a flush leader runs.
-	// They default to the table methods; tests substitute failing or
-	// panicking ones to drive the leader-failure paths.
+	gets   map[getKey]*getBatch
+	// execSum, execGroup and execGet are the storage passes a flush
+	// leader runs. They default to the table methods; tests substitute
+	// failing or panicking ones to drive the leader-failure paths.
 	execSum   func(tbl *hybridstore.Table, col int, preds []hybridstore.FloatPred) ([]float64, []int64, error)
 	execGroup func(tbl *hybridstore.Table, keyCol, valCol int, p hybridstore.FloatPred) ([]hybridstore.GroupResult, error)
+	execGet   func(tbl *hybridstore.Table, rows []uint64) ([]hybridstore.Record, error)
 }
 
 func newBatcher(window time.Duration) *batcher {
@@ -89,11 +112,15 @@ func newBatcher(window time.Duration) *batcher {
 		window: window,
 		sums:   make(map[sumKey]*sumBatch),
 		groups: make(map[groupKey]*groupBatch),
+		gets:   make(map[getKey]*getBatch),
 		execSum: func(tbl *hybridstore.Table, col int, preds []hybridstore.FloatPred) ([]float64, []int64, error) {
 			return tbl.SumFloat64WhereMulti(col, preds)
 		},
 		execGroup: func(tbl *hybridstore.Table, keyCol, valCol int, p hybridstore.FloatPred) ([]hybridstore.GroupResult, error) {
 			return tbl.GroupBySumWhere(keyCol, valCol, p)
+		},
+		execGet: func(tbl *hybridstore.Table, rows []uint64) ([]hybridstore.Record, error) {
+			return tbl.GetMulti(rows)
 		},
 	}
 }
@@ -202,4 +229,72 @@ func (b *batcher) groupSumWhere(tbl *hybridstore.Table, keyCol, valCol int, p hy
 		g.res, g.err = b.execGroup(tbl, keyCol, valCol, p)
 	}()
 	return g.res, g.err
+}
+
+// get answers one point read, riding a shared gather pass when
+// concurrent point reads on the same table are in flight: the leader
+// collects row IDs for one window, runs a single GetMulti (one lock
+// acquisition, device gathers charged per chunk instead of per row) and
+// fans the records out bit-identically. Duplicate row IDs collapse to
+// one slot of the gather.
+//
+// A row at or beyond the current row count takes the solo path
+// immediately: it would error the whole cohort, and since tables only
+// grow, a row valid at join time stays valid at flush time.
+func (b *batcher) get(tbl *hybridstore.Table, row uint64) (hybridstore.Record, error) {
+	if b == nil || b.window <= 0 || row >= tbl.Rows() {
+		return tbl.Get(row)
+	}
+	k := getKey{table: tbl.Name()}
+	b.mu.Lock()
+	if g := b.gets[k]; g != nil {
+		idx, dup := g.slot[row]
+		if dup {
+			mGatherCollapsed.Inc()
+		} else {
+			idx = len(g.rows)
+			g.rows = append(g.rows, row)
+			g.slot[row] = idx
+		}
+		b.mu.Unlock()
+		mGatherJoined.Inc()
+		<-g.done
+		if g.err != nil {
+			return nil, g.err
+		}
+		return g.recs[idx], nil
+	}
+	g := &getBatch{
+		rows: []uint64{row},
+		slot: map[uint64]int{row: 0},
+		done: make(chan struct{}),
+	}
+	b.gets[k] = g
+	b.mu.Unlock()
+
+	time.Sleep(b.window)
+
+	b.mu.Lock()
+	delete(b.gets, k) // close intake BEFORE executing: see linearizability note
+	b.mu.Unlock()
+	mGatherFlushes.Inc()
+	mGatherRows.Add(int64(len(g.rows)))
+	hGatherSize.Observe(int64(len(g.rows)))
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				g.err = fmt.Errorf("server: gather leader panicked: %v", r)
+			}
+			if g.err == nil && len(g.recs) != len(g.rows) {
+				g.err = fmt.Errorf("server: gather pass returned %d records for %d rows",
+					len(g.recs), len(g.rows))
+			}
+			close(g.done)
+		}()
+		g.recs, g.err = b.execGet(tbl, g.rows)
+	}()
+	if g.err != nil {
+		return nil, g.err
+	}
+	return g.recs[0], nil
 }

@@ -1,7 +1,8 @@
 // Package loadgen is the warp-style concurrent load harness for the
 // serving layer: a swarm of client lanes drives the HTTP front end
-// with a configurable mix of point writes, predicate sums and grouped
-// aggregations, in closed-loop (next request after the last response)
+// with a configurable mix of point writes, zipfian point reads,
+// predicate sums and grouped aggregations, in closed-loop (next
+// request after the last response)
 // or open-loop (fixed arrival rate) mode, and reports wall-clock
 // throughput plus p50/p95/p99 latency per operation class.
 //
@@ -17,6 +18,7 @@ package loadgen
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -35,23 +37,31 @@ type Class int
 // The operation classes.
 const (
 	ClassWrite Class = iota // point price update
+	ClassPoint              // point read (get) with zipfian row IDs
 	ClassSum                // predicate sum (sum_where)
 	ClassGroup              // fused grouped aggregation (group_sum_where)
 	numClasses
 )
 
-var className = [numClasses]string{"write", "sum", "group"}
+var className = [numClasses]string{"write", "point", "sum", "group"}
+
+// classCacheOp maps a class to its server-side result-cache counter
+// namespace (server.cache.<op>.*); writes never consult the cache.
+var classCacheOp = [numClasses]string{"", "get", "sum_where", "group_sum_where"}
 
 // Mix is the operation mix in percent. Fields need not total exactly
 // 100; draws are weighted by the given shares.
 type Mix struct {
-	Write, Sum, Group int
+	Write, Point, Sum, Group int
 }
 
-// DefaultMix is a write-light hybrid serving mix.
-var DefaultMix = Mix{Write: 20, Sum: 60, Group: 20}
+// DefaultMix is a write-light hybrid serving mix with a zipfian
+// point-read lane — the shape a dashboard fleet plus an OLTP app
+// produces.
+var DefaultMix = Mix{Write: 20, Point: 20, Sum: 45, Group: 15}
 
-// ParseMix parses "write=20,sum=60,group=20" (classes may be omitted).
+// ParseMix parses "write=20,point=20,sum=45,group=15" (classes may be
+// omitted).
 func ParseMix(s string) (Mix, error) {
 	var m Mix
 	if strings.TrimSpace(s) == "" {
@@ -69,6 +79,8 @@ func ParseMix(s string) (Mix, error) {
 		switch kv[0] {
 		case "write":
 			m.Write = n
+		case "point":
+			m.Point = n
 		case "sum":
 			m.Sum = n
 		case "group":
@@ -77,7 +89,7 @@ func ParseMix(s string) (Mix, error) {
 			return m, fmt.Errorf("loadgen: unknown mix class %q", kv[0])
 		}
 	}
-	if m.Write+m.Sum+m.Group == 0 {
+	if m.Write+m.Point+m.Sum+m.Group == 0 {
 		return m, fmt.Errorf("loadgen: empty mix %q", s)
 	}
 	return m, nil
@@ -128,6 +140,12 @@ type ClassStats struct {
 	Ops, Shed, Errors int64
 	QPS               float64
 	P50, P95, P99     time.Duration
+	// CacheLookups/CacheHits are the server's result-cache pre-check
+	// counters for this class, diffed across the run via /metrics.
+	// Zero for classes that never consult the cache (writes) or when
+	// the endpoint exposes no metrics.
+	CacheLookups, CacheHits int64
+	CacheHitPct             float64
 }
 
 // Result is one run's report.
@@ -192,8 +210,8 @@ func Run(opts Options) (*Result, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
-	if opts.Mix.Write > 0 && opts.Rows == 0 {
-		return nil, fmt.Errorf("loadgen: write mix needs Rows")
+	if (opts.Mix.Write > 0 || opts.Mix.Point > 0) && opts.Rows == 0 {
+		return nil, fmt.Errorf("loadgen: write/point mix needs Rows")
 	}
 	st := &runState{opts: opts, client: opts.Client}
 	if st.client == nil {
@@ -242,6 +260,7 @@ func Run(opts Options) (*Result, error) {
 		go st.watchStability(ctx, cancel, stabilized)
 	}
 
+	cacheBefore := st.scrapeCacheCounters()
 	t0 := time.Now()
 	var wg sync.WaitGroup
 	for lane := 0; lane < opts.Concurrency; lane++ {
@@ -254,6 +273,7 @@ func Run(opts Options) (*Result, error) {
 	}
 	wg.Wait()
 	wall := time.Since(t0)
+	cacheAfter := st.scrapeCacheCounters()
 
 	res := &Result{Wall: wall}
 	select {
@@ -274,6 +294,13 @@ func Run(opts Options) (*Result, error) {
 		}
 		if secs > 0 {
 			cs.QPS = float64(cs.Ops) / secs
+		}
+		if op := classCacheOp[c]; op != "" && cacheBefore != nil && cacheAfter != nil {
+			cs.CacheLookups = cacheAfter["server.cache."+op+".lookups"] - cacheBefore["server.cache."+op+".lookups"]
+			cs.CacheHits = cacheAfter["server.cache."+op+".hits"] - cacheBefore["server.cache."+op+".hits"]
+			if cs.CacheLookups > 0 {
+				cs.CacheHitPct = float64(cs.CacheHits) / float64(cs.CacheLookups) * 100
+			}
 		}
 		res.Classes[c] = cs
 		res.TotalOps += cs.Ops
@@ -300,6 +327,7 @@ func (st *runState) prepare() error {
 	// Item-schema column layout: price is column 4, group key column 1.
 	specs := [numClasses]string{
 		ClassWrite: fmt.Sprintf(`{"session_id":"%s","op":"update","table":"%s","col":4}`, st.sid, st.opts.Table),
+		ClassPoint: fmt.Sprintf(`{"session_id":"%s","op":"get","table":"%s"}`, st.sid, st.opts.Table),
 		ClassSum:   fmt.Sprintf(`{"session_id":"%s","op":"sum_where","table":"%s","col":4}`, st.sid, st.opts.Table),
 		ClassGroup: fmt.Sprintf(`{"session_id":"%s","op":"group_sum_where","table":"%s","col":4,"key_col":1}`, st.sid, st.opts.Table),
 	}
@@ -315,6 +343,30 @@ func (st *runState) prepare() error {
 		st.stmts[c] = id
 	}
 	return nil
+}
+
+// scrapeCacheCounters reads the server's counter registry from
+// /metrics. Per-class cache hit rates are the before/after diff of
+// server.cache.<op>.{lookups,hits}. A missing or malformed endpoint
+// degrades to nil — hit rates then report zero instead of failing the
+// run, since an external -addr target need not expose metrics.
+func (st *runState) scrapeCacheCounters() map[string]int64 {
+	resp, err := st.client.Get(st.opts.BaseURL + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil
+	}
+	return snap.Counters
 }
 
 func (st *runState) post(path, body string) (string, int, error) {
@@ -333,7 +385,14 @@ func (st *runState) post(path, body string) (string, int, error) {
 // runLane is one client lane's request loop.
 func (st *runState) runLane(ctx context.Context, lane int, arrivals <-chan struct{}) {
 	r := rand.New(rand.NewSource(st.opts.Seed + int64(lane)*7919))
-	total := st.opts.Mix.Write + st.opts.Mix.Sum + st.opts.Mix.Group
+	total := st.opts.Mix.Write + st.opts.Mix.Point + st.opts.Mix.Sum + st.opts.Mix.Group
+	// Point reads are zipfian over the row domain: a hot head repeats
+	// across lanes, so gather cohorts collapse duplicates and the result
+	// cache sees real re-reference.
+	var zipf *rand.Zipf
+	if st.opts.Mix.Point > 0 {
+		zipf = rand.NewZipf(r, 1.2, 8, st.opts.Rows-1)
+	}
 	var body strings.Builder
 	for {
 		if arrivals != nil {
@@ -349,7 +408,9 @@ func (st *runState) runLane(ctx context.Context, lane int, arrivals <-chan struc
 		switch d := r.Intn(total); {
 		case d < st.opts.Mix.Write:
 			class = ClassWrite
-		case d < st.opts.Mix.Write+st.opts.Mix.Sum:
+		case d < st.opts.Mix.Write+st.opts.Mix.Point:
+			class = ClassPoint
+		case d < st.opts.Mix.Write+st.opts.Mix.Point+st.opts.Mix.Sum:
 			class = ClassSum
 		default:
 			class = ClassGroup
@@ -359,6 +420,8 @@ func (st *runState) runLane(ctx context.Context, lane int, arrivals <-chan struc
 		switch class {
 		case ClassWrite:
 			fmt.Fprintf(&body, `,"row":%d,"value":%d`, r.Int63n(int64(st.opts.Rows)), r.Intn(100))
+		case ClassPoint:
+			fmt.Fprintf(&body, `,"row":%d`, zipf.Uint64())
 		default:
 			fmt.Fprintf(&body, `,"pred":%s`, predCuts[r.Intn(len(predCuts))])
 		}
@@ -438,10 +501,10 @@ func (r *Result) String() string {
 		b.WriteString("  (stabilized)")
 	}
 	b.WriteByte('\n')
-	fmt.Fprintf(&b, "%-8s %10s %10s %8s %8s %10s %10s %10s\n", "class", "ops", "qps", "shed", "errors", "p50", "p95", "p99")
+	fmt.Fprintf(&b, "%-8s %10s %10s %8s %8s %10s %10s %10s %7s\n", "class", "ops", "qps", "shed", "errors", "p50", "p95", "p99", "cache%")
 	for _, c := range r.Classes {
-		fmt.Fprintf(&b, "%-8s %10d %10.0f %8d %8d %10s %10s %10s\n",
-			c.Name, c.Ops, c.QPS, c.Shed, c.Errors, c.P50, c.P95, c.P99)
+		fmt.Fprintf(&b, "%-8s %10d %10.0f %8d %8d %10s %10s %10s %7.1f\n",
+			c.Name, c.Ops, c.QPS, c.Shed, c.Errors, c.P50, c.P95, c.P99, c.CacheHitPct)
 	}
 	return b.String()
 }
@@ -451,12 +514,13 @@ func (r *Result) String() string {
 // artifact CI uploads.
 func (r *Result) CSV() string {
 	var b strings.Builder
-	b.WriteString("class,ops,qps,shed,errors,p50_us,p95_us,p99_us\n")
+	b.WriteString("class,ops,qps,shed,errors,p50_us,p95_us,p99_us,cache_hit_pct\n")
 	for _, c := range r.Classes {
-		fmt.Fprintf(&b, "%s,%d,%.1f,%d,%d,%.1f,%.1f,%.1f\n",
+		fmt.Fprintf(&b, "%s,%d,%.1f,%d,%d,%.1f,%.1f,%.1f,%.1f\n",
 			c.Name, c.Ops, c.QPS, c.Shed, c.Errors,
-			float64(c.P50.Nanoseconds())/1e3, float64(c.P95.Nanoseconds())/1e3, float64(c.P99.Nanoseconds())/1e3)
+			float64(c.P50.Nanoseconds())/1e3, float64(c.P95.Nanoseconds())/1e3, float64(c.P99.Nanoseconds())/1e3,
+			c.CacheHitPct)
 	}
-	fmt.Fprintf(&b, "total,%d,%.1f,%d,%d,,,\n", r.TotalOps, r.QPS, r.TotalShed, r.TotalErrs)
+	fmt.Fprintf(&b, "total,%d,%.1f,%d,%d,,,,\n", r.TotalOps, r.QPS, r.TotalShed, r.TotalErrs)
 	return b.String()
 }

@@ -30,17 +30,20 @@ func testServer(t *testing.T, window time.Duration) *httptest.Server {
 }
 
 func TestParseMix(t *testing.T) {
-	m, err := ParseMix("write=10,sum=70,group=20")
-	if err != nil || m != (Mix{10, 70, 20}) {
+	m, err := ParseMix("write=10,point=15,sum=55,group=20")
+	if err != nil || m != (Mix{Write: 10, Point: 15, Sum: 55, Group: 20}) {
 		t.Fatalf("got %+v, %v", m, err)
 	}
 	if m, err = ParseMix(""); err != nil || m != DefaultMix {
 		t.Fatalf("empty mix: %+v, %v", m, err)
 	}
-	if m, err = ParseMix("sum=100"); err != nil || m != (Mix{0, 100, 0}) {
+	if m, err = ParseMix("sum=100"); err != nil || m != (Mix{Sum: 100}) {
 		t.Fatalf("single class: %+v, %v", m, err)
 	}
-	for _, bad := range []string{"write=0,sum=0,group=0", "read=5", "sum=x", "sum"} {
+	if m, err = ParseMix("point=100"); err != nil || m != (Mix{Point: 100}) {
+		t.Fatalf("point class: %+v, %v", m, err)
+	}
+	for _, bad := range []string{"write=0,point=0,sum=0,group=0", "read=5", "sum=x", "sum"} {
 		if _, err := ParseMix(bad); err == nil {
 			t.Errorf("ParseMix(%q) accepted", bad)
 		}
@@ -57,7 +60,7 @@ func TestRunClosedLoop(t *testing.T) {
 		Rows:        512,
 		Concurrency: 8,
 		Duration:    400 * time.Millisecond,
-		Mix:         Mix{Write: 30, Sum: 50, Group: 20},
+		Mix:         Mix{Write: 25, Point: 25, Sum: 35, Group: 15},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -83,13 +86,66 @@ func TestRunClosedLoop(t *testing.T) {
 	}
 	out := res.String()
 	csv := res.CSV()
-	for _, want := range []string{"write", "sum", "group", "p99"} {
+	for _, want := range []string{"write", "point", "sum", "group", "p99", "cache%"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
 	}
-	if !strings.HasPrefix(csv, "class,ops,qps,shed,errors,p50_us,p95_us,p99_us\n") || !strings.Contains(csv, "\ntotal,") {
+	if !strings.HasPrefix(csv, "class,ops,qps,shed,errors,p50_us,p95_us,p99_us,cache_hit_pct\n") || !strings.Contains(csv, "\ntotal,") {
 		t.Errorf("bad csv:\n%s", csv)
+	}
+}
+
+// TestPointClassCacheHitRate drives a point-heavy zipfian mix against a
+// result-cached server: the hot head repeats, so the per-class cache
+// hit rate scraped from /metrics must be positive for the point class
+// and every lookup must be accounted.
+func TestPointClassCacheHitRate(t *testing.T) {
+	db := hybridstore.Open(hybridstore.Options{ChunkRows: 128,
+		ResultCache: hybridstore.ResultCacheOptions{Cap: 1 << 20}})
+	tbl, err := db.CreateTable("item", hybridstore.ItemSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tbl.Free)
+	for i := uint64(0); i < 512; i++ {
+		if _, err := tbl.Insert(hybridstore.Item(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := server.New(server.Config{DB: db, BatchWindow: server.DefaultBatchWindow})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	res, err := Run(Options{
+		BaseURL:     ts.URL,
+		Rows:        512,
+		Concurrency: 8,
+		Duration:    400 * time.Millisecond,
+		Mix:         Mix{Point: 80, Sum: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalErrs != 0 {
+		t.Fatalf("errors:\n%s", res)
+	}
+	pt := res.Classes[ClassPoint]
+	if pt.Ops == 0 {
+		t.Fatalf("point class served nothing:\n%s", res)
+	}
+	if pt.CacheLookups < pt.Ops {
+		t.Fatalf("point lookups %d < ops %d: pre-check not consulted per request", pt.CacheLookups, pt.Ops)
+	}
+	if pt.CacheHits == 0 || pt.CacheHitPct <= 0 {
+		t.Fatalf("zipfian point reads never hit the result cache:\n%s", res)
+	}
+	if pt.CacheHits > pt.CacheLookups {
+		t.Fatalf("hits %d > lookups %d", pt.CacheHits, pt.CacheLookups)
+	}
+	// The write class never consults the cache.
+	if w := res.Classes[ClassWrite]; w.CacheLookups != 0 || w.CacheHits != 0 {
+		t.Fatalf("write class reported cache traffic: %+v", w)
 	}
 }
 

@@ -198,6 +198,13 @@ func parseI64(b []byte) (int64, error) {
 // parsePred decodes a predicate object — {"kind":"lt|gt|eq|between",
 // "lo":x,"hi":y} — into the exec vocabulary. "eq" takes its bound from
 // "lo" (or "v"), "lt" from "hi", "gt" from "lo".
+//
+// The decoded predicate is canonicalized with exec.Normalize before it
+// becomes a batching or cache key: a between with equal bounds and the
+// equivalent eq, or bounds spelled "-0.0" vs "0", would otherwise
+// split one compatibility class into separate cohorts and separate
+// result-cache entries. Normalization never changes the match set, so
+// the collapsed key answers every spelling.
 func parsePred(raw []byte) (exec.Pred[float64], error) {
 	var kind []byte
 	var lo, hi float64
@@ -226,13 +233,13 @@ func parsePred(raw []byte) (exec.Pred[float64], error) {
 	}
 	switch string(kind) {
 	case "eq":
-		return exec.Eq(lo), nil
+		return exec.Normalize(exec.Eq(lo)), nil
 	case "lt":
-		return exec.Lt(hi), nil
+		return exec.Normalize(exec.Lt(hi)), nil
 	case "gt":
-		return exec.Gt(lo), nil
+		return exec.Normalize(exec.Gt(lo)), nil
 	case "between":
-		return exec.Between(lo, hi), nil
+		return exec.Normalize(exec.Between(lo, hi)), nil
 	default:
 		return p, fmt.Errorf("%w: pred kind %q", errProto, kind)
 	}

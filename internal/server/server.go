@@ -50,6 +50,14 @@ type Server struct {
 	opNs  [opCount]*obs.Histogram
 	opOps [opCount]*obs.Counter
 	opErr [opCount]*obs.Counter
+
+	// Result-cache pre-check telemetry per op class: lookups counts
+	// every dispatch that consulted the cache before paying for
+	// execution (and, for reads, the batch collection window); hits the
+	// subset answered on the spot. Write classes never consult, so
+	// their counters stay zero.
+	opCacheLk  [opCount]*obs.Counter
+	opCacheHit [opCount]*obs.Counter
 }
 
 // New builds a Server over cfg.DB.
@@ -64,6 +72,8 @@ func New(cfg Config) *Server {
 		s.opNs[k] = obs.NewHistogram("server.exec." + opName[k] + ".ns")
 		s.opOps[k] = obs.NewCounter("server.exec." + opName[k] + ".ops")
 		s.opErr[k] = obs.NewCounter("server.exec." + opName[k] + ".errors")
+		s.opCacheLk[k] = obs.NewCounter("server.cache." + opName[k] + ".lookups")
+		s.opCacheHit[k] = obs.NewCounter("server.cache." + opName[k] + ".hits")
 	}
 	return s
 }
@@ -171,18 +181,32 @@ type execArgs struct {
 func (s *Server) dispatch(st *stmt, out []byte, a execArgs) ([]byte, error) {
 	switch st.op {
 	case opGet, opGetPK:
+		// Pre-check the result cache before joining a gather cohort: a
+		// hit skips both the collection window and the storage pass.
 		var rec hybridstore.Record
 		var err error
 		if st.op == opGetPK {
 			if !a.hasPK {
 				return out, fmt.Errorf("%w: get_pk needs pk", errProto)
 			}
+			s.opCacheLk[opGetPK].Inc()
+			if row, ok := st.tbl.LookupPK(a.pk); ok {
+				if cached, hit := st.tbl.CachedGet(row); hit {
+					s.opCacheHit[opGetPK].Inc()
+					return appendRecord(out, cached), nil
+				}
+			}
 			rec, err = st.tbl.GetByPK(a.pk)
 		} else {
 			if !a.hasRow {
 				return out, fmt.Errorf("%w: get needs row", errProto)
 			}
-			rec, err = st.tbl.Get(uint64(a.row))
+			s.opCacheLk[opGet].Inc()
+			if cached, hit := st.tbl.CachedGet(uint64(a.row)); hit {
+				s.opCacheHit[opGet].Inc()
+				return appendRecord(out, cached), nil
+			}
+			rec, err = s.bat.get(st.tbl, uint64(a.row))
 		}
 		if err != nil {
 			return out, err
@@ -236,9 +260,16 @@ func (s *Server) dispatch(st *stmt, out []byte, a execArgs) ([]byte, error) {
 		return append(out, '}'), nil
 
 	case opSum:
-		sum, err := st.tbl.SumFloat64(st.col)
-		if err != nil {
-			return out, err
+		s.opCacheLk[opSum].Inc()
+		sum, hit := st.tbl.CachedSumFloat64(st.col)
+		if hit {
+			s.opCacheHit[opSum].Inc()
+		} else {
+			var err error
+			sum, err = st.tbl.SumFloat64(st.col)
+			if err != nil {
+				return out, err
+			}
 		}
 		out = append(out, `{"sum":`...)
 		out = appendF64(out, sum)
@@ -252,8 +283,11 @@ func (s *Server) dispatch(st *stmt, out []byte, a execArgs) ([]byte, error) {
 		if err != nil {
 			return out, err
 		}
-		sum, n, err := s.bat.sumWhere(st.tbl, st.col, p)
-		if err != nil {
+		s.opCacheLk[st.op].Inc()
+		sum, n, hit := st.tbl.CachedSumFloat64Where(st.col, p)
+		if hit {
+			s.opCacheHit[st.op].Inc()
+		} else if sum, n, err = s.bat.sumWhere(st.tbl, st.col, p); err != nil {
 			return out, err
 		}
 		if st.op == opCountWhere {
@@ -275,8 +309,11 @@ func (s *Server) dispatch(st *stmt, out []byte, a execArgs) ([]byte, error) {
 		if err != nil {
 			return out, err
 		}
-		groups, err := s.bat.groupSumWhere(st.tbl, st.keyCol, st.col, p)
-		if err != nil {
+		s.opCacheLk[opGroupSumWhere].Inc()
+		groups, hit := st.tbl.CachedGroupBySumWhere(st.keyCol, st.col, p)
+		if hit {
+			s.opCacheHit[opGroupSumWhere].Inc()
+		} else if groups, err = s.bat.groupSumWhere(st.tbl, st.keyCol, st.col, p); err != nil {
 			return out, err
 		}
 		// groups may be shared with other batch waiters: read-only.
